@@ -1,0 +1,111 @@
+//! Checksum comparison: does the accumulator agree with its online
+//! checksums, and if not, what are the discrepancies?
+
+use crate::checksum::ChecksumTriple;
+use crate::threshold::ThresholdPolicy;
+use gpu_sim::Scalar;
+
+/// The discrepancies between observed tile checksums and the online
+/// reference, in `f64` for stable ratio arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Discrepancy {
+    /// `s11(observed) − s11(reference)` — the error magnitude `d`.
+    pub d: f64,
+    /// `s21` discrepancy; `d21 / d` recovers the corrupted row weight.
+    pub d21: f64,
+    /// `s12` discrepancy; `d12 / d` recovers the corrupted column weight.
+    pub d12: f64,
+    /// Magnitude scale the threshold was computed from.
+    pub scale: f64,
+}
+
+/// Compare the checksums of the observed accumulator tile against the
+/// online reference. Returns `None` when everything agrees within δ.
+pub fn compare<T: Scalar>(
+    observed: &ChecksumTriple<T>,
+    reference: &ChecksumTriple<T>,
+    policy: &ThresholdPolicy,
+) -> Option<Discrepancy> {
+    let diff = observed.diff(reference);
+    let scale = observed.scale().max(reference.scale());
+    let d = diff.s11.to_f64();
+    let d21 = diff.s21.to_f64();
+    let d12 = diff.s12.to_f64();
+    // An error anywhere in the tile perturbs s11 by the raw magnitude and
+    // the weighted sums by (index+1) times it — checking all three catches
+    // corruptions whose plain sum happens to cancel (it cannot cancel in
+    // all three simultaneously for a single error).
+    let hit = policy.is_error(d, scale)
+        || policy.is_error(d21, scale * 2.0)
+        || policy.is_error(d12, scale * 2.0);
+    if hit {
+        Some(Discrepancy { d, d21, d12, scale })
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::Precision;
+
+    fn policy() -> ThresholdPolicy {
+        ThresholdPolicy::for_precision(Precision::Fp64)
+    }
+
+    #[test]
+    fn clean_tile_passes() {
+        let obs = ChecksumTriple {
+            s11: 10.0f64,
+            s21: 17.0,
+            s12: 16.0,
+        };
+        let r = obs;
+        assert!(compare(&obs, &r, &policy()).is_none());
+    }
+
+    #[test]
+    fn rounding_noise_passes() {
+        let obs = ChecksumTriple {
+            s11: 10.0f64,
+            s21: 17.0,
+            s12: 16.0,
+        };
+        let mut r = obs;
+        r.s11 += 1e-12;
+        assert!(compare(&obs, &r, &policy()).is_none());
+    }
+
+    #[test]
+    fn real_error_is_flagged_with_magnitude() {
+        let reference = ChecksumTriple {
+            s11: 10.0f64,
+            s21: 17.0,
+            s12: 16.0,
+        };
+        let mut obs = reference;
+        // error of +2.5 at (row 1, col 0) of a 2x2 tile: weights 2 and 1
+        obs.s11 += 2.5;
+        obs.s21 += 2.0 * 2.5;
+        obs.s12 += 1.0 * 2.5;
+        let disc = compare(&obs, &reference, &policy()).expect("must detect");
+        assert!((disc.d - 2.5).abs() < 1e-12);
+        assert!((disc.d21 / disc.d - 2.0).abs() < 1e-12);
+        assert!((disc.d12 / disc.d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_only_discrepancy_still_detected() {
+        // Pathological: plain sum cancels (e.g. error hit the s11 checksum
+        // itself) but a weighted checksum deviates.
+        let reference = ChecksumTriple {
+            s11: 10.0f64,
+            s21: 17.0,
+            s12: 16.0,
+        };
+        let mut obs = reference;
+        obs.s21 += 5.0;
+        assert!(compare(&obs, &reference, &policy()).is_some());
+    }
+}

@@ -1,0 +1,39 @@
+//! # ftk-abft — algorithm-based fault tolerance for the distance GEMM
+//!
+//! Implements the paper's fault-tolerance layer (§II-C, §IV):
+//!
+//! * [`checksum`] — the `e1 = [1,1,…,1]` and `e2 = [1,2,…,n]` encodings of
+//!   operands and accumulator tiles,
+//! * [`threshold`] — the detection threshold δ policy (floating-point
+//!   rounding must not raise false alarms; injected bit flips above the
+//!   noise floor must),
+//! * [`detect`] — checksum comparison and discrepancy extraction,
+//! * [`locate`] — **location encoding**: recovering the (row, column) of a
+//!   corrupted accumulator element from the ratios of weighted checksum
+//!   discrepancies,
+//! * [`correct`] — in-place subtraction of the error magnitude,
+//! * [`online`] — the per-warp online state machine fused into the tensor
+//!   kernel's main loop (Fig. 6),
+//! * [`schemes`] — the three competing schemes evaluated in the paper:
+//!   FT K-means (warp-level detect + correct), Kosaian (warp-level detect
+//!   only, recompute to correct), Wu (threadblock-level, register-reuse —
+//!   degraded on Ampere),
+//! * [`dmr`] — dual modular redundancy for the memory-bound centroid
+//!   update.
+
+pub mod checksum;
+pub mod correct;
+pub mod detect;
+pub mod dmr;
+pub mod locate;
+pub mod online;
+pub mod schemes;
+pub mod threshold;
+
+pub use checksum::ChecksumTriple;
+pub use correct::correct_in_place;
+pub use detect::{compare, Discrepancy};
+pub use locate::{locate, Located};
+pub use online::{CheckOutcome, WarpOnlineState};
+pub use schemes::SchemeKind;
+pub use threshold::ThresholdPolicy;

@@ -1,0 +1,114 @@
+//! Location encoding: recover the coordinates of a corrupted accumulator
+//! element from weighted checksum discrepancies.
+//!
+//! For a single error of magnitude `d` at `(r, c)` (0-based), the weighted
+//! discrepancies satisfy `d21 = (r+1)·d` and `d12 = (c+1)·d`, so the ratios
+//! recover the 1-based coordinates exactly (paper §IV-A: "our method
+//! employs a vector e2 = [1, 2, …, N] to checksum the inputs again").
+//! Floating-point noise and multi-error scenarios make the ratios
+//! non-integral or out of range, which the decoder reports as
+//! [`Located::Ambiguous`] — callers then fall back to recomputation or
+//! checksum re-baselining.
+
+use crate::detect::Discrepancy;
+
+/// Result of location decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Located {
+    /// A single error at this 0-based position of the tile.
+    At { row: usize, col: usize },
+    /// The discrepancies are inconsistent with one payload error (the fault
+    /// hit a checksum accumulator, or more than one error occurred).
+    Ambiguous,
+}
+
+/// Tolerance for "is this ratio an integer": the decoded weight may wobble
+/// by rounding; anything further than this from an integer is rejected.
+const INTEGRALITY_TOL: f64 = 0.25;
+
+/// Decode the error position within a `rows x cols` tile.
+pub fn locate(disc: &Discrepancy, rows: usize, cols: usize) -> Located {
+    if disc.d == 0.0 || !disc.d.is_finite() {
+        return Located::Ambiguous;
+    }
+    let row_w = disc.d21 / disc.d;
+    let col_w = disc.d12 / disc.d;
+    let row = row_w.round();
+    let col = col_w.round();
+    if !row.is_finite()
+        || !col.is_finite()
+        || (row_w - row).abs() > INTEGRALITY_TOL
+        || (col_w - col).abs() > INTEGRALITY_TOL
+    {
+        return Located::Ambiguous;
+    }
+    if row < 1.0 || col < 1.0 || row > rows as f64 || col > cols as f64 {
+        return Located::Ambiguous;
+    }
+    Located::At {
+        row: row as usize - 1,
+        col: col as usize - 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disc(d: f64, d21: f64, d12: f64) -> Discrepancy {
+        Discrepancy {
+            d,
+            d21,
+            d12,
+            scale: 1.0,
+        }
+    }
+
+    #[test]
+    fn exact_single_error_is_located() {
+        // error 3.0 at (row 2, col 0) 0-based -> weights 3 and 1
+        let l = locate(&disc(3.0, 9.0, 3.0), 4, 4);
+        assert_eq!(l, Located::At { row: 2, col: 0 });
+    }
+
+    #[test]
+    fn all_positions_roundtrip() {
+        let (rows, cols) = (8, 6);
+        for r in 0..rows {
+            for c in 0..cols {
+                let d = -2.75;
+                let l = locate(&disc(d, (r + 1) as f64 * d, (c + 1) as f64 * d), rows, cols);
+                assert_eq!(l, Located::At { row: r, col: c }, "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn noisy_ratio_within_tolerance_still_locates() {
+        let l = locate(&disc(2.0, 6.1, 2.05), 4, 4);
+        assert_eq!(l, Located::At { row: 2, col: 0 });
+    }
+
+    #[test]
+    fn out_of_range_is_ambiguous() {
+        // decoded row weight 9 on a 4-row tile
+        assert_eq!(locate(&disc(1.0, 9.0, 1.0), 4, 4), Located::Ambiguous);
+        // decoded weight below 1 (checksum-side corruption)
+        assert_eq!(locate(&disc(4.0, 0.5, 4.0), 4, 4), Located::Ambiguous);
+    }
+
+    #[test]
+    fn non_integral_ratio_is_ambiguous() {
+        assert_eq!(locate(&disc(2.0, 5.0, 2.0), 4, 4), Located::Ambiguous);
+    }
+
+    #[test]
+    fn zero_or_nonfinite_magnitude_is_ambiguous() {
+        assert_eq!(locate(&disc(0.0, 3.0, 3.0), 4, 4), Located::Ambiguous);
+        assert_eq!(locate(&disc(f64::NAN, 3.0, 3.0), 4, 4), Located::Ambiguous);
+        assert_eq!(
+            locate(&disc(f64::INFINITY, 3.0, 3.0), 4, 4),
+            Located::Ambiguous
+        );
+    }
+}

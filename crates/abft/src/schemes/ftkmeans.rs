@@ -1,0 +1,60 @@
+//! The paper's scheme: warp-level two-sided online checksums with
+//! location-encoded correction, computed from register fragments so it
+//! coexists with `cp.async` (Fig. 6).
+
+use crate::online::{OnlineMode, WarpOnlineState};
+use crate::threshold::ThresholdPolicy;
+use gpu_sim::{Precision, Scalar};
+
+/// Factory for per-warp FT K-means states.
+#[derive(Debug, Clone, Copy)]
+pub struct FtKMeansScheme {
+    policy: ThresholdPolicy,
+}
+
+impl FtKMeansScheme {
+    /// Scheme with the default threshold for `precision`.
+    pub fn new(precision: Precision) -> Self {
+        FtKMeansScheme {
+            policy: ThresholdPolicy::for_precision(precision),
+        }
+    }
+
+    /// Scheme with an explicit threshold policy.
+    pub fn with_policy(policy: ThresholdPolicy) -> Self {
+        FtKMeansScheme { policy }
+    }
+
+    /// The threshold policy in use.
+    pub fn policy(&self) -> ThresholdPolicy {
+        self.policy
+    }
+
+    /// Create the online state for one warp's `wm x wn` accumulator tile.
+    pub fn warp_state<T: Scalar>(&self, wm: usize, wn: usize) -> WarpOnlineState<T> {
+        WarpOnlineState::new(wm, wn, self.policy, OnlineMode::DetectCorrect)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::online::OnlineMode;
+
+    #[test]
+    fn builds_detect_correct_states() {
+        let s = FtKMeansScheme::new(Precision::Fp32);
+        let st = s.warp_state::<f32>(16, 8);
+        assert_eq!(st.mode(), OnlineMode::DetectCorrect);
+    }
+
+    #[test]
+    fn custom_policy_is_respected() {
+        let p = ThresholdPolicy {
+            rel: 0.5,
+            abs_floor: 1.0,
+        };
+        let s = FtKMeansScheme::with_policy(p);
+        assert_eq!(s.policy(), p);
+    }
+}

@@ -1,0 +1,40 @@
+//! Kosaian & Rashmi's arithmetic-intensity-guided scheme (SC'21): warp-level
+//! single-checksum **detection**; correction requires a time-redundant
+//! recomputation of the affected interval (paper §II-C: "capable of error
+//! detection, but not correction").
+
+use crate::online::{OnlineMode, WarpOnlineState};
+use crate::threshold::ThresholdPolicy;
+use gpu_sim::{Precision, Scalar};
+
+/// Factory for per-warp detection-only states.
+#[derive(Debug, Clone, Copy)]
+pub struct KosaianScheme {
+    policy: ThresholdPolicy,
+}
+
+impl KosaianScheme {
+    /// Scheme with the default threshold for `precision`.
+    pub fn new(precision: Precision) -> Self {
+        KosaianScheme {
+            policy: ThresholdPolicy::for_precision(precision),
+        }
+    }
+
+    /// Create the online state for one warp's `wm x wn` tile.
+    pub fn warp_state<T: Scalar>(&self, wm: usize, wn: usize) -> WarpOnlineState<T> {
+        WarpOnlineState::new(wm, wn, self.policy, OnlineMode::DetectOnly)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_detect_only_states() {
+        let s = KosaianScheme::new(Precision::Fp64);
+        let st = s.warp_state::<f64>(8, 8);
+        assert_eq!(st.mode(), OnlineMode::DetectOnly);
+    }
+}

@@ -1,0 +1,107 @@
+//! Microbenchmarks of the ABFT arithmetic: checksum accumulation, tile
+//! verification, location decoding and correction — the per-interval costs
+//! the paper's overhead figures are built from.
+
+use abft::checksum::ChecksumTriple;
+use abft::online::{OnlineMode, WarpOnlineState};
+use abft::{compare, correct_in_place, locate, Located, ThresholdPolicy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_sim::mma::{MmaSite, NoFault};
+use gpu_sim::{Counters, Precision};
+use std::hint::black_box;
+
+const WM: usize = 32;
+const WN: usize = 32;
+const KK: usize = 4;
+
+fn site() -> MmaSite {
+    MmaSite {
+        block: (0, 0),
+        warp: 0,
+        k_step: 0,
+        is_checksum: false,
+    }
+}
+
+fn bench_accumulate(c: &mut Criterion) {
+    let counters = Counters::new();
+    let policy = ThresholdPolicy::for_precision(Precision::Fp64);
+    let a: Vec<f64> = (0..WM * KK).map(|i| (i % 13) as f64 * 0.3 - 1.5).collect();
+    let b: Vec<f64> = (0..WN * KK).map(|i| (i % 11) as f64 * 0.25 - 1.0).collect();
+    let mut g = c.benchmark_group("warp_checksum_accumulate");
+    g.throughput(Throughput::Elements(((WM + WN) * KK) as u64));
+    for (name, mode) in [
+        ("detect_correct", OnlineMode::DetectCorrect),
+        ("detect_only", OnlineMode::DetectOnly),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &mode, |bch, &mode| {
+            let mut st = WarpOnlineState::<f64>::new(WM, WN, policy, mode);
+            bch.iter(|| {
+                st.accumulate(
+                    black_box(&a),
+                    black_box(&b),
+                    KK,
+                    site(),
+                    &NoFault,
+                    &counters,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_verify(c: &mut Criterion) {
+    let counters = Counters::new();
+    let policy = ThresholdPolicy::for_precision(Precision::Fp64);
+    let mut st = WarpOnlineState::<f64>::new(WM, WN, policy, OnlineMode::DetectCorrect);
+    let mut acc: Vec<f64> = (0..WM * WN).map(|i| (i % 29) as f64 * 0.1).collect();
+    st.rebaseline(&acc, &counters);
+    let mut g = c.benchmark_group("verification_sweep");
+    g.throughput(Throughput::Elements((WM * WN) as u64));
+    g.bench_function("clean_tile", |b| {
+        b.iter(|| black_box(st.check(black_box(&mut acc), 256, &counters)))
+    });
+    g.bench_function("detect_locate_correct", |b| {
+        b.iter(|| {
+            acc[5 * WN + 7] += 42.0;
+            black_box(st.check(black_box(&mut acc), 256, &counters))
+        })
+    });
+    g.finish();
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let policy = ThresholdPolicy::for_precision(Precision::Fp64);
+    let tile: Vec<f64> = (0..WM * WN).map(|i| (i % 23) as f64 - 11.0).collect();
+    let reference = ChecksumTriple::from_tile(&tile, WM, WN);
+    let mut corrupted = tile.clone();
+    corrupted[100] += 7.5;
+    let observed = ChecksumTriple::from_tile(&corrupted, WM, WN);
+    let disc = compare(&observed, &reference, &policy).expect("detected");
+
+    c.bench_function("checksum_triple_from_tile", |b| {
+        b.iter(|| black_box(ChecksumTriple::from_tile(black_box(&tile), WM, WN)))
+    });
+    c.bench_function("compare_triples", |b| {
+        b.iter(|| {
+            black_box(compare(
+                black_box(&observed),
+                black_box(&reference),
+                &policy,
+            ))
+        })
+    });
+    c.bench_function("locate_and_correct", |b| {
+        b.iter(|| {
+            let l = locate(black_box(&disc), WM, WN);
+            if let Located::At { row, col } = l {
+                let mut acc = corrupted.clone();
+                black_box(correct_in_place(&mut acc, WN, row, col, disc.d));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_accumulate, bench_verify, bench_primitives);
+criterion_main!(benches);

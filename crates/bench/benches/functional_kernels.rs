@@ -1,0 +1,101 @@
+//! Criterion benches of the *functional* simulated kernels — how fast the
+//! simulator itself executes the paper's kernels on the host CPU. (GPU
+//! GFLOPS figures come from the analytic model; these numbers measure the
+//! reproduction's own engine.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fault::CampaignStats;
+use gpu_sim::mma::NoFault;
+use gpu_sim::{Counters, DeviceProfile, Matrix};
+use kmeans::assign::default_tile;
+use kmeans::device_data::DeviceData;
+use kmeans::variants::{broadcast, gemm, naive, tensor};
+use parking_lot::Mutex;
+use std::hint::black_box;
+
+const M: usize = 1024;
+const DIM: usize = 32;
+const K: usize = 32;
+
+fn data_f32(dev: &DeviceProfile, c: &Counters) -> DeviceData<f32> {
+    let samples = Matrix::<f32>::from_fn(M, DIM, |r, cc| ((r * 7 + cc * 3) % 17) as f32 - 8.0);
+    let cents = Matrix::<f32>::from_fn(K, DIM, |r, cc| ((r * 5 + cc * 11) % 13) as f32 - 6.0);
+    DeviceData::upload(dev, &samples, &cents, c).unwrap()
+}
+
+fn data_f64(dev: &DeviceProfile, c: &Counters) -> DeviceData<f64> {
+    let samples = Matrix::<f64>::from_fn(M, DIM, |r, cc| ((r * 7 + cc * 3) % 17) as f64 - 8.0);
+    let cents = Matrix::<f64>::from_fn(K, DIM, |r, cc| ((r * 5 + cc * 11) % 13) as f64 - 6.0);
+    DeviceData::upload(dev, &samples, &cents, c).unwrap()
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let dev = DeviceProfile::a100();
+    let counters = Counters::new();
+    let data = data_f32(&dev, &counters);
+    let flops = (2 * M * K * DIM) as u64;
+
+    let mut g = c.benchmark_group("assignment_variants_f32");
+    g.throughput(Throughput::Elements(flops));
+    g.bench_function("naive", |b| {
+        b.iter(|| black_box(naive::naive_assign(&dev, &data, &NoFault, &counters).unwrap()))
+    });
+    g.bench_function("gemm_v1", |b| {
+        b.iter(|| black_box(gemm::gemm_assign(&dev, &data, &NoFault, &counters).unwrap()))
+    });
+    g.bench_function("broadcast_v3", |b| {
+        b.iter(|| black_box(broadcast::broadcast_assign(&dev, &data, &NoFault, &counters).unwrap()))
+    });
+    let stats = Mutex::new(CampaignStats::default());
+    let tile = default_tile(gpu_sim::Precision::Fp32);
+    g.bench_function("tensor_v4", |b| {
+        b.iter(|| {
+            black_box(
+                tensor::tensor_assign(
+                    &dev,
+                    tile,
+                    &data,
+                    abft::SchemeKind::None,
+                    &NoFault,
+                    &counters,
+                    &stats,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_ft_schemes(c: &mut Criterion) {
+    let dev = DeviceProfile::a100();
+    let counters = Counters::new();
+    let data = data_f64(&dev, &counters);
+    let tile = default_tile(gpu_sim::Precision::Fp64);
+    let mut g = c.benchmark_group("tensor_ft_schemes_f64");
+    g.sample_size(20);
+    for scheme in [
+        abft::SchemeKind::None,
+        abft::SchemeKind::FtKMeans,
+        abft::SchemeKind::Kosaian,
+        abft::SchemeKind::Wu,
+    ] {
+        let stats = Mutex::new(CampaignStats::default());
+        g.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &scheme,
+            |b, &s| {
+                b.iter(|| {
+                    black_box(
+                        tensor::tensor_assign(&dev, tile, &data, s, &NoFault, &counters, &stats)
+                            .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_variants, bench_ft_schemes);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Benches of the analytic layer: single kernel-time estimates, full
+//! 64-shape tuning runs, and selector queries. These bound the cost of the
+//! auto-tuning pipeline itself.
+
+use codegen::tuner::{tune, ShapeGrid};
+use codegen::{KernelSelector, ParamRegistry};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::timing::{estimate, FtMode, GemmShape, KernelClass, TimingInput};
+use gpu_sim::{DeviceProfile, Precision};
+use kmeans::assign::default_tile;
+use std::hint::black_box;
+
+fn bench_estimate(c: &mut Criterion) {
+    let dev = DeviceProfile::a100();
+    let tile = default_tile(Precision::Fp32);
+    let shape = GemmShape::new(131_072, 128, 128);
+    let mut g = c.benchmark_group("estimate_kernel_time");
+    for (name, ft) in [
+        ("plain", FtMode::None),
+        ("ftkmeans", FtMode::FtKMeans),
+        ("wu", FtMode::Wu),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &ft, |b, &ft| {
+            b.iter(|| {
+                black_box(estimate(&TimingInput {
+                    ft,
+                    inj_rate_hz: 10.0,
+                    ..TimingInput::plain(&dev, Precision::Fp32, KernelClass::Tensor(tile), shape)
+                }))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_tune(c: &mut Criterion) {
+    let dev = DeviceProfile::a100();
+    let mut g = c.benchmark_group("autotune");
+    g.sample_size(10);
+    for p in Precision::all() {
+        let reg = ParamRegistry::new(p);
+        g.bench_with_input(
+            BenchmarkId::new("paper_grid_64_shapes", p.name()),
+            &p,
+            |b, &p| b.iter(|| black_box(tune(&dev, p, &reg, &ShapeGrid::paper()))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_selector(c: &mut Criterion) {
+    let dev = DeviceProfile::a100();
+    let selector = KernelSelector::build(&dev, Precision::Fp32);
+    c.bench_function("selector_query", |b| {
+        b.iter(|| black_box(selector.select(black_box(131_072), black_box(77), black_box(33))))
+    });
+    let text = selector.to_text();
+    c.bench_function("selector_parse", |b| {
+        b.iter(|| black_box(KernelSelector::from_text(black_box(&text)).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_estimate, bench_tune, bench_selector);
+criterion_main!(benches);

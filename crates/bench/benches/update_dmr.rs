@@ -1,0 +1,59 @@
+//! Benches of the centroid-update phase with and without DMR — the
+//! functional counterpart of the paper's "<1% overhead" claim for the
+//! memory-bound phase.
+
+use abft::dmr::{protected, DmrStats};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_sim::mma::NoFault;
+use gpu_sim::{Counters, DeviceProfile, GlobalBuffer, Matrix};
+use kmeans::update::update_centroids;
+use std::hint::black_box;
+
+const M: usize = 2048;
+const DIM: usize = 16;
+const K: usize = 16;
+
+fn bench_update(c: &mut Criterion) {
+    let dev = DeviceProfile::a100();
+    let counters = Counters::new();
+    let samples = Matrix::<f32>::from_fn(M, DIM, |r, cc| ((r + cc * 3) % 19) as f32 - 9.0);
+    let buf = GlobalBuffer::from_matrix(&samples);
+    let labels: Vec<u32> = (0..M).map(|i| (i % K) as u32).collect();
+    let old = Matrix::<f32>::zeros(K, DIM);
+
+    let mut g = c.benchmark_group("centroid_update");
+    g.throughput(Throughput::Elements((M * DIM) as u64));
+    for (name, dmr) in [("plain", false), ("dmr", true)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &dmr, |b, &dmr| {
+            b.iter(|| {
+                black_box(
+                    update_centroids(&dev, &buf, M, DIM, &labels, &old, dmr, &NoFault, &counters)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_dmr_combinator(c: &mut Criterion) {
+    c.bench_function("dmr_protected_agreeing", |b| {
+        let mut stats = DmrStats::default();
+        b.iter(|| black_box(protected(|_| black_box(3.25f64) * 2.0, 3, &mut stats)))
+    });
+    c.bench_function("dmr_protected_disagreeing", |b| {
+        let mut stats = DmrStats::default();
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            black_box(protected(
+                |replica| if replica == 0 && flip { 99.0f64 } else { 6.5 },
+                3,
+                &mut stats,
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_update, bench_dmr_combinator);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! CLI harness: regenerate every table and figure of the paper.
+//!
+//! ```text
+//! cargo run -p ftk-bench --release --bin figures -- [--fig all|7|8|...|21|table1] [--quick] [--out DIR]
+//! ```
+
+use bench_harness::figures;
+use bench_harness::report::{FigureReport, ReportSink};
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: figures [--fig all|7|8|9|10|11|12|13|14|15|16|17|18|19|20|21|table1] [--quick] [--out DIR]"
+    );
+    std::process::exit(2)
+}
+
+fn run_one(id: &str, quick: bool) -> Vec<FigureReport> {
+    match id {
+        "7" | "fig07" => vec![figures::fig07::run(quick)],
+        "8" | "fig08" => vec![figures::sweeps::fig08(quick)],
+        "9" | "fig09" => vec![figures::sweeps::fig09(quick)],
+        "10" | "fig10" => vec![figures::sweeps::fig10(quick)],
+        "11" | "fig11" => vec![figures::sweeps::fig11(quick)],
+        "12" | "fig12" => vec![figures::heatmap::fig12(quick)],
+        "13" | "fig13" => vec![figures::heatmap::fig13(quick)],
+        "14" | "fig14" => vec![figures::heatmap::fig14(quick)],
+        "table1" => vec![figures::heatmap::table1(quick)],
+        "15" | "fig15" => vec![figures::overhead::fig15(quick)],
+        "16" | "fig16" => vec![figures::overhead::fig16(quick)],
+        "17" | "fig17" => vec![figures::injection::fig17(quick)],
+        "18" | "fig18" => vec![figures::injection::fig18(quick)],
+        "19" | "fig19" => vec![figures::sweeps::fig19(quick)],
+        "20" | "fig20" => vec![figures::sweeps::fig20(quick)],
+        "21" | "fig21" => vec![figures::injection::fig21(quick)],
+        "ablation" => vec![figures::ablation::run(quick)],
+        "all" => {
+            let ids = [
+                "7", "8", "9", "10", "11", "12", "13", "14", "table1", "15", "16", "17", "18",
+                "19", "20", "21", "ablation",
+            ];
+            ids.iter().flat_map(|i| run_one(i, quick)).collect()
+        }
+        other => {
+            eprintln!("unknown figure id: {other}");
+            usage()
+        }
+    }
+}
+
+fn main() {
+    let mut fig = "all".to_string();
+    let mut quick = false;
+    let mut out = PathBuf::from("results");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--fig" => fig = args.next().unwrap_or_else(|| usage()),
+            "--quick" => quick = true,
+            "--out" => out = PathBuf::from(args.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    let mut sink = ReportSink::default();
+    for rep in run_one(&fig, quick) {
+        println!("{}", rep.to_markdown());
+        sink.add(rep);
+    }
+    match sink.flush(&out) {
+        Ok(_) => eprintln!(
+            "wrote {} CSV file(s) to {}",
+            sink.reports.len(),
+            out.display()
+        ),
+        Err(e) => {
+            eprintln!("failed to write results: {e}");
+            std::process::exit(1);
+        }
+    }
+}

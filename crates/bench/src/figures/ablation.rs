@@ -1,0 +1,222 @@
+//! Ablation study: switch individual timing-model terms off and show which
+//! term produces which headline result. This validates that the
+//! reproduction's conclusions follow from the paper's claimed mechanisms,
+//! not from incidental calibration.
+//!
+//! | claim (paper) | driving term |
+//! |---|---|
+//! | FP64 ABFT overhead ≈ 13–20% while FP32 ≈ 0 (§IV-B, Figs. 15/16) | finite FP64 tensor-pipe ceiling |
+//! | Wu's scheme pays ~30% on Ampere (§V-C) | operand re-reads + no `cp.async` overlap |
+//! | cuML loses up to 4.5× at irregular shapes (§V-A) | threadblock tile padding (structural) |
+//! | selection gains shrink for FP64 (§V-A6) | vectorization/alignment factor |
+
+use crate::figures::{feasible_params, M};
+use crate::report::FigureReport;
+use codegen::feasibility::stages_for;
+use codegen::KernelParams;
+use gpu_sim::timing::{estimate_with, Calibration, FtMode, GemmShape, KernelClass, TimingInput};
+use gpu_sim::{DeviceProfile, Precision};
+
+fn gflops_with(
+    cal: &Calibration,
+    device: &DeviceProfile,
+    precision: Precision,
+    params: &KernelParams,
+    clusters: usize,
+    dim: usize,
+    ft: FtMode,
+) -> f64 {
+    let tile = params.tile_config(stages_for(device));
+    estimate_with(
+        &TimingInput {
+            ft,
+            ..TimingInput::plain(
+                device,
+                precision,
+                KernelClass::Tensor(tile),
+                GemmShape::new(M, clusters, dim),
+            )
+        },
+        cal,
+    )
+    .gflops
+}
+
+/// Run the ablation report.
+pub fn run(_quick: bool) -> FigureReport {
+    let dev = DeviceProfile::a100();
+    let mut rep = FigureReport::new(
+        "ablation",
+        "timing-model term ablation (A100, M=131072, K=128, N=128)",
+        &["experiment", "term state", "metric", "value"],
+    );
+    let (clusters, dim) = (128usize, 128usize);
+
+    // --- 1. FP64 ABFT overhead is driven by the tensor-pipe ceiling -------
+    {
+        let p64 = Precision::Fp64;
+        let best = best_params(&dev, p64, clusters, dim);
+        let base_cal = Calibration::for_device(&dev, p64);
+        let plain = gflops_with(&base_cal, &dev, p64, &best, clusters, dim, FtMode::None);
+        let ft = gflops_with(&base_cal, &dev, p64, &best, clusters, dim, FtMode::FtKMeans);
+        rep.push_row(vec![
+            "fp64 ABFT overhead".into(),
+            "tensor-pipe ceiling ON".into(),
+            "overhead".into(),
+            format!("{:.2}%", (plain / ft - 1.0) * 100.0),
+        ]);
+        let unbounded = Calibration {
+            s_tensor_gflops: 1e9,
+            ..base_cal
+        };
+        let plain2 = gflops_with(&unbounded, &dev, p64, &best, clusters, dim, FtMode::None);
+        let ft2 = gflops_with(
+            &unbounded,
+            &dev,
+            p64,
+            &best,
+            clusters,
+            dim,
+            FtMode::FtKMeans,
+        );
+        rep.push_row(vec![
+            "fp64 ABFT overhead".into(),
+            "tensor-pipe ceiling OFF".into(),
+            "overhead".into(),
+            format!("{:.2}%", (plain2 / ft2 - 1.0) * 100.0),
+        ]);
+    }
+
+    // --- 2. Wu's Ampere penalty is the re-reads + lost overlap -------------
+    {
+        let p32 = Precision::Fp32;
+        let best = best_params(&dev, p32, clusters, dim);
+        let base_cal = Calibration::for_device(&dev, p32);
+        let ftk = gflops_with(&base_cal, &dev, p32, &best, clusters, dim, FtMode::FtKMeans);
+        let wu = gflops_with(&base_cal, &dev, p32, &best, clusters, dim, FtMode::Wu);
+        rep.push_row(vec![
+            "Wu vs FT K-Means".into(),
+            "re-read + serialization ON".into(),
+            "FT/Wu".into(),
+            format!("{:.2}x", ftk / wu),
+        ]);
+        let forgiven = Calibration {
+            wu_reread_frac: 0.0,
+            no_async_serial_frac: 0.0,
+            wu_block_sync_us: 0.0,
+            wu_issue_penalty: 1.0,
+            ..base_cal
+        };
+        let wu2 = gflops_with(&forgiven, &dev, p32, &best, clusters, dim, FtMode::Wu);
+        rep.push_row(vec![
+            "Wu vs FT K-Means".into(),
+            "re-read + serialization OFF".into(),
+            "FT/Wu".into(),
+            format!("{:.2}x", ftk / wu2),
+        ]);
+    }
+
+    // --- 3. cuML's loss is structural tile padding --------------------------
+    {
+        let p32 = Precision::Fp32;
+        let base_cal = Calibration::for_device(&dev, p32);
+        let cuml = KernelParams::cuml(p32);
+        // cuML's own tile at an irregular shape (8 clusters)…
+        let narrow = best_params(&dev, p32, 8, dim);
+        let g_cuml = gflops_with(&base_cal, &dev, p32, &cuml, 8, dim, FtMode::None);
+        let g_tuned = gflops_with(&base_cal, &dev, p32, &narrow, 8, dim, FtMode::None);
+        rep.push_row(vec![
+            "cuML at K=8".into(),
+            "fixed tile <32,256,16>".into(),
+            "speedup of tuned".into(),
+            format!("{:.2}x", g_tuned / g_cuml),
+        ]);
+        // …vs the same shape where its tile fits (256 clusters).
+        let g_cuml_fit = gflops_with(&base_cal, &dev, p32, &cuml, 256, dim, FtMode::None);
+        let wide = best_params(&dev, p32, 256, dim);
+        let g_tuned_fit = gflops_with(&base_cal, &dev, p32, &wide, 256, dim, FtMode::None);
+        rep.push_row(vec![
+            "cuML at K=256".into(),
+            "fixed tile fits".into(),
+            "speedup of tuned".into(),
+            format!("{:.2}x", g_tuned_fit / g_cuml_fit),
+        ]);
+    }
+
+    rep.note("term OFF rows must collapse toward 1.0x / 0% — each claim is carried by its term");
+    rep
+}
+
+fn best_params(
+    dev: &DeviceProfile,
+    precision: Precision,
+    clusters: usize,
+    dim: usize,
+) -> KernelParams {
+    let feasible = feasible_params(dev, precision);
+    let cal = Calibration::for_device(dev, precision);
+    feasible
+        .iter()
+        .map(|(_, p)| *p)
+        .max_by(|a, b| {
+            gflops_with(&cal, dev, precision, a, clusters, dim, FtMode::None)
+                .partial_cmp(&gflops_with(
+                    &cal,
+                    dev,
+                    precision,
+                    b,
+                    clusters,
+                    dim,
+                    FtMode::None,
+                ))
+                .expect("finite")
+        })
+        .expect("non-empty feasible set")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pct(s: &str) -> f64 {
+        s.trim_end_matches('%').parse().unwrap()
+    }
+
+    fn ratio(s: &str) -> f64 {
+        s.trim_end_matches('x').parse().unwrap()
+    }
+
+    #[test]
+    fn fp64_overhead_vanishes_without_tensor_ceiling() {
+        let rep = run(true);
+        let on = pct(&rep.rows[0][3]);
+        let off = pct(&rep.rows[1][3]);
+        assert!(on > 5.0, "with the ceiling the overhead is visible: {on}");
+        // residual ≈ detection sweeps, not checksum MMAs
+        assert!(off < 2.5, "without the ceiling it collapses: {off}");
+    }
+
+    #[test]
+    fn wu_penalty_is_its_terms() {
+        let rep = run(true);
+        let on = ratio(&rep.rows[2][3]);
+        let off = ratio(&rep.rows[3][3]);
+        assert!(on > 1.15, "Wu visibly slower with terms on: {on}");
+        assert!(
+            off < on && off < 1.15,
+            "forgiving the terms restores Wu: {off}"
+        );
+    }
+
+    #[test]
+    fn cuml_loss_is_padding() {
+        let rep = run(true);
+        let irregular = ratio(&rep.rows[4][3]);
+        let fitting = ratio(&rep.rows[5][3]);
+        assert!(irregular > 2.0, "big win at K=8: {irregular}");
+        assert!(
+            fitting < irregular / 2.0,
+            "win collapses when the tile fits: {fitting}"
+        );
+    }
+}

@@ -1,0 +1,243 @@
+//! Figs. 12–14 and Table I: the speedup heatmap over the 64-shape grid,
+//! the parameter-selection footprint, the per-shape winning parameter ids,
+//! and the winning tile table.
+
+use crate::paper::{fig12 as paper12, fig13 as paper13};
+use crate::report::FigureReport;
+use codegen::tuner::{tune, SelectionTable, ShapeGrid};
+use codegen::{KernelParams, ParamRegistry};
+use gpu_sim::{DeviceProfile, Precision};
+
+fn grids(quick: bool) -> ShapeGrid {
+    if quick {
+        ShapeGrid {
+            m: 131_072,
+            dims: vec![8, 56, 120],
+            clusters: vec![32, 224, 480],
+        }
+    } else {
+        ShapeGrid::paper()
+    }
+}
+
+fn tuned(precision: Precision, quick: bool) -> (ParamRegistry, SelectionTable) {
+    let dev = DeviceProfile::a100();
+    let reg = ParamRegistry::new(precision);
+    let table = tune(&dev, precision, &reg, &grids(quick));
+    (reg, table)
+}
+
+/// Fig. 12 — speedup of FT K-means over cuML across the (K, N) grid.
+pub fn fig12(quick: bool) -> FigureReport {
+    let mut rep = FigureReport::new(
+        "fig12",
+        "speedup over cuML across the shape grid, A100, M=131072",
+        &["precision", "N (features)", "K (clusters)", "speedup"],
+    );
+    for p in Precision::all() {
+        let (_, table) = tuned(p, quick);
+        for e in &table.entries {
+            rep.push_row(vec![
+                p.name().into(),
+                e.dim.to_string(),
+                e.clusters.to_string(),
+                format!("{:.2}", e.speedup()),
+            ]);
+        }
+        rep.note(format!(
+            "{}: mean speedup {:.2}x (paper {:.2}x), max {:.2}x (paper {:.2}x)",
+            p.name(),
+            table.mean_speedup(),
+            if p == Precision::Fp32 {
+                paper12::FP32_MEAN_SPEEDUP
+            } else {
+                paper12::FP64_MEAN_SPEEDUP
+            },
+            table.max_speedup(),
+            if p == Precision::Fp32 {
+                paper12::FP32_MAX_SPEEDUP
+            } else {
+                paper12::FP64_MAX_SPEEDUP
+            },
+        ));
+    }
+    rep.note(format!(
+        "paper trend: FP32 speedup falls below 2x beyond N={} — check the fp32 rows",
+        paper12::FP32_N_THRESHOLD
+    ));
+    rep
+}
+
+/// Fig. 13 — selected vs unselected parameters at threadblock/warp level.
+pub fn fig13(quick: bool) -> FigureReport {
+    let mut rep = FigureReport::new(
+        "fig13",
+        "parameter-selection footprint (candidates vs winners)",
+        &[
+            "precision",
+            "candidates",
+            "feasible(A100)",
+            "selected",
+            "winner tiles (tb / warp)",
+        ],
+    );
+    for p in Precision::all() {
+        let (reg, table) = tuned(p, quick);
+        let dev = DeviceProfile::a100();
+        let feasible = codegen::feasibility::feasible_set(
+            &dev,
+            p,
+            &reg.iter().map(|(_, k)| *k).collect::<Vec<_>>(),
+        );
+        let winners = table.distinct_winners();
+        let tiles: Vec<String> = winners
+            .iter()
+            .map(|&id| {
+                let k = reg.get(id).expect("winner id");
+                format!("{}{}", k.threadblock, k.warp)
+            })
+            .collect();
+        rep.push_row(vec![
+            p.name().into(),
+            reg.len().to_string(),
+            feasible.len().to_string(),
+            winners.len().to_string(),
+            tiles.join(" "),
+        ]);
+    }
+    rep.note(format!(
+        "paper: {} FP32 / {} FP64 candidates defined; only {} / {} groups ever selected",
+        paper13::FP32_CANDIDATES,
+        paper13::FP64_CANDIDATES,
+        paper13::FP32_SELECTED,
+        paper13::FP64_SELECTED
+    ));
+    rep
+}
+
+/// Fig. 14 — the winning parameter id at every grid point.
+pub fn fig14(quick: bool) -> FigureReport {
+    let mut rep = FigureReport::new(
+        "fig14",
+        "selected parameter id per (N, K) grid point, A100",
+        &[
+            "precision",
+            "N (features)",
+            "K (clusters)",
+            "param id",
+            "tb",
+            "warp",
+        ],
+    );
+    for p in Precision::all() {
+        let (reg, table) = tuned(p, quick);
+        for e in &table.entries {
+            let k = reg.get(e.param_id).expect("id");
+            rep.push_row(vec![
+                p.name().into(),
+                e.dim.to_string(),
+                e.clusters.to_string(),
+                e.param_id.to_string(),
+                k.threadblock.to_string(),
+                k.warp.to_string(),
+            ]);
+        }
+    }
+    rep.note("paper observes small-N shapes prefer narrow Threadblock.N; ids regroup by N bands");
+    rep
+}
+
+/// Table I — winning parameter tiles beside cuML's fixed tiles.
+pub fn table1(quick: bool) -> FigureReport {
+    let mut rep = FigureReport::new(
+        "table1",
+        "parameter groups: tuned winners and cuML",
+        &["precision", "id", "Threadblock", "Warp", "Thread"],
+    );
+    for p in Precision::all() {
+        let (reg, table) = tuned(p, quick);
+        for id in table.distinct_winners() {
+            let k = reg.get(id).expect("id");
+            rep.push_row(vec![
+                p.name().into(),
+                id.to_string(),
+                k.threadblock.to_string(),
+                k.warp.to_string(),
+                k.thread.to_string(),
+            ]);
+        }
+        let cuml = KernelParams::cuml(p);
+        rep.push_row(vec![
+            p.name().into(),
+            "cuML".into(),
+            cuml.threadblock.to_string(),
+            cuml.warp.to_string(),
+            cuml.thread.to_string(),
+        ]);
+        for (name, k) in KernelParams::table1(p) {
+            rep.note(format!(
+                "paper {} id {name}: tb{} warp{} (our registry id {:?})",
+                p.name(),
+                k.threadblock,
+                k.warp,
+                reg.id_of(&k)
+            ));
+        }
+    }
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig12_speedups_within_band() {
+        let rep = fig12(true);
+        // fp32 speedups must include values well above 1; fp64 near 1.
+        let fp32: Vec<f64> = rep
+            .rows
+            .iter()
+            .filter(|r| r[0] == "fp32")
+            .map(|r| r[3].parse().unwrap())
+            .collect();
+        assert!(fp32.iter().cloned().fold(0.0, f64::max) > 1.8);
+        let fp64: Vec<f64> = rep
+            .rows
+            .iter()
+            .filter(|r| r[0] == "fp64")
+            .map(|r| r[3].parse().unwrap())
+            .collect();
+        let mean64 = fp64.iter().sum::<f64>() / fp64.len() as f64;
+        assert!((0.95..=1.7).contains(&mean64), "fp64 mean {mean64}");
+    }
+
+    #[test]
+    fn fig13_selected_is_small_subset() {
+        let rep = fig13(true);
+        for row in &rep.rows {
+            let candidates: usize = row[1].parse().unwrap();
+            let feasible: usize = row[2].parse().unwrap();
+            let selected: usize = row[3].parse().unwrap();
+            assert!(selected <= feasible && feasible <= candidates);
+            assert!(selected * 4 <= candidates, "winners must be a small subset");
+        }
+    }
+
+    #[test]
+    fn fig14_ids_resolve() {
+        let rep = fig14(true);
+        assert!(!rep.rows.is_empty());
+        for r in &rep.rows {
+            assert!(r[4].starts_with('<'));
+        }
+    }
+
+    #[test]
+    fn table1_contains_cuml_rows() {
+        let rep = table1(true);
+        let cuml_rows: Vec<_> = rep.rows.iter().filter(|r| r[1] == "cuML").collect();
+        assert_eq!(cuml_rows.len(), 2);
+        assert!(cuml_rows[0][2] == "<32,256,16>" || cuml_rows[1][2] == "<32,256,16>");
+    }
+}

@@ -1,0 +1,185 @@
+//! Figs. 15/16 — FT K-means with fault tolerance enabled (no injection):
+//! cuML vs FT K-means vs FT K-means w/ FT over the four panel sweeps
+//! (K=8, K=128 sweeping N; N=8, N=128 sweeping K).
+
+use crate::figures::{best_tuned_gflops, feasible_params, gflops_for_params, M};
+use crate::paper::ft_overhead as paper;
+use crate::report::{fmt_gflops, FigureReport};
+use codegen::KernelParams;
+use gpu_sim::timing::FtMode;
+use gpu_sim::{DeviceProfile, Precision};
+
+/// The four panels of the figure.
+fn panels() -> [(&'static str, bool, usize); 4] {
+    // (label, sweep_is_features, fixed value)
+    [
+        ("K=8", true, 8),
+        ("K=128", true, 128),
+        ("N=8", false, 8),
+        ("N=128", false, 128),
+    ]
+}
+
+fn xs(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![8, 64, 128]
+    } else {
+        (1..=16).map(|i| i * 8).collect()
+    }
+}
+
+/// Shared engine for Figs. 15/16 (and the FT part of Fig. 21).
+pub fn run_overhead(
+    id: &str,
+    device: &DeviceProfile,
+    precision: Precision,
+    quick: bool,
+) -> FigureReport {
+    let mut rep = FigureReport::new(
+        id,
+        format!(
+            "FT K-means with fault tolerance, {} {}",
+            device.name,
+            precision.name()
+        ),
+        &[
+            "panel",
+            "x",
+            "cuML",
+            "FT K-Means",
+            "FT K-Means w/ FT",
+            "FT overhead",
+        ],
+    );
+    let feasible = feasible_params(device, precision);
+    let cuml = KernelParams::cuml(precision);
+    let mut overhead_sum = 0.0;
+    let mut count = 0usize;
+    for (label, sweep_features, fixed) in panels() {
+        for x in xs(quick) {
+            let (clusters, dim) = if sweep_features {
+                (fixed, x)
+            } else {
+                (x, fixed)
+            };
+            let cu = gflops_for_params(
+                device,
+                precision,
+                &cuml,
+                M,
+                clusters,
+                dim,
+                FtMode::None,
+                0.0,
+            );
+            let (plain, _) = best_tuned_gflops(
+                device,
+                precision,
+                &feasible,
+                M,
+                clusters,
+                dim,
+                FtMode::None,
+                0.0,
+            );
+            let (ft, _) = best_tuned_gflops(
+                device,
+                precision,
+                &feasible,
+                M,
+                clusters,
+                dim,
+                FtMode::FtKMeans,
+                0.0,
+            );
+            let overhead = plain / ft - 1.0;
+            overhead_sum += overhead;
+            count += 1;
+            rep.push_row(vec![
+                label.to_string(),
+                x.to_string(),
+                fmt_gflops(cu),
+                fmt_gflops(plain),
+                fmt_gflops(ft),
+                format!("{:.2}%", overhead * 100.0),
+            ]);
+        }
+    }
+    rep.note(format!(
+        "mean FT overhead over all panels: {:.2}%",
+        overhead_sum / count as f64 * 100.0
+    ));
+    rep
+}
+
+/// Fig. 15 — A100 FP32.
+pub fn fig15(quick: bool) -> FigureReport {
+    let mut rep = run_overhead("fig15", &DeviceProfile::a100(), Precision::Fp32, quick);
+    rep.note(format!(
+        "paper: K=8 {:.2}% / K=128 {:.2}% / N-fixed {:.2}% — FP32 checksum MMAs hide in the bubble",
+        paper::FP32_K8_PCT,
+        paper::FP32_K128_PCT,
+        paper::FP32_NFIXED_PCT
+    ));
+    rep
+}
+
+/// Fig. 16 — A100 FP64.
+pub fn fig16(quick: bool) -> FigureReport {
+    let mut rep = run_overhead("fig16", &DeviceProfile::a100(), Precision::Fp64, quick);
+    rep.note(format!(
+        "paper: avg {:.1}% (K=8 {:.1}%, K=128 {:.1}%, N-fixed {:.2}%) — FP64 tensor pipe is the binding leg",
+        paper::FP64_AVG_PCT,
+        paper::FP64_K8_PCT,
+        paper::FP64_K128_PCT,
+        paper::FP64_NFIXED_PCT
+    ));
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_overhead(rep: &FigureReport) -> f64 {
+        let v: Vec<f64> = rep
+            .rows
+            .iter()
+            .map(|r| r[5].trim_end_matches('%').parse::<f64>().unwrap())
+            .collect();
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+
+    #[test]
+    fn fp32_overhead_is_negligible() {
+        let rep = fig15(true);
+        let mean = mean_overhead(&rep);
+        assert!(mean < 5.0, "FP32 FT overhead {mean:.2}% should be tiny");
+    }
+
+    #[test]
+    fn fp64_overhead_visible_but_bounded() {
+        let rep = fig16(true);
+        let mean = mean_overhead(&rep);
+        assert!((0.5..=25.0).contains(&mean), "FP64 FT overhead {mean:.2}%");
+        // the compute-bound K=128 panel must pay more than the N=8 panel
+        let k128: Vec<f64> = rep
+            .rows
+            .iter()
+            .filter(|r| r[0] == "K=128")
+            .map(|r| r[5].trim_end_matches('%').parse().unwrap())
+            .collect();
+        let n8: Vec<f64> = rep
+            .rows
+            .iter()
+            .filter(|r| r[0] == "N=8")
+            .map(|r| r[5].trim_end_matches('%').parse().unwrap())
+            .collect();
+        let k128m = k128.iter().sum::<f64>() / k128.len() as f64;
+        let n8m = n8.iter().sum::<f64>() / n8.len() as f64;
+        assert!(
+            k128m > n8m,
+            "compute-bound panel {k128m:.2}% vs memory-bound {n8m:.2}%"
+        );
+    }
+}

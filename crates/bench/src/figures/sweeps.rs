@@ -1,0 +1,283 @@
+//! Figs. 8–11 (A100) and 19–20 (T4): distance-step performance sweeps of
+//! cuML, Parameter1, Parameter2 and FT K-means (tuned), without fault
+//! tolerance.
+//!
+//! Figs. 8/9/19 fix M and K (clusters) and sweep N (features); Figs.
+//! 10/11/20 fix M and N and sweep K.
+
+use crate::figures::{best_tuned_gflops, feasible_params, gflops_for_params, M};
+use crate::report::{fmt_gflops, FigureReport};
+use codegen::KernelParams;
+use gpu_sim::timing::FtMode;
+use gpu_sim::{DeviceProfile, Precision};
+use kmeans::baselines::{parameter1, parameter2};
+
+/// Which axis a sweep varies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// Sweep the feature dimension N with clusters fixed.
+    Features { clusters: usize },
+    /// Sweep the cluster count K with features fixed.
+    Clusters { dim: usize },
+}
+
+/// The x values of a sweep (paper plots 0..128 in steps of 8).
+pub fn x_values(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![8, 64, 128]
+    } else {
+        (1..=16).map(|i| i * 8).collect()
+    }
+}
+
+/// Run one two-panel sweep figure.
+pub fn run_sweep(
+    id: &str,
+    device: &DeviceProfile,
+    precision: Precision,
+    panels: [Axis; 2],
+    quick: bool,
+) -> FigureReport {
+    let mut rep = FigureReport::new(
+        id,
+        format!(
+            "distance-step perf, {} {}, M={M}: cuML vs Parameter1/2 vs FT K-Means",
+            device.name,
+            precision.name()
+        ),
+        &[
+            "panel",
+            "x",
+            "cuML",
+            "Parameter1",
+            "Parameter2",
+            "FT K-Means",
+            "FT/cuML",
+        ],
+    );
+    let feasible = feasible_params(device, precision);
+    let cuml = KernelParams::cuml(precision);
+    let p1 = parameter1(precision);
+    let p2 = parameter2(precision);
+    let mut ft_total = 0.0;
+    let mut cu_total = 0.0;
+    for axis in panels {
+        let label = match axis {
+            Axis::Features { clusters } => format!("K={clusters}"),
+            Axis::Clusters { dim } => format!("N={dim}"),
+        };
+        for x in x_values(quick) {
+            let (clusters, dim) = match axis {
+                Axis::Features { clusters } => (clusters, x),
+                Axis::Clusters { dim } => (x, dim),
+            };
+            let cu = gflops_for_params(
+                device,
+                precision,
+                &cuml,
+                M,
+                clusters,
+                dim,
+                FtMode::None,
+                0.0,
+            );
+            let g1 = {
+                let t = p1;
+                let params = KernelParams::new(
+                    codegen::Tile3::new(t.tb_m, t.tb_n, t.tb_k),
+                    codegen::Tile3::new(t.wm, t.wn, t.tb_k),
+                    KernelParams::thread_tile(precision),
+                );
+                gflops_for_params(
+                    device,
+                    precision,
+                    &params,
+                    M,
+                    clusters,
+                    dim,
+                    FtMode::None,
+                    0.0,
+                )
+            };
+            let g2 = {
+                let t = p2;
+                let params = KernelParams::new(
+                    codegen::Tile3::new(t.tb_m, t.tb_n, t.tb_k),
+                    codegen::Tile3::new(t.wm, t.wn, t.tb_k),
+                    KernelParams::thread_tile(precision),
+                );
+                gflops_for_params(
+                    device,
+                    precision,
+                    &params,
+                    M,
+                    clusters,
+                    dim,
+                    FtMode::None,
+                    0.0,
+                )
+            };
+            let (ft, _) = best_tuned_gflops(
+                device,
+                precision,
+                &feasible,
+                M,
+                clusters,
+                dim,
+                FtMode::None,
+                0.0,
+            );
+            ft_total += ft;
+            cu_total += cu;
+            rep.push_row(vec![
+                label.clone(),
+                x.to_string(),
+                fmt_gflops(cu),
+                fmt_gflops(g1),
+                fmt_gflops(g2),
+                fmt_gflops(ft),
+                format!("{:.2}", ft / cu),
+            ]);
+        }
+    }
+    rep.note(format!(
+        "aggregate FT K-Means / cuML speedup over the sweep: {:.2}x",
+        ft_total / cu_total
+    ));
+    rep
+}
+
+/// Fig. 8 — A100 FP32, M and K fixed, N swept.
+pub fn fig08(quick: bool) -> FigureReport {
+    run_sweep(
+        "fig08",
+        &DeviceProfile::a100(),
+        Precision::Fp32,
+        [
+            Axis::Features { clusters: 8 },
+            Axis::Features { clusters: 128 },
+        ],
+        quick,
+    )
+}
+
+/// Fig. 9 — A100 FP64, M and K fixed, N swept.
+pub fn fig09(quick: bool) -> FigureReport {
+    run_sweep(
+        "fig09",
+        &DeviceProfile::a100(),
+        Precision::Fp64,
+        [
+            Axis::Features { clusters: 8 },
+            Axis::Features { clusters: 128 },
+        ],
+        quick,
+    )
+}
+
+/// Fig. 10 — A100 FP32, M and N fixed, K swept.
+pub fn fig10(quick: bool) -> FigureReport {
+    run_sweep(
+        "fig10",
+        &DeviceProfile::a100(),
+        Precision::Fp32,
+        [Axis::Clusters { dim: 8 }, Axis::Clusters { dim: 128 }],
+        quick,
+    )
+}
+
+/// Fig. 11 — A100 FP64, M and N fixed, K swept.
+pub fn fig11(quick: bool) -> FigureReport {
+    run_sweep(
+        "fig11",
+        &DeviceProfile::a100(),
+        Precision::Fp64,
+        [Axis::Clusters { dim: 8 }, Axis::Clusters { dim: 128 }],
+        quick,
+    )
+}
+
+/// Fig. 19 — T4 FP32, M and K fixed, N swept.
+pub fn fig19(quick: bool) -> FigureReport {
+    run_sweep(
+        "fig19",
+        &DeviceProfile::t4(),
+        Precision::Fp32,
+        [
+            Axis::Features { clusters: 8 },
+            Axis::Features { clusters: 128 },
+        ],
+        quick,
+    )
+}
+
+/// Fig. 20 — T4 FP32, M and N fixed, K swept.
+pub fn fig20(quick: bool) -> FigureReport {
+    run_sweep(
+        "fig20",
+        &DeviceProfile::t4(),
+        Precision::Fp32,
+        [Axis::Clusters { dim: 8 }, Axis::Clusters { dim: 128 }],
+        quick,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(rep: &FigureReport, col: usize) -> Vec<f64> {
+        rep.rows.iter().map(|r| r[col].parse().unwrap()).collect()
+    }
+
+    #[test]
+    fn fig08_ft_dominates_cuml_at_small_k() {
+        let rep = fig08(true);
+        // rows: panel K=8 first 3 rows, then K=128
+        let cuml = series(&rep, 2);
+        let ft = series(&rep, 5);
+        for i in 0..3 {
+            assert!(
+                ft[i] / cuml[i] > 1.5,
+                "K=8 x={} FT {} vs cuML {}",
+                rep.rows[i][1],
+                ft[i],
+                cuml[i]
+            );
+        }
+    }
+
+    #[test]
+    fn fig09_fp64_curves_nearly_coincide_beyond_n32() {
+        // Paper §V-A4: "When N exceeds 32, the performance of our method
+        // drops to almost identical to cuML" (FP64); small N still gains.
+        let rep = fig09(true);
+        for (i, row) in rep.rows.iter().enumerate() {
+            let x: usize = row[1].parse().unwrap();
+            if x > 32 {
+                let ratio = series(&rep, 5)[i] / series(&rep, 2)[i];
+                assert!((0.95..=1.35).contains(&ratio), "FP64 N={x} ratio {ratio}");
+            }
+        }
+    }
+
+    #[test]
+    fn parameter1_trails_cuml_on_average() {
+        let rep = fig08(true);
+        let cuml: f64 = series(&rep, 2).iter().sum();
+        let p1: f64 = series(&rep, 3).iter().sum();
+        assert!(p1 < cuml * 1.05, "Parameter1 should not beat cuML overall");
+    }
+
+    #[test]
+    fn t4_speedup_band_matches_paper_shape() {
+        // Paper §V-D: ~4x aggregate speedup on T4 FP32.
+        let rep = fig19(true);
+        let note = rep.notes.first().unwrap();
+        let x: f64 = note
+            .split_whitespace()
+            .find_map(|w| w.strip_suffix('x').and_then(|v| v.parse().ok()))
+            .unwrap();
+        assert!((1.8..=8.0).contains(&x), "T4 aggregate speedup {x}");
+    }
+}

@@ -1,0 +1,22 @@
+//! # ftk-bench — the evaluation harness
+//!
+//! Regenerates every table and figure of the paper's §V on the simulated
+//! GPU: the step-wise optimization ladder (Fig. 7), the parameter sweeps
+//! against cuML (Figs. 8–11, 19–20), the speedup heatmap and parameter
+//! selection analysis (Figs. 12–14, Table I), the fault-tolerance overhead
+//! studies (Figs. 15–16) and the error-injection campaigns (Figs. 17–18,
+//! 21).
+//!
+//! GFLOPS series come from the calibrated timing model at paper scale
+//! (M = 131072); the injection figures additionally run *functional*
+//! campaigns at reduced scale where real bit flips are injected, detected
+//! and corrected, so the correctness claims are exercised, not asserted.
+//!
+//! Run `cargo run -p ftk-bench --release --bin figures -- --fig all` to
+//! write `results/figNN.csv` plus a printed summary per figure.
+
+pub mod figures;
+pub mod paper;
+pub mod report;
+
+pub use report::{FigureReport, ReportSink};

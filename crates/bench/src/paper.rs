@@ -1,0 +1,77 @@
+//! The paper's published numbers, used for paper-vs-measured reporting.
+
+/// Fig. 7 anchors (A100, FP32, M=131072, N=128): GFLOPS per variant.
+pub mod fig7 {
+    pub const NAIVE_GFLOPS: f64 = 482.0;
+    pub const V1_GFLOPS: f64 = 4662.0;
+    pub const V2_GFLOPS: f64 = 5902.0;
+    pub const V3_GFLOPS: f64 = 6916.0;
+    pub const FT_KMEANS_GFLOPS: f64 = 17686.0;
+    pub const CUML_GFLOPS: f64 = 9676.0;
+}
+
+/// Fig. 12 speedup statistics over cuML.
+pub mod fig12 {
+    pub const FP32_MEAN_SPEEDUP: f64 = 2.49;
+    pub const FP32_MAX_SPEEDUP: f64 = 4.55;
+    pub const FP64_MEAN_SPEEDUP: f64 = 1.04;
+    pub const FP64_MAX_SPEEDUP: f64 = 1.39;
+    /// Beyond this feature dimension the FP32 speedup falls below 2x.
+    pub const FP32_N_THRESHOLD: usize = 64;
+}
+
+/// §V-A5 parameter-selection counts.
+pub mod fig13 {
+    pub const FP32_CANDIDATES: usize = 157;
+    pub const FP64_CANDIDATES: usize = 145;
+    pub const FP32_SELECTED: usize = 7;
+    pub const FP64_SELECTED: usize = 4;
+}
+
+/// Fig. 15/16 fault-tolerance overheads (A100).
+pub mod ft_overhead {
+    pub const FP32_K8_PCT: f64 = -0.24;
+    pub const FP32_K128_PCT: f64 = 1.93;
+    pub const FP32_NFIXED_PCT: f64 = 0.96;
+    pub const FP64_AVG_PCT: f64 = 13.0;
+    pub const FP64_K8_PCT: f64 = 7.9;
+    pub const FP64_K128_PCT: f64 = 20.0;
+    pub const FP64_NFIXED_PCT: f64 = 0.89;
+}
+
+/// Fig. 17/18 error-injection overheads (A100).
+pub mod injection {
+    pub const FP32_AVG_PCT: f64 = 2.36;
+    pub const FP64_AVG_PCT: f64 = 9.21;
+    pub const FP64_K8_PCT: f64 = 10.12;
+    pub const FP64_K128_PCT: f64 = 24.07;
+    pub const WU_OVERHEAD_PCT: f64 = 30.0;
+}
+
+/// §V-D T4 results.
+pub mod t4 {
+    pub const FP32_SPEEDUP_MK_PCT: f64 = 413.0;
+    pub const FP32_SPEEDUP_MN_PCT: f64 = 381.0;
+    pub const FT_OVERHEAD_PCT: f64 = 18.0;
+    pub const INJECTION_OVERHEAD_PCT: f64 = 30.0;
+    pub const VS_WU_IMPROVEMENT_PCT: f64 = 60.0;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn constants_are_ordered() {
+        let ladder = [
+            super::fig7::NAIVE_GFLOPS,
+            super::fig7::V1_GFLOPS,
+            super::fig7::CUML_GFLOPS,
+            super::fig7::FT_KMEANS_GFLOPS,
+        ];
+        assert!(ladder.windows(2).all(|w| w[0] < w[1]), "{ladder:?}");
+        let speedups = [
+            super::fig12::FP64_MEAN_SPEEDUP,
+            super::fig12::FP32_MEAN_SPEEDUP,
+        ];
+        assert!(speedups.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,180 @@
+//! Tabular figure reports with CSV and markdown output.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// One regenerated table/figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureReport {
+    /// Identifier, e.g. `"fig07"`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes: paper-vs-measured commentary.
+    pub notes: Vec<String>,
+}
+
+impl FigureReport {
+    /// Start an empty report.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, columns: &[&str]) -> Self {
+        FigureReport {
+            id: id.into(),
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a data row (must match the column count).
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row width mismatch in {}",
+            self.id
+        );
+        self.rows.push(row);
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Render as CSV (notes become `#` comments).
+    pub fn to_csv(&self) -> String {
+        let mut s = String::new();
+        for n in &self.notes {
+            let _ = writeln!(s, "# {n}");
+        }
+        let _ = writeln!(s, "{}", self.columns.join(","));
+        for row in &self.rows {
+            let _ = writeln!(s, "{}", row.join(","));
+        }
+        s
+    }
+
+    /// Render as a GitHub markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "### {} — {}\n", self.id, self.title);
+        let _ = writeln!(s, "| {} |", self.columns.join(" | "));
+        let _ = writeln!(
+            s,
+            "|{}|",
+            self.columns
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(s, "| {} |", row.join(" | "));
+        }
+        if !self.notes.is_empty() {
+            let _ = writeln!(s);
+            for n in &self.notes {
+                let _ = writeln!(s, "> {n}");
+            }
+        }
+        s
+    }
+
+    /// Write the CSV into `dir/<id>.csv`.
+    pub fn write_csv(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{}.csv", self.id)), self.to_csv())
+    }
+}
+
+/// Destination for a batch of reports.
+#[derive(Debug, Default)]
+pub struct ReportSink {
+    pub reports: Vec<FigureReport>,
+}
+
+impl ReportSink {
+    pub fn add(&mut self, r: FigureReport) {
+        self.reports.push(r);
+    }
+
+    /// Write every report's CSV and return the combined markdown.
+    pub fn flush(&self, dir: &Path) -> io::Result<String> {
+        let mut md = String::new();
+        for r in &self.reports {
+            r.write_csv(dir)?;
+            md.push_str(&r.to_markdown());
+            md.push('\n');
+        }
+        Ok(md)
+    }
+}
+
+/// Format a GFLOPS value compactly.
+pub fn fmt_gflops(v: f64) -> String {
+    format!("{v:.0}")
+}
+
+/// Format a ratio/overhead as a percentage.
+pub fn fmt_pct(v: f64) -> String {
+    format!("{:.2}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FigureReport {
+        let mut r = FigureReport::new("figXX", "demo", &["x", "y"]);
+        r.push_row(vec!["1".into(), "2".into()]);
+        r.note("paper says 3");
+        r
+    }
+
+    #[test]
+    fn csv_shape() {
+        let csv = sample().to_csv();
+        assert!(csv.contains("# paper says 3"));
+        assert!(csv.contains("x,y"));
+        assert!(csv.contains("1,2"));
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let md = sample().to_markdown();
+        assert!(md.contains("| x | y |"));
+        assert!(md.contains("| 1 | 2 |"));
+        assert!(md.contains("> paper says 3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_enforced() {
+        let mut r = FigureReport::new("f", "t", &["a", "b"]);
+        r.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn sink_flush_writes_files() {
+        let dir = std::env::temp_dir().join("ftk_report_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut sink = ReportSink::default();
+        sink.add(sample());
+        let md = sink.flush(&dir).unwrap();
+        assert!(md.contains("figXX"));
+        assert!(dir.join("figXX.csv").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_gflops(1234.56), "1235");
+        assert_eq!(fmt_pct(0.113), "11.30%");
+    }
+}

@@ -1,0 +1,32 @@
+//! # ftk-codegen — template-based kernel generation and selection
+//!
+//! Reproduces the paper's §III-B framework: CUTLASS-style kernel parameters
+//! must be compile-time constants, so supporting many tilings means
+//! *generating* one kernel per parameter set, probing feasibility
+//! ("compile & run a demo"), benchmarking the survivors over a 64-shape
+//! grid, and emitting a selector that picks the winner per problem size.
+//!
+//! * [`params`] — `Threadblock/Warp/Thread` tile triples (`<M,N,K>`),
+//! * [`space`] — the enumeration rules (§III-B1): powers of two,
+//!   `Warp.K == Threadblock.K`, warp/thread ratio ∈ {8, 16}, fixed thread
+//!   tiles per precision,
+//! * [`feasibility`] — the resource probe standing in for nvcc,
+//! * [`template`] — CUDA-like source emission mirroring Fig. 3/4/6,
+//! * [`tuner`] — exhaustive benchmark over the shape grid (timing model),
+//! * [`selector`] — `(precision, M, N, K) → KernelParams` lookup,
+//! * [`registry`] — stable parameter numbering (the paper's ids 88/69/83…).
+
+pub mod feasibility;
+pub mod params;
+pub mod registry;
+pub mod selector;
+pub mod space;
+pub mod template;
+pub mod tuner;
+
+pub use feasibility::{check_feasibility, Feasibility};
+pub use params::{KernelParams, Tile3};
+pub use registry::ParamRegistry;
+pub use selector::KernelSelector;
+pub use space::enumerate_params;
+pub use tuner::{tune, SelectionTable, ShapeGrid};

@@ -1,0 +1,91 @@
+//! Stable parameter numbering.
+//!
+//! The paper refers to parameter groups by number (ids 88, 69, 83 for FP32;
+//! 21, 19, 12 for FP64, Table I / Fig. 14). Our ids are indices into the
+//! deterministic enumeration order of [`crate::space::enumerate_params`];
+//! they differ from the paper's numbering but are stable across runs, which
+//! is what the selection figures need.
+
+use crate::params::KernelParams;
+use crate::space::enumerate_params;
+use gpu_sim::Precision;
+
+/// The enumerated parameter space with id ↔ params lookup.
+#[derive(Debug, Clone)]
+pub struct ParamRegistry {
+    precision: Precision,
+    params: Vec<KernelParams>,
+}
+
+impl ParamRegistry {
+    /// Build the registry for a precision.
+    pub fn new(precision: Precision) -> Self {
+        ParamRegistry {
+            precision,
+            params: enumerate_params(precision),
+        }
+    }
+
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Number of parameter groups.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Parameter group by id.
+    pub fn get(&self, id: usize) -> Option<&KernelParams> {
+        self.params.get(id)
+    }
+
+    /// Id of an exact parameter group.
+    pub fn id_of(&self, params: &KernelParams) -> Option<usize> {
+        self.params.iter().position(|p| p == params)
+    }
+
+    /// All (id, params) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &KernelParams)> {
+        self.params.iter().enumerate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip() {
+        let reg = ParamRegistry::new(Precision::Fp32);
+        assert!(!reg.is_empty());
+        for (id, p) in reg.iter() {
+            assert_eq!(reg.id_of(p), Some(id));
+            assert_eq!(reg.get(id), Some(p));
+        }
+    }
+
+    #[test]
+    fn paper_parameters_have_ids() {
+        for prec in Precision::all() {
+            let reg = ParamRegistry::new(prec);
+            assert!(reg.id_of(&KernelParams::cuml(prec)).is_some());
+            for (name, p) in KernelParams::table1(prec) {
+                assert!(
+                    reg.id_of(&p).is_some(),
+                    "Table I id {name} must be registered"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_id_is_none() {
+        let reg = ParamRegistry::new(Precision::Fp64);
+        assert!(reg.get(reg.len()).is_none());
+    }
+}

@@ -1,0 +1,220 @@
+//! The kernel selector — the artifact the code-generation pipeline ships.
+//!
+//! Looks up the tuned winner for a problem size, falling back to the
+//! nearest tuned shape (log-space distance over the (dim, clusters) plane)
+//! for sizes outside the grid. Serializes to a plain text format so tuning
+//! results can be cached on disk without a JSON dependency.
+
+use crate::params::KernelParams;
+use crate::registry::ParamRegistry;
+use crate::tuner::{tune, SelectionTable, ShapeGrid, TunedEntry};
+use gpu_sim::{DeviceProfile, Precision};
+
+/// A tuned, queryable kernel selector for one (device, precision).
+#[derive(Debug, Clone)]
+pub struct KernelSelector {
+    registry: ParamRegistry,
+    table: SelectionTable,
+}
+
+impl KernelSelector {
+    /// Tune from scratch over the paper's 64-shape grid.
+    pub fn build(device: &DeviceProfile, precision: Precision) -> Self {
+        Self::build_with_grid(device, precision, &ShapeGrid::paper())
+    }
+
+    /// Tune over a custom grid.
+    pub fn build_with_grid(device: &DeviceProfile, precision: Precision, grid: &ShapeGrid) -> Self {
+        let registry = ParamRegistry::new(precision);
+        let table = tune(device, precision, &registry, grid);
+        KernelSelector { registry, table }
+    }
+
+    /// The underlying selection table.
+    pub fn table(&self) -> &SelectionTable {
+        &self.table
+    }
+
+    /// The parameter registry.
+    pub fn registry(&self) -> &ParamRegistry {
+        &self.registry
+    }
+
+    /// Select the kernel parameters for a problem (`m` samples, `clusters`
+    /// centroids, `dim` features).
+    pub fn select(&self, _m: usize, clusters: usize, dim: usize) -> KernelParams {
+        let e = self.nearest_entry(clusters, dim);
+        *self
+            .registry
+            .get(e.param_id)
+            .expect("table ids come from this registry")
+    }
+
+    /// The tuned entry nearest to a query shape.
+    pub fn nearest_entry(&self, clusters: usize, dim: usize) -> &TunedEntry {
+        let dist = |e: &TunedEntry| {
+            let dd = ((e.dim.max(1)) as f64).ln() - ((dim.max(1)) as f64).ln();
+            let dc = ((e.clusters.max(1)) as f64).ln() - ((clusters.max(1)) as f64).ln();
+            dd * dd + dc * dc
+        };
+        self.table
+            .entries
+            .iter()
+            .min_by(|a, b| dist(a).partial_cmp(&dist(b)).expect("finite distances"))
+            .expect("non-empty table")
+    }
+
+    /// Serialize to a line-oriented text format.
+    pub fn to_text(&self) -> String {
+        let mut s = format!(
+            "ftk-selector v1\ndevice {}\nprecision {}\nm {}\n",
+            self.table.device,
+            self.table.precision.name(),
+            self.table.m
+        );
+        for e in &self.table.entries {
+            s.push_str(&format!(
+                "{} {} {} {:.3} {:.3}\n",
+                e.dim, e.clusters, e.param_id, e.gflops, e.cuml_gflops
+            ));
+        }
+        s
+    }
+
+    /// Parse the text format produced by [`KernelSelector::to_text`].
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        if lines.next() != Some("ftk-selector v1") {
+            return Err("bad header".into());
+        }
+        let device = lines
+            .next()
+            .and_then(|l| l.strip_prefix("device "))
+            .ok_or("missing device")?
+            .to_string();
+        let precision = match lines.next().and_then(|l| l.strip_prefix("precision ")) {
+            Some("fp32") => Precision::Fp32,
+            Some("fp64") => Precision::Fp64,
+            other => return Err(format!("bad precision line: {other:?}")),
+        };
+        let m: usize = lines
+            .next()
+            .and_then(|l| l.strip_prefix("m "))
+            .ok_or("missing m")?
+            .parse()
+            .map_err(|e| format!("bad m: {e}"))?;
+        let registry = ParamRegistry::new(precision);
+        let mut entries = Vec::new();
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let f: Vec<&str> = line.split_whitespace().collect();
+            if f.len() != 5 {
+                return Err(format!("bad entry line: {line}"));
+            }
+            let parse_us = |s: &str| s.parse::<usize>().map_err(|e| format!("{e} in {line}"));
+            let parse_f = |s: &str| s.parse::<f64>().map_err(|e| format!("{e} in {line}"));
+            let e = TunedEntry {
+                dim: parse_us(f[0])?,
+                clusters: parse_us(f[1])?,
+                param_id: parse_us(f[2])?,
+                gflops: parse_f(f[3])?,
+                cuml_gflops: parse_f(f[4])?,
+            };
+            if registry.get(e.param_id).is_none() {
+                return Err(format!("unknown param id {}", e.param_id));
+            }
+            entries.push(e);
+        }
+        if entries.is_empty() {
+            return Err("empty table".into());
+        }
+        Ok(KernelSelector {
+            registry,
+            table: SelectionTable {
+                device,
+                precision,
+                m,
+                entries,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_selector() -> KernelSelector {
+        KernelSelector::build_with_grid(
+            &DeviceProfile::a100(),
+            Precision::Fp32,
+            &ShapeGrid::small(),
+        )
+    }
+
+    #[test]
+    fn select_returns_registered_params() {
+        let s = small_selector();
+        let p = s.select(131_072, 128, 64);
+        assert!(s.registry().id_of(&p).is_some());
+    }
+
+    #[test]
+    fn nearest_entry_picks_closest_shape() {
+        let s = small_selector();
+        // query exactly on a grid point
+        let e = s.nearest_entry(128, 64);
+        assert_eq!((e.dim, e.clusters), (64, 128));
+        // off-grid query lands on the nearest
+        let e = s.nearest_entry(100, 60);
+        assert_eq!((e.dim, e.clusters), (64, 128));
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let s = small_selector();
+        let text = s.to_text();
+        let s2 = KernelSelector::from_text(&text).unwrap();
+        assert_eq!(s.table().entries.len(), s2.table().entries.len());
+        for (a, b) in s.table().entries.iter().zip(&s2.table().entries) {
+            assert_eq!(a.param_id, b.param_id);
+            assert_eq!(a.dim, b.dim);
+        }
+        assert_eq!(s2.table().precision, Precision::Fp32);
+    }
+
+    #[test]
+    fn from_text_rejects_garbage() {
+        assert!(KernelSelector::from_text("nope").is_err());
+        assert!(
+            KernelSelector::from_text("ftk-selector v1\ndevice x\nprecision fp99\nm 5\n").is_err()
+        );
+        let s = small_selector();
+        let mut text = s.to_text();
+        text.push_str("1 2 999999 0.0 0.0\n");
+        assert!(
+            KernelSelector::from_text(&text).is_err(),
+            "unknown id rejected"
+        );
+    }
+
+    #[test]
+    fn selected_beats_cuml_at_irregular_shape() {
+        // The headline behaviour: at small cluster counts the selector's
+        // choice must beat cuML's fixed tile.
+        let dev = DeviceProfile::a100();
+        let s = KernelSelector::build_with_grid(
+            &dev,
+            Precision::Fp32,
+            &ShapeGrid {
+                m: 131_072,
+                dims: vec![64],
+                clusters: vec![8],
+            },
+        );
+        let e = s.nearest_entry(8, 64);
+        assert!(e.speedup() > 1.5, "speedup {:.2}", e.speedup());
+    }
+}

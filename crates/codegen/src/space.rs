@@ -1,0 +1,159 @@
+//! Parameter-space enumeration (§III-B1).
+//!
+//! "The kernel parameters used in code generation is not chosen by brute
+//! forcing every possible integer … We follow some rules. 1) all parameters
+//! must be power of 2. 2) Warp.K = Threadblock.K. 3) warp size/thread size
+//! is 8 or 16. 4) thread size is fixed for FP32 (16, 8, 4) and FP64
+//! (8, 8, 4) owing to the size of the tensor core."
+
+use crate::params::{KernelParams, Tile3};
+use gpu_sim::Precision;
+
+/// Warp M/N candidates (powers of two spanning the tensor-core-friendly
+/// range).
+const WARP_DIMS: &[usize] = &[16, 32, 64, 128];
+
+/// Threadblock = warp × replication factors; warps per block capped at 8
+/// (beyond that register pressure kills every configuration anyway).
+const REPL: &[usize] = &[1, 2, 4, 8];
+
+/// Threadblock K (= Warp.K) candidates.
+const TB_K: &[usize] = &[8, 16, 32];
+
+/// Largest tile dimension considered.
+const MAX_TB_DIM: usize = 512;
+
+/// Enumerate every parameter group satisfying the paper's four rules.
+/// The list is deterministic; its index order defines the registry ids.
+pub fn enumerate_params(precision: Precision) -> Vec<KernelParams> {
+    let thread = KernelParams::thread_tile(precision);
+    let thread_size = thread.m * thread.n;
+    let mut out = Vec::new();
+    for &wm in WARP_DIMS {
+        for &wn in WARP_DIMS {
+            // Rule 3: warp size / thread size ∈ {8, 16}.
+            let ratio = (wm * wn) / thread_size;
+            if (wm * wn) % thread_size != 0 || (ratio != 8 && ratio != 16) {
+                continue;
+            }
+            // Rule 4 implies the warp tile must hold whole thread tiles.
+            if wm % thread.m != 0 || wn % thread.n != 0 {
+                continue;
+            }
+            for &fm in REPL {
+                for &fn_ in REPL {
+                    let (tb_m, tb_n) = (wm * fm, wn * fn_);
+                    if tb_m > MAX_TB_DIM || tb_n > MAX_TB_DIM {
+                        continue;
+                    }
+                    let warps = fm * fn_;
+                    if warps > 8 {
+                        continue;
+                    }
+                    for &k in TB_K {
+                        // Rule 1 is satisfied by construction (all
+                        // candidates are powers of two); rule 2 by setting
+                        // Warp.K = Threadblock.K.
+                        out.push(KernelParams::new(
+                            Tile3::new(tb_m, tb_n, k),
+                            Tile3::new(wm, wn, k),
+                            thread,
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_rules_hold() {
+        for p in Precision::all() {
+            let thread = KernelParams::thread_tile(p);
+            for kp in enumerate_params(p) {
+                // rule 1
+                for v in [
+                    kp.threadblock.m,
+                    kp.threadblock.n,
+                    kp.threadblock.k,
+                    kp.warp.m,
+                    kp.warp.n,
+                    kp.warp.k,
+                ] {
+                    assert!(v.is_power_of_two(), "{kp}");
+                }
+                // rule 2
+                assert_eq!(kp.warp.k, kp.threadblock.k, "{kp}");
+                // rule 3
+                let ratio = (kp.warp.m * kp.warp.n) / (thread.m * thread.n);
+                assert!(ratio == 8 || ratio == 16, "{kp}");
+                // rule 4
+                assert_eq!(kp.thread, thread);
+                // structural sanity
+                assert_eq!(kp.threadblock.m % kp.warp.m, 0);
+                assert_eq!(kp.threadblock.n % kp.warp.n, 0);
+                assert!(kp.warps() <= 8);
+            }
+        }
+    }
+
+    #[test]
+    fn space_size_is_in_the_papers_ballpark() {
+        // The paper defines 157 FP32 and 145 FP64 candidates before the
+        // feasibility filter; our rule set lands in the same regime.
+        let n32 = enumerate_params(Precision::Fp32).len();
+        let n64 = enumerate_params(Precision::Fp64).len();
+        assert!((100..=260).contains(&n32), "FP32 candidates: {n32}");
+        assert!((100..=260).contains(&n64), "FP64 candidates: {n64}");
+    }
+
+    #[test]
+    fn enumeration_is_deterministic() {
+        assert_eq!(
+            enumerate_params(Precision::Fp32),
+            enumerate_params(Precision::Fp32)
+        );
+    }
+
+    #[test]
+    fn contains_table1_and_cuml_parameters() {
+        for p in Precision::all() {
+            let space = enumerate_params(p);
+            let cuml = KernelParams::cuml(p);
+            assert!(
+                space.contains(&cuml),
+                "cuML {cuml} must be in the {p} space"
+            );
+            for (name, kp) in KernelParams::table1(p) {
+                assert!(
+                    space.contains(&kp),
+                    "Table I id {name} ({kp}) missing from {p} space"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_duplicates() {
+        for p in Precision::all() {
+            let space = enumerate_params(p);
+            let mut dedup = space.clone();
+            dedup.sort_by_key(|k| {
+                (
+                    k.threadblock.m,
+                    k.threadblock.n,
+                    k.threadblock.k,
+                    k.warp.m,
+                    k.warp.n,
+                )
+            });
+            dedup.dedup();
+            assert_eq!(dedup.len(), space.len());
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! CUDA-like source emission.
+//!
+//! The paper's generator rewrites three parts of the cuML source per
+//! parameter group (Fig. 3): the `FusedDistanceNNGemm` instantiation, the
+//! `cutlassFusedDistanceNN` entry point, and a selector function over all
+//! generated kernels. The emitter below produces the same structure as
+//! text; it exists so the code-generation pipeline is complete end-to-end
+//! (enumerate → probe → emit → select), and its output is golden-tested.
+
+use crate::params::KernelParams;
+use gpu_sim::Precision;
+use std::fmt::Write;
+
+fn dtype(p: Precision) -> &'static str {
+    match p {
+        Precision::Fp32 => "float",
+        Precision::Fp64 => "double",
+    }
+}
+
+fn mma_op(p: Precision) -> &'static str {
+    match p {
+        Precision::Fp32 => "mma.sync.aligned.m16n8k8.row.col.f32.tf32.tf32.f32",
+        Precision::Fp64 => "mma.sync.aligned.m8n8k4.row.col.f64.f64.f64.f64",
+    }
+}
+
+/// Emit one kernel instantiation (the `FusedDistanceNNGemm<i>` block of
+/// Fig. 3) for a parameter group, optionally with the ABFT instrumentation
+/// of Fig. 6.
+pub fn emit_kernel(id: usize, precision: Precision, params: &KernelParams, ft: bool) -> String {
+    let mut s = String::new();
+    let t = dtype(precision);
+    let tb = params.threadblock;
+    let w = params.warp;
+    let th = params.thread;
+    let stages = 3;
+    writeln!(
+        s,
+        "// ---- generated kernel {id} ({}) ----",
+        precision.name()
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "using Shape{id}_tb = cutlass::gemm::GemmShape<{}, {}, {}>;",
+        tb.m, tb.n, tb.k
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "using Shape{id}_w  = cutlass::gemm::GemmShape<{}, {}, {}>;",
+        w.m, w.n, w.k
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "using Shape{id}_t  = cutlass::gemm::GemmShape<{}, {}, {}>;",
+        th.m, th.n, th.k
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "using FusedDistanceNNGemm{id} = FusedDistanceNNGemm<{t}, Shape{id}_tb, Shape{id}_w, \
+         Shape{id}_t, /*kStages=*/{stages}>;"
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "__global__ void fused_distance_nn_{id}(KernelArgs<{t}> args) {{"
+    )
+    .unwrap();
+    writeln!(s, "  // k-stage cp.async pipeline (Fig. 4 lines 03-09)").unwrap();
+    writeln!(s, "  #pragma unroll").unwrap();
+    writeln!(s, "  for (int stage = 0; stage < {stages} - 1; ++stage) {{").unwrap();
+    writeln!(
+        s,
+        "    asm volatile(\"cp.async.ca.shared.global [%0], [%1], 16;\\n\" :: \"r\"(A_tb), \
+         \"l\"(args.A));"
+    )
+    .unwrap();
+    writeln!(s, "    asm volatile(\"cp.async.commit_group;\\n\" ::);").unwrap();
+    writeln!(s, "  }}").unwrap();
+    writeln!(s, "  for (int k = 0; k < args.K; k += {}) {{", tb.k).unwrap();
+    if ft {
+        writeln!(
+            s,
+            "    // ABFT input checksums from register fragments (Fig. 6 lines 15-18)"
+        )
+        .unwrap();
+        writeln!(
+            s,
+            "    e1T_A = warp_reduce_sum(A_t);   Be1 = warp_reduce_sum(B_t);"
+        )
+        .unwrap();
+        writeln!(
+            s,
+            "    e2T_A = warp_reduce_wsum(A_t);  Be2 = warp_reduce_wsum(B_t);"
+        )
+        .unwrap();
+    }
+    writeln!(
+        s,
+        "    asm volatile(\"{}\" : /* payload MMA (Fig. 4 line 17) */);",
+        mma_op(precision)
+    )
+    .unwrap();
+    if ft {
+        writeln!(
+            s,
+            "    // checksum MMAs e1TXYe1, e1TXYe2, e2TXYe1 (Fig. 6 lines 22-24)"
+        )
+        .unwrap();
+        for _ in 0..3 {
+            writeln!(
+                s,
+                "    asm volatile(\"{}\" : /* checksum MMA */);",
+                mma_op(precision)
+            )
+            .unwrap();
+        }
+        writeln!(s, "    if (k % 256 == 0) {{ verify_and_correct(); }}").unwrap();
+    }
+    writeln!(s, "    asm volatile(\"cp.async.wait_group 1;\\n\" ::);").unwrap();
+    writeln!(s, "    __syncthreads();").unwrap();
+    writeln!(s, "  }}").unwrap();
+    writeln!(s, "  fused_rowmin_epilogue(args);  // Fig. 2 step 2").unwrap();
+    writeln!(s, "}}").unwrap();
+    s
+}
+
+/// Emit the selector function over a list of (id, params) — the
+/// "kernel selector function" of Fig. 3.
+pub fn emit_selector(precision: Precision, kernels: &[(usize, KernelParams)]) -> String {
+    let mut s = String::new();
+    let t = dtype(precision);
+    writeln!(
+        s,
+        "void cutlassFusedDistanceNN_select_{}(int M, int N, int K, KernelArgs<{t}> args) {{",
+        precision.name()
+    )
+    .unwrap();
+    writeln!(s, "  switch (select_kernel_id(M, N, K)) {{").unwrap();
+    for (id, _) in kernels {
+        writeln!(
+            s,
+            "    case {id}: fused_distance_nn_{id}<<<grid, block>>>(args); break;"
+        )
+        .unwrap();
+    }
+    writeln!(
+        s,
+        "    default: fused_distance_nn_cuml<<<grid, block>>>(args); break;"
+    )
+    .unwrap();
+    writeln!(s, "  }}").unwrap();
+    writeln!(s, "}}").unwrap();
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_source_contains_tiles_and_mma() {
+        let p = KernelParams::cuml(Precision::Fp32);
+        let src = emit_kernel(7, Precision::Fp32, &p, false);
+        assert!(src.contains("GemmShape<32, 256, 16>"));
+        assert!(src.contains("GemmShape<32, 64, 16>"));
+        assert!(src.contains("GemmShape<16, 8, 4>"));
+        assert!(src.contains("mma.sync.aligned.m16n8k8"));
+        assert!(src.contains("cp.async.commit_group"));
+        assert!(!src.contains("checksum MMA"));
+    }
+
+    #[test]
+    fn ft_kernel_adds_checksum_instrumentation() {
+        let p = KernelParams::cuml(Precision::Fp64);
+        let src = emit_kernel(1, Precision::Fp64, &p, true);
+        assert!(src.contains("m8n8k4"));
+        assert_eq!(
+            src.matches("checksum MMA").count(),
+            4,
+            "comment + three MMAs"
+        );
+        assert!(src.contains("e2T_A"));
+        assert!(src.contains("k % 256 == 0"));
+    }
+
+    #[test]
+    fn selector_lists_every_kernel() {
+        let ks = vec![
+            (3, KernelParams::cuml(Precision::Fp32)),
+            (9, KernelParams::cuml(Precision::Fp32)),
+        ];
+        let src = emit_selector(Precision::Fp32, &ks);
+        assert!(src.contains("case 3:"));
+        assert!(src.contains("case 9:"));
+        assert!(src.contains("default:"));
+    }
+
+    #[test]
+    fn emission_is_deterministic() {
+        let p = KernelParams::cuml(Precision::Fp32);
+        assert_eq!(
+            emit_kernel(0, Precision::Fp32, &p, true),
+            emit_kernel(0, Precision::Fp32, &p, true)
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! Gaussian mixture ("blobs") generator — the canonical K-means workload.
+//!
+//! Uses Box–Muller internally so no extra distribution crates are needed.
+
+use gpu_sim::{Matrix, Scalar};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Specification of a Gaussian-blobs dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlobSpec {
+    /// Number of samples (M).
+    pub samples: usize,
+    /// Feature dimension (N).
+    pub dim: usize,
+    /// Number of mixture components (true clusters).
+    pub centers: usize,
+    /// Standard deviation of each component.
+    pub cluster_std: f64,
+    /// Half-width of the cube true centers are drawn from.
+    pub center_box: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BlobSpec {
+    fn default() -> Self {
+        BlobSpec {
+            samples: 1024,
+            dim: 8,
+            centers: 8,
+            cluster_std: 0.4,
+            center_box: 5.0,
+            seed: 0,
+        }
+    }
+}
+
+/// One standard-normal draw via Box–Muller.
+pub(crate) fn normal(rng: &mut StdRng) -> f64 {
+    loop {
+        let u1: f64 = rng.random::<f64>();
+        if u1 > f64::MIN_POSITIVE {
+            let u2: f64 = rng.random::<f64>();
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+/// Generate samples, returning `(data, true_labels, true_centers)`.
+///
+/// Samples are striped across components so every prefix of the dataset is
+/// roughly balanced (useful when tests subsample).
+pub fn make_blobs<T: Scalar>(spec: &BlobSpec) -> (Matrix<T>, Vec<u32>, Matrix<T>) {
+    assert!(spec.centers > 0 && spec.dim > 0, "degenerate blob spec");
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut centers = Matrix::<T>::zeros(spec.centers, spec.dim);
+    for c in 0..spec.centers {
+        for d in 0..spec.dim {
+            let v = (rng.random::<f64>() * 2.0 - 1.0) * spec.center_box;
+            centers.set(c, d, T::from_f64(v));
+        }
+    }
+    let mut data = Matrix::<T>::zeros(spec.samples, spec.dim);
+    let mut labels = Vec::with_capacity(spec.samples);
+    for i in 0..spec.samples {
+        let c = i % spec.centers;
+        labels.push(c as u32);
+        for d in 0..spec.dim {
+            let v = centers.get(c, d).to_f64() + normal(&mut rng) * spec.cluster_std;
+            data.set(i, d, T::from_f64(v));
+        }
+    }
+    (data, labels, centers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_are_correct() {
+        let spec = BlobSpec {
+            samples: 100,
+            dim: 5,
+            centers: 4,
+            ..Default::default()
+        };
+        let (data, labels, centers) = make_blobs::<f32>(&spec);
+        assert_eq!(data.rows(), 100);
+        assert_eq!(data.cols(), 5);
+        assert_eq!(labels.len(), 100);
+        assert_eq!(centers.rows(), 4);
+        assert!(labels.iter().all(|&l| l < 4));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = BlobSpec {
+            seed: 9,
+            ..Default::default()
+        };
+        let (a, _, _) = make_blobs::<f64>(&spec);
+        let (b, _, _) = make_blobs::<f64>(&spec);
+        assert_eq!(a, b);
+        let (c, _, _) = make_blobs::<f64>(&BlobSpec { seed: 10, ..spec });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn samples_cluster_near_their_centers() {
+        let spec = BlobSpec {
+            samples: 400,
+            dim: 3,
+            centers: 4,
+            cluster_std: 0.1,
+            center_box: 10.0,
+            seed: 3,
+        };
+        let (data, labels, centers) = make_blobs::<f64>(&spec);
+        for (i, &label) in labels.iter().enumerate() {
+            let c = label as usize;
+            let d2: f64 = (0..3)
+                .map(|d| (data.get(i, d) - centers.get(c, d)).powi(2))
+                .sum();
+            assert!(d2.sqrt() < 1.5, "sample {i} strayed {}", d2.sqrt());
+        }
+    }
+
+    #[test]
+    fn labels_are_striped() {
+        let spec = BlobSpec {
+            samples: 10,
+            centers: 3,
+            ..Default::default()
+        };
+        let (_, labels, _) = make_blobs::<f32>(&spec);
+        assert_eq!(labels[0..6], [0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn normal_has_reasonable_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

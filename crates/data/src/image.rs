@@ -1,0 +1,115 @@
+//! Synthetic image patches for the vector-quantization example.
+//!
+//! K-means' classic systems application (paper §I cites vector quantization
+//! [2]) clusters small pixel patches into a codebook. Real images are not
+//! shippable here, so a procedural image (smooth gradients + texture bands
+//! + noise) provides patches with realistic low-dimensional structure.
+
+use gpu_sim::{Matrix, Scalar};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A procedurally generated grayscale image.
+#[derive(Debug, Clone)]
+pub struct SyntheticImage {
+    pub width: usize,
+    pub height: usize,
+    /// Row-major pixels in `[0, 1]`.
+    pub pixels: Vec<f64>,
+}
+
+impl SyntheticImage {
+    /// Render a `width x height` image with `bands` texture regions.
+    pub fn generate(width: usize, height: usize, bands: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let phases: Vec<(f64, f64, f64)> = (0..bands.max(1))
+            .map(|_| {
+                (
+                    rng.random::<f64>() * 0.2 + 0.02, // frequency
+                    rng.random::<f64>() * std::f64::consts::TAU,
+                    rng.random::<f64>(), // orientation mix
+                )
+            })
+            .collect();
+        let mut pixels = Vec::with_capacity(width * height);
+        for y in 0..height {
+            for x in 0..width {
+                let band = (y * bands.max(1)) / height.max(1);
+                let (f, p, mix) = phases[band.min(phases.len() - 1)];
+                let u = x as f64 * mix + y as f64 * (1.0 - mix);
+                let tex = (u * f + p).sin() * 0.25;
+                let grad = x as f64 / width.max(1) as f64 * 0.5;
+                let noise = (rng.random::<f64>() - 0.5) * 0.05;
+                pixels.push((0.25 + grad + tex + noise).clamp(0.0, 1.0));
+            }
+        }
+        SyntheticImage {
+            width,
+            height,
+            pixels,
+        }
+    }
+
+    /// Pixel accessor.
+    pub fn get(&self, x: usize, y: usize) -> f64 {
+        self.pixels[y * self.width + x]
+    }
+}
+
+/// Extract every non-overlapping `patch x patch` block as one row of a
+/// sample matrix (dimension `patch*patch`) — the standard VQ layout.
+pub fn image_patches<T: Scalar>(img: &SyntheticImage, patch: usize) -> Matrix<T> {
+    assert!(patch > 0 && patch <= img.width && patch <= img.height);
+    let px = img.width / patch;
+    let py = img.height / patch;
+    let mut m = Matrix::<T>::zeros(px * py, patch * patch);
+    for by in 0..py {
+        for bx in 0..px {
+            let row = by * px + bx;
+            for dy in 0..patch {
+                for dx in 0..patch {
+                    let v = img.get(bx * patch + dx, by * patch + dy);
+                    m.set(row, dy * patch + dx, T::from_f64(v));
+                }
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_is_normalized_and_deterministic() {
+        let a = SyntheticImage::generate(64, 48, 4, 11);
+        let b = SyntheticImage::generate(64, 48, 4, 11);
+        assert_eq!(a.pixels, b.pixels);
+        assert!(a.pixels.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        assert_eq!(a.pixels.len(), 64 * 48);
+    }
+
+    #[test]
+    fn patch_extraction_shapes() {
+        let img = SyntheticImage::generate(32, 24, 3, 1);
+        let patches = image_patches::<f32>(&img, 4);
+        assert_eq!(patches.rows(), (32 / 4) * (24 / 4));
+        assert_eq!(patches.cols(), 16);
+    }
+
+    #[test]
+    fn patch_values_match_pixels() {
+        let img = SyntheticImage::generate(16, 16, 2, 7);
+        let patches = image_patches::<f64>(&img, 8);
+        // patch (1,0) starts at x=8,y=0; element (dy=2,dx=3) = pixel (11,2)
+        assert_eq!(patches.get(1, 2 * 8 + 3), img.get(11, 2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_patch_panics() {
+        let img = SyntheticImage::generate(8, 8, 1, 0);
+        let _ = image_patches::<f32>(&img, 16);
+    }
+}

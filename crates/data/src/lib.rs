@@ -1,0 +1,17 @@
+//! # ftk-data — synthetic workloads
+//!
+//! Deterministic, seeded dataset generators exercising the shapes the paper
+//! evaluates (M up to 131072 samples, feature dimensions N ∈ [1, 128],
+//! cluster counts K ∈ [1, 512]) plus domain-flavoured generators for the
+//! examples (vector quantization of image patches — the K-means use case
+//! the paper's introduction motivates).
+
+pub mod blobs;
+pub mod catalog;
+pub mod image;
+pub mod shapes;
+
+pub use blobs::{make_blobs, BlobSpec};
+pub use catalog::{DatasetSpec, SCENARIOS};
+pub use image::{image_patches, SyntheticImage};
+pub use shapes::{anisotropic, imbalanced, uniform_cube};

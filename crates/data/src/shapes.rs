@@ -1,0 +1,140 @@
+#![allow(clippy::needless_range_loop)]
+//! Additional dataset shapes: uniform noise, anisotropic clusters and
+//! imbalanced mixtures — the harder regimes for Lloyd iterations.
+
+use crate::blobs::normal;
+use gpu_sim::{Matrix, Scalar};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Uniform samples in the cube `[-half, half]^dim` (clusterless noise —
+/// worst case for convergence tests).
+pub fn uniform_cube<T: Scalar>(samples: usize, dim: usize, half: f64, seed: u64) -> Matrix<T> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(samples, dim, |_, _| {
+        T::from_f64((rng.random::<f64>() * 2.0 - 1.0) * half)
+    })
+}
+
+/// Anisotropic Gaussian clusters: each component is stretched along a
+/// random axis by `stretch`, producing the elongated shapes where vanilla
+/// Euclidean K-means is known to struggle.
+pub fn anisotropic<T: Scalar>(
+    samples: usize,
+    dim: usize,
+    centers: usize,
+    stretch: f64,
+    seed: u64,
+) -> (Matrix<T>, Vec<u32>) {
+    assert!(dim >= 1 && centers >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ctr = vec![vec![0.0f64; dim]; centers];
+    let mut axis = vec![0usize; centers];
+    for (c, row) in ctr.iter_mut().enumerate() {
+        for v in row.iter_mut() {
+            *v = (rng.random::<f64>() * 2.0 - 1.0) * 6.0;
+        }
+        axis[c] = rng.random_range(0..dim);
+    }
+    let mut data = Matrix::<T>::zeros(samples, dim);
+    let mut labels = Vec::with_capacity(samples);
+    for i in 0..samples {
+        let c = i % centers;
+        labels.push(c as u32);
+        for d in 0..dim {
+            let sigma = if d == axis[c] { stretch } else { 0.3 };
+            data.set(i, d, T::from_f64(ctr[c][d] + normal(&mut rng) * sigma));
+        }
+    }
+    (data, labels)
+}
+
+/// Imbalanced mixture: component `c` receives a share proportional to
+/// `(c+1)^2`, exercising the empty/small-cluster handling of the driver.
+pub fn imbalanced<T: Scalar>(
+    samples: usize,
+    dim: usize,
+    centers: usize,
+    seed: u64,
+) -> (Matrix<T>, Vec<u32>) {
+    assert!(centers >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let weights: Vec<f64> = (0..centers).map(|c| ((c + 1) * (c + 1)) as f64).collect();
+    let total: f64 = weights.iter().sum();
+    let mut ctr = vec![vec![0.0f64; dim]; centers];
+    for row in ctr.iter_mut() {
+        for v in row.iter_mut() {
+            *v = (rng.random::<f64>() * 2.0 - 1.0) * 8.0;
+        }
+    }
+    let mut data = Matrix::<T>::zeros(samples, dim);
+    let mut labels = Vec::with_capacity(samples);
+    for i in 0..samples {
+        // inverse-CDF over the quadratic weights
+        let u = rng.random::<f64>() * total;
+        let mut acc = 0.0;
+        let mut c = centers - 1;
+        for (j, w) in weights.iter().enumerate() {
+            acc += w;
+            if u <= acc {
+                c = j;
+                break;
+            }
+        }
+        labels.push(c as u32);
+        for d in 0..dim {
+            data.set(i, d, T::from_f64(ctr[c][d] + normal(&mut rng) * 0.25));
+        }
+    }
+    (data, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let m = uniform_cube::<f32>(500, 4, 2.5, 1);
+        for v in m.as_slice() {
+            assert!(v.abs() <= 2.5);
+        }
+    }
+
+    #[test]
+    fn anisotropic_stretches_one_axis() {
+        let (data, labels) = anisotropic::<f64>(3000, 4, 1, 4.0, 2);
+        assert!(labels.iter().all(|&l| l == 0));
+        // variance along some axis should dwarf the others
+        let n = data.rows() as f64;
+        let mut var = vec![0.0f64; 4];
+        let mut mean = [0.0f64; 4];
+        for i in 0..data.rows() {
+            for d in 0..4 {
+                mean[d] += data.get(i, d);
+            }
+        }
+        for m in mean.iter_mut() {
+            *m /= n;
+        }
+        for i in 0..data.rows() {
+            for d in 0..4 {
+                var[d] += (data.get(i, d) - mean[d]).powi(2);
+            }
+        }
+        let vmax = var.iter().cloned().fold(0.0, f64::max);
+        let vmin = var.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(vmax / vmin > 20.0, "stretch not visible: {var:?}");
+    }
+
+    #[test]
+    fn imbalanced_shares_are_skewed() {
+        let (_, labels) = imbalanced::<f32>(8000, 3, 4, 5);
+        let mut counts = [0usize; 4];
+        for &l in &labels {
+            counts[l as usize] += 1;
+        }
+        assert!(counts[3] > 3 * counts[0], "counts {counts:?}");
+        assert!(counts.iter().all(|&c| c > 0));
+    }
+}

@@ -1,0 +1,383 @@
+//! The seeded fault injector — a [`gpu_sim::FaultHook`] implementation.
+//!
+//! Two operating modes:
+//!
+//! * **random** — per the paper's §II-A protocol, each threadblock is an
+//!   independent victim candidate; the per-block probability derives from
+//!   the schedule (a rate in errors/second spread over the launch). Within
+//!   a stricken block a uniformly random MMA event, accumulator element and
+//!   bit position are corrupted; the SEU cap (`max_per_block`) is enforced.
+//! * **planned** — deterministic injections at named (block, warp, k_step)
+//!   sites for reproducible unit tests.
+
+use crate::model::SeuModel;
+use crate::schedule::InjectionSchedule;
+use crate::stats::InjectionRecord;
+use gpu_sim::mma::{FaultHook, MmaSite};
+use gpu_sim::Scalar;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+
+/// A deterministic injection order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedInjection {
+    /// Victim threadblock.
+    pub block: (usize, usize),
+    /// Victim warp within the block.
+    pub warp: usize,
+    /// K-step of the MMA slab to corrupt (matched exactly).
+    pub k_step: usize,
+    /// Accumulator element index to flip.
+    pub elem_idx: usize,
+    /// Bit position to flip.
+    pub bit: u32,
+    /// Whether to strike a checksum MMA instead of payload.
+    pub target_checksum: bool,
+}
+
+/// Injector configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InjectorConfig {
+    pub schedule: InjectionSchedule,
+    pub model: SeuModel,
+    /// RNG seed (campaigns are reproducible).
+    pub seed: u64,
+    /// Estimated kernel duration (converts a rate schedule into per-block
+    /// probability).
+    pub kernel_time_hint_s: f64,
+    /// Threadblocks in the launch.
+    pub blocks_hint: usize,
+    /// Eligible MMA events per block (warps × k-slabs), used to spread the
+    /// per-block probability across events.
+    pub events_per_block_hint: u64,
+}
+
+#[derive(Debug)]
+struct InjectorState {
+    rng: StdRng,
+    per_block_injections: HashMap<(usize, usize), u32>,
+    records: Vec<InjectionRecord>,
+    planned: Vec<PlannedInjection>,
+}
+
+/// Thread-safe fault injector shared by all simulated threadblocks.
+#[derive(Debug)]
+pub struct Injector {
+    cfg: InjectorConfig,
+    p_event: f64,
+    state: Mutex<InjectorState>,
+}
+
+impl Injector {
+    /// Random-mode injector.
+    pub fn new(cfg: InjectorConfig) -> Self {
+        let p_block = cfg
+            .schedule
+            .per_block_probability(cfg.kernel_time_hint_s, cfg.blocks_hint.max(1));
+        let p_event = if cfg.events_per_block_hint == 0 {
+            0.0
+        } else {
+            (p_block / cfg.events_per_block_hint as f64).clamp(0.0, 1.0)
+        };
+        Injector {
+            cfg,
+            p_event,
+            state: Mutex::new(InjectorState {
+                rng: StdRng::seed_from_u64(cfg.seed),
+                per_block_injections: HashMap::new(),
+                records: Vec::new(),
+                planned: Vec::new(),
+            }),
+        }
+    }
+
+    /// Planned-mode injector: fire exactly the given injections.
+    pub fn planned(injections: Vec<PlannedInjection>) -> Self {
+        let cfg = InjectorConfig {
+            schedule: InjectionSchedule::Off,
+            model: SeuModel {
+                max_per_block: u32::MAX,
+                ..SeuModel::default()
+            },
+            seed: 0,
+            kernel_time_hint_s: 0.0,
+            blocks_hint: 0,
+            events_per_block_hint: 0,
+        };
+        Injector {
+            cfg,
+            p_event: 0.0,
+            state: Mutex::new(InjectorState {
+                rng: StdRng::seed_from_u64(0),
+                per_block_injections: HashMap::new(),
+                records: Vec::new(),
+                planned: injections,
+            }),
+        }
+    }
+
+    /// Injections performed so far.
+    pub fn records(&self) -> Vec<InjectionRecord> {
+        self.state.lock().records.clone()
+    }
+
+    /// Number of injections performed.
+    pub fn injected_count(&self) -> u64 {
+        self.state.lock().records.len() as u64
+    }
+
+    /// Reset per-launch state (call between kernel launches so the SEU cap
+    /// applies per launch). Keeps the RNG stream and records.
+    pub fn begin_launch(&self) {
+        self.state.lock().per_block_injections.clear();
+    }
+
+    /// Effective per-event probability (test introspection).
+    pub fn p_event(&self) -> f64 {
+        self.p_event
+    }
+
+    fn corrupt_slice<T: Scalar>(&self, site: &MmaSite, acc: &mut [T]) {
+        if acc.is_empty() {
+            return;
+        }
+        let mut st = self.state.lock();
+
+        // Planned mode: exact site match.
+        if !st.planned.is_empty() {
+            if let Some(pos) = st.planned.iter().position(|p| {
+                p.block == site.block
+                    && p.warp == site.warp
+                    && p.k_step == site.k_step
+                    && p.target_checksum == site.is_checksum
+            }) {
+                let p = st.planned.remove(pos);
+                let idx = p.elem_idx.min(acc.len() - 1);
+                let old = acc[idx];
+                let new = old.flip_bit(p.bit.min(T::BITS - 1));
+                acc[idx] = new;
+                st.records.push(InjectionRecord {
+                    block: site.block,
+                    warp: site.warp,
+                    k_step: site.k_step,
+                    hit_checksum: site.is_checksum,
+                    elem_idx: idx,
+                    bit: p.bit.min(T::BITS - 1),
+                    width: T::BITS,
+                    magnitude: (new.to_f64() - old.to_f64()).abs(),
+                });
+            }
+            return;
+        }
+
+        // Random mode.
+        if self.p_event <= 0.0 {
+            return;
+        }
+        if site.is_checksum && !self.cfg.model.target.allows_checksum() {
+            return;
+        }
+        if !site.is_checksum && !self.cfg.model.target.allows_payload() {
+            return;
+        }
+        let hits = st
+            .per_block_injections
+            .get(&site.block)
+            .copied()
+            .unwrap_or(0);
+        if hits >= self.cfg.model.max_per_block {
+            return;
+        }
+        if st.rng.random::<f64>() >= self.p_event {
+            return;
+        }
+        let idx = st.rng.random_range(0..acc.len());
+        let bit = st.rng.random_range(0..T::BITS);
+        let old = acc[idx];
+        let new = old.flip_bit(bit);
+        acc[idx] = new;
+        *st.per_block_injections.entry(site.block).or_insert(0) += 1;
+        st.records.push(InjectionRecord {
+            block: site.block,
+            warp: site.warp,
+            k_step: site.k_step,
+            hit_checksum: site.is_checksum,
+            elem_idx: idx,
+            bit,
+            width: T::BITS,
+            magnitude: (new.to_f64() - old.to_f64()).abs(),
+        });
+    }
+}
+
+impl<T: Scalar> FaultHook<T> for Injector {
+    fn post_mma(&self, site: &MmaSite, acc: &mut [T], _wn: usize) {
+        self.corrupt_slice(site, acc);
+    }
+
+    fn post_fma(&self, site: &MmaSite, value: T) -> T {
+        let mut one = [value];
+        self.corrupt_slice(site, &mut one);
+        one[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::FaultTarget;
+
+    fn site(block: (usize, usize), warp: usize, k: usize, cs: bool) -> MmaSite {
+        MmaSite {
+            block,
+            warp,
+            k_step: k,
+            is_checksum: cs,
+        }
+    }
+
+    #[test]
+    fn planned_injection_fires_exactly_once() {
+        let inj = Injector::planned(vec![PlannedInjection {
+            block: (1, 2),
+            warp: 0,
+            k_step: 16,
+            elem_idx: 3,
+            bit: 30,
+            target_checksum: false,
+        }]);
+        let mut acc = vec![1.0f32; 8];
+        // wrong site: nothing
+        <Injector as FaultHook<f32>>::post_mma(&inj, &site((0, 0), 0, 16, false), &mut acc, 4);
+        assert_eq!(acc, vec![1.0; 8]);
+        // right site: flips
+        <Injector as FaultHook<f32>>::post_mma(&inj, &site((1, 2), 0, 16, false), &mut acc, 4);
+        assert_ne!(acc[3], 1.0);
+        // fires only once
+        let snapshot = acc.clone();
+        <Injector as FaultHook<f32>>::post_mma(&inj, &site((1, 2), 0, 16, false), &mut acc, 4);
+        assert_eq!(acc, snapshot);
+        assert_eq!(inj.injected_count(), 1);
+        let rec = &inj.records()[0];
+        assert_eq!(rec.bit, 30);
+        assert_eq!(rec.elem_idx, 3);
+        assert!(rec.magnitude > 0.0);
+    }
+
+    #[test]
+    fn random_mode_respects_seu_cap() {
+        let inj = Injector::new(InjectorConfig {
+            schedule: InjectionSchedule::PerBlock { probability: 1.0 },
+            model: SeuModel {
+                target: FaultTarget::Any,
+                max_per_block: 1,
+            },
+            seed: 7,
+            kernel_time_hint_s: 1.0,
+            blocks_hint: 1,
+            events_per_block_hint: 1, // p_event = 1
+        });
+        let mut acc = vec![1.0f64; 4];
+        for k in 0..10 {
+            <Injector as FaultHook<f64>>::post_mma(&inj, &site((0, 0), 0, k, false), &mut acc, 2);
+        }
+        assert_eq!(inj.injected_count(), 1, "SEU cap = 1 per block");
+        // a different block may also be struck
+        let mut acc2 = vec![1.0f64; 4];
+        <Injector as FaultHook<f64>>::post_mma(&inj, &site((0, 1), 0, 0, false), &mut acc2, 2);
+        assert_eq!(inj.injected_count(), 2);
+    }
+
+    #[test]
+    fn begin_launch_resets_cap() {
+        let inj = Injector::new(InjectorConfig {
+            schedule: InjectionSchedule::PerBlock { probability: 1.0 },
+            model: SeuModel {
+                target: FaultTarget::Any,
+                max_per_block: 1,
+            },
+            seed: 3,
+            kernel_time_hint_s: 1.0,
+            blocks_hint: 1,
+            events_per_block_hint: 1,
+        });
+        let mut acc = vec![2.0f32; 2];
+        <Injector as FaultHook<f32>>::post_mma(&inj, &site((0, 0), 0, 0, false), &mut acc, 2);
+        <Injector as FaultHook<f32>>::post_mma(&inj, &site((0, 0), 0, 8, false), &mut acc, 2);
+        assert_eq!(inj.injected_count(), 1);
+        inj.begin_launch();
+        <Injector as FaultHook<f32>>::post_mma(&inj, &site((0, 0), 0, 16, false), &mut acc, 2);
+        assert_eq!(inj.injected_count(), 2);
+    }
+
+    #[test]
+    fn payload_only_model_skips_checksums() {
+        let inj = Injector::new(InjectorConfig {
+            schedule: InjectionSchedule::PerBlock { probability: 1.0 },
+            model: SeuModel {
+                target: FaultTarget::PayloadMma,
+                max_per_block: 10,
+            },
+            seed: 1,
+            kernel_time_hint_s: 1.0,
+            blocks_hint: 1,
+            events_per_block_hint: 1,
+        });
+        let mut acc = vec![1.0f32; 4];
+        for k in 0..20 {
+            <Injector as FaultHook<f32>>::post_mma(&inj, &site((0, 0), 0, k, true), &mut acc, 2);
+        }
+        assert_eq!(inj.injected_count(), 0);
+    }
+
+    #[test]
+    fn off_schedule_never_injects() {
+        let inj = Injector::new(InjectorConfig {
+            schedule: InjectionSchedule::Off,
+            model: SeuModel::default(),
+            seed: 1,
+            kernel_time_hint_s: 1.0,
+            blocks_hint: 10,
+            events_per_block_hint: 100,
+        });
+        assert_eq!(inj.p_event(), 0.0);
+        let mut acc = vec![1.0f64; 4];
+        for k in 0..50 {
+            <Injector as FaultHook<f64>>::post_mma(&inj, &site((0, 0), 0, k, false), &mut acc, 2);
+        }
+        assert_eq!(inj.injected_count(), 0);
+    }
+
+    #[test]
+    fn reproducible_with_same_seed() {
+        let mk = || {
+            Injector::new(InjectorConfig {
+                schedule: InjectionSchedule::PerBlock { probability: 0.5 },
+                model: SeuModel {
+                    target: FaultTarget::Any,
+                    max_per_block: 5,
+                },
+                seed: 42,
+                kernel_time_hint_s: 1.0,
+                blocks_hint: 1,
+                events_per_block_hint: 4,
+            })
+        };
+        let run = |inj: &Injector| {
+            let mut acc = vec![1.0f64; 8];
+            for k in 0..64 {
+                <Injector as FaultHook<f64>>::post_mma(
+                    inj,
+                    &site((0, 0), 0, k, false),
+                    &mut acc,
+                    4,
+                );
+            }
+            inj.records()
+        };
+        let (a, b) = (run(&mk()), run(&mk()));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,72 @@
+//! The fault model: what can be corrupted and under what assumptions.
+
+use serde::{Deserialize, Serialize};
+
+/// Which computation site a fault may strike.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultTarget {
+    /// Payload tensor-core MMA outputs (the distance accumulators).
+    PayloadMma,
+    /// ABFT checksum MMA outputs (the protection itself is not exempt).
+    ChecksumMma,
+    /// SIMT FMA results (naive/V1–V3 kernels, update phase).
+    SimtFma,
+    /// Any of the above, chosen uniformly at the stricken site.
+    Any,
+}
+
+impl FaultTarget {
+    /// Whether a site flagged as checksum work is eligible.
+    pub fn allows_checksum(self) -> bool {
+        matches!(self, FaultTarget::ChecksumMma | FaultTarget::Any)
+    }
+
+    /// Whether a payload site is eligible.
+    pub fn allows_payload(self) -> bool {
+        matches!(
+            self,
+            FaultTarget::PayloadMma | FaultTarget::SimtFma | FaultTarget::Any
+        )
+    }
+}
+
+/// The single-event-upset model of §II-A: memory is ECC-protected, network
+/// is FT-MPI-protected; compute errors arrive at most once per detection
+/// interval per threadblock.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeuModel {
+    /// Eligible sites.
+    pub target: FaultTarget,
+    /// At most this many injections per (threadblock, kernel launch) — the
+    /// SEU assumption is 1.
+    pub max_per_block: u32,
+}
+
+impl Default for SeuModel {
+    fn default() -> Self {
+        SeuModel {
+            target: FaultTarget::PayloadMma,
+            max_per_block: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eligibility() {
+        assert!(FaultTarget::Any.allows_checksum());
+        assert!(FaultTarget::Any.allows_payload());
+        assert!(!FaultTarget::PayloadMma.allows_checksum());
+        assert!(FaultTarget::ChecksumMma.allows_checksum());
+        assert!(!FaultTarget::ChecksumMma.allows_payload());
+    }
+
+    #[test]
+    fn default_is_single_event() {
+        let m = SeuModel::default();
+        assert_eq!(m.max_per_block, 1);
+    }
+}

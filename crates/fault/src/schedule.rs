@@ -1,0 +1,95 @@
+//! Injection schedules: when faults arrive.
+
+use serde::{Deserialize, Serialize};
+
+/// How often transient faults arrive during a campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum InjectionSchedule {
+    /// No injection.
+    Off,
+    /// Each threadblock independently suffers one fault with this
+    /// probability per kernel launch (the paper's per-threadblock model).
+    PerBlock { probability: f64 },
+    /// A Poisson arrival rate in errors per second of (estimated) kernel
+    /// time — the paper evaluates "tens of errors injected per second".
+    Rate { errors_per_second: f64 },
+}
+
+impl InjectionSchedule {
+    /// The per-block probability for a kernel expected to run `kernel_s`
+    /// seconds with `blocks` threadblocks.
+    pub fn per_block_probability(&self, kernel_s: f64, blocks: usize) -> f64 {
+        match *self {
+            InjectionSchedule::Off => 0.0,
+            InjectionSchedule::PerBlock { probability } => probability.clamp(0.0, 1.0),
+            InjectionSchedule::Rate { errors_per_second } => {
+                if blocks == 0 {
+                    0.0
+                } else {
+                    (errors_per_second * kernel_s / blocks as f64).clamp(0.0, 1.0)
+                }
+            }
+        }
+    }
+
+    /// The injection rate in errors/second this schedule corresponds to
+    /// (used by the timing model).
+    pub fn rate_hz(&self, kernel_s: f64, blocks: usize) -> f64 {
+        match *self {
+            InjectionSchedule::Off => 0.0,
+            InjectionSchedule::Rate { errors_per_second } => errors_per_second,
+            InjectionSchedule::PerBlock { probability } => {
+                if kernel_s > 0.0 {
+                    probability * blocks as f64 / kernel_s
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// True when this schedule injects anything.
+    pub fn is_active(&self) -> bool {
+        !matches!(self, InjectionSchedule::Off)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_injects_nothing() {
+        let s = InjectionSchedule::Off;
+        assert_eq!(s.per_block_probability(1.0, 100), 0.0);
+        assert!(!s.is_active());
+    }
+
+    #[test]
+    fn rate_to_probability() {
+        // 50 errors/s over a 10 ms kernel with 100 blocks -> 0.5 expected
+        // errors -> 0.005 per block.
+        let s = InjectionSchedule::Rate {
+            errors_per_second: 50.0,
+        };
+        let p = s.per_block_probability(0.01, 100);
+        assert!((p - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probability_clamped() {
+        let s = InjectionSchedule::Rate {
+            errors_per_second: 1e12,
+        };
+        assert_eq!(s.per_block_probability(1.0, 1), 1.0);
+        let s2 = InjectionSchedule::PerBlock { probability: 7.0 };
+        assert_eq!(s2.per_block_probability(1.0, 1), 1.0);
+    }
+
+    #[test]
+    fn roundtrip_rate() {
+        let s = InjectionSchedule::PerBlock { probability: 0.01 };
+        let hz = s.rate_hz(0.1, 1000);
+        assert!((hz - 100.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,129 @@
+//! Campaign bookkeeping: what was injected, what the FT layer did about it.
+
+use crate::bitflip::{classify_bit, BitField};
+use serde::{Deserialize, Serialize};
+
+/// One injected fault (raw bits stored widened to `u64` so records are
+/// precision-agnostic).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InjectionRecord {
+    /// Threadblock coordinates.
+    pub block: (usize, usize),
+    /// Warp within the block.
+    pub warp: usize,
+    /// K-dimension position of the stricken MMA slab.
+    pub k_step: usize,
+    /// True when the victim was a checksum computation.
+    pub hit_checksum: bool,
+    /// Index of the corrupted element within the accumulator fragment.
+    pub elem_idx: usize,
+    /// Bit position flipped (0 = LSB).
+    pub bit: u32,
+    /// Float width of the victim (32 or 64).
+    pub width: u32,
+    /// Absolute value change caused by the flip.
+    pub magnitude: f64,
+}
+
+impl InjectionRecord {
+    /// IEEE-754 field of the flipped bit.
+    pub fn field(&self) -> BitField {
+        classify_bit(self.bit, self.width)
+    }
+}
+
+/// Aggregated outcome of an injection campaign.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignStats {
+    /// Faults injected.
+    pub injected: u64,
+    /// Detection sweeps that flagged an error.
+    pub detected: u64,
+    /// Errors repaired in place via location encoding.
+    pub corrected: u64,
+    /// Checksum-side hits resolved by re-baselining.
+    pub rebaselined: u64,
+    /// Intervals recomputed (detection-only schemes).
+    pub recomputed: u64,
+    /// DMR mismatches caught in the update phase.
+    pub dmr_mismatches: u64,
+    /// Verification sweeps that ran clean.
+    pub clean_sweeps: u64,
+}
+
+impl CampaignStats {
+    /// Faults the FT layer visibly handled (detected in any way).
+    pub fn handled(&self) -> u64 {
+        self.corrected + self.rebaselined + self.recomputed
+    }
+
+    /// Injected faults with no visible detection — either harmless
+    /// (below-threshold mantissa flips) or silent corruption; callers
+    /// distinguish the two by comparing final results.
+    pub fn unhandled(&self) -> u64 {
+        self.injected.saturating_sub(self.handled())
+    }
+
+    /// Merge another campaign's counts.
+    pub fn merge(&mut self, o: &CampaignStats) {
+        self.injected += o.injected;
+        self.detected += o.detected;
+        self.corrected += o.corrected;
+        self.rebaselined += o.rebaselined;
+        self.recomputed += o.recomputed;
+        self.dmr_mismatches += o.dmr_mismatches;
+        self.clean_sweeps += o.clean_sweeps;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_field_classification() {
+        let r = InjectionRecord {
+            block: (0, 1),
+            warp: 2,
+            k_step: 64,
+            hit_checksum: false,
+            elem_idx: 5,
+            bit: 30,
+            width: 32,
+            magnitude: 1.0,
+        };
+        assert_eq!(r.field(), BitField::Exponent);
+    }
+
+    #[test]
+    fn handled_and_unhandled() {
+        let s = CampaignStats {
+            injected: 10,
+            detected: 8,
+            corrected: 6,
+            rebaselined: 1,
+            recomputed: 1,
+            dmr_mismatches: 0,
+            clean_sweeps: 100,
+        };
+        assert_eq!(s.handled(), 8);
+        assert_eq!(s.unhandled(), 2);
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = CampaignStats {
+            injected: 1,
+            corrected: 1,
+            ..Default::default()
+        };
+        let b = CampaignStats {
+            injected: 2,
+            rebaselined: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.injected, 3);
+        assert_eq!(a.handled(), 2);
+    }
+}

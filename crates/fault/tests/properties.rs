@@ -1,0 +1,115 @@
+//! Property-based tests of the fault injector.
+
+use fault::{FaultTarget, InjectionSchedule, Injector, InjectorConfig, PlannedInjection, SeuModel};
+use gpu_sim::mma::{FaultHook, MmaSite};
+use proptest::prelude::*;
+
+fn site(block: (usize, usize), warp: usize, k: usize) -> MmaSite {
+    MmaSite {
+        block,
+        warp,
+        k_step: k,
+        is_checksum: false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every planned injection fires exactly once, regardless of how often
+    /// the site recurs.
+    #[test]
+    fn planned_list_exhausts_once(
+        n_plans in 1usize..6,
+        repeats in 1usize..5,
+    ) {
+        let plans: Vec<PlannedInjection> = (0..n_plans)
+            .map(|i| PlannedInjection {
+                block: (i, 0),
+                warp: 0,
+                k_step: 8 * i,
+                elem_idx: i,
+                bit: 40,
+                target_checksum: false,
+            })
+            .collect();
+        let inj = Injector::planned(plans.clone());
+        let mut acc = vec![1.0f64; n_plans.max(8)];
+        for _ in 0..repeats {
+            for p in &plans {
+                <Injector as FaultHook<f64>>::post_mma(
+                    &inj,
+                    &site(p.block, p.warp, p.k_step),
+                    &mut acc,
+                    4,
+                );
+            }
+        }
+        prop_assert_eq!(inj.injected_count(), n_plans as u64);
+    }
+
+    /// The SEU cap bounds injections per block for any probability.
+    #[test]
+    fn seu_cap_holds(
+        cap in 1u32..4,
+        events in 1usize..60,
+        seed in 0u64..500,
+    ) {
+        let inj = Injector::new(InjectorConfig {
+            schedule: InjectionSchedule::PerBlock { probability: 1.0 },
+            model: SeuModel { target: FaultTarget::Any, max_per_block: cap },
+            seed,
+            kernel_time_hint_s: 1.0,
+            blocks_hint: 1,
+            events_per_block_hint: 1,
+        });
+        let mut acc = vec![1.0f32; 16];
+        for k in 0..events {
+            <Injector as FaultHook<f32>>::post_mma(&inj, &site((0, 0), 0, k), &mut acc, 4);
+        }
+        prop_assert!(inj.injected_count() <= cap as u64);
+    }
+
+    /// Rate→probability conversion is always a probability and scales
+    /// linearly below saturation.
+    #[test]
+    fn rate_conversion_bounds(
+        rate in 0.0f64..1e7,
+        kernel_us in 1.0f64..1e5,
+        blocks in 1usize..100_000,
+    ) {
+        let s = InjectionSchedule::Rate { errors_per_second: rate };
+        let p = s.per_block_probability(kernel_us * 1e-6, blocks);
+        prop_assert!((0.0..=1.0).contains(&p));
+        let p2 = InjectionSchedule::Rate { errors_per_second: rate * 2.0 }
+            .per_block_probability(kernel_us * 1e-6, blocks);
+        prop_assert!(p2 >= p);
+    }
+
+    /// Same seed ⇒ identical campaign; different seeds diverge eventually.
+    #[test]
+    fn campaigns_reproducible(seed in 0u64..1000) {
+        let mk = |s: u64| {
+            Injector::new(InjectorConfig {
+                schedule: InjectionSchedule::PerBlock { probability: 0.5 },
+                model: SeuModel { target: FaultTarget::Any, max_per_block: 8 },
+                seed: s,
+                kernel_time_hint_s: 1.0,
+                blocks_hint: 1,
+                events_per_block_hint: 2,
+            })
+        };
+        let run = |inj: &Injector| {
+            let mut acc = vec![1.0f64; 8];
+            for k in 0..32 {
+                <Injector as FaultHook<f64>>::post_mma(inj, &site((0, 0), 0, k), &mut acc, 4);
+            }
+            // project away the magnitude (it can be NaN, and NaN != NaN)
+            inj.records()
+                .into_iter()
+                .map(|r| (r.block, r.warp, r.k_step, r.elem_idx, r.bit))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(&mk(seed)), run(&mk(seed)));
+    }
+}

@@ -1,0 +1,232 @@
+//! Hardware-event counters collected during functional kernel execution.
+//!
+//! The functional simulator counts the events that the analytic timing model
+//! reasons about: global-memory traffic, MMA/FMA issue counts, atomics and
+//! barriers. Tests use them to assert structural properties of kernels (e.g.
+//! "the fused variant does not write the distance matrix back to global
+//! memory", paper §III-A3).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared atomic event counters. Cheap to increment from parallel
+/// threadblocks; snapshot with [`Counters::snapshot`].
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Bytes read from global memory.
+    pub bytes_loaded: AtomicU64,
+    /// Bytes written to global memory.
+    pub bytes_stored: AtomicU64,
+    /// Warp-level tensor-core MMA instructions issued.
+    pub mma_ops: AtomicU64,
+    /// Scalar fused-multiply-add operations on CUDA cores.
+    pub fma_ops: AtomicU64,
+    /// Atomic read-modify-write operations on global memory.
+    pub atomic_ops: AtomicU64,
+    /// `__syncthreads()` barriers executed (per threadblock).
+    pub barriers: AtomicU64,
+    /// `cp.async` copy instructions issued.
+    pub cp_async_ops: AtomicU64,
+    /// Extra global reads forced on a fault-tolerance scheme when the
+    /// register-staged path is unavailable (Wu's scheme on Ampere).
+    pub ft_extra_loads: AtomicU64,
+    /// Checksum-related arithmetic performed on CUDA cores.
+    pub ft_cuda_ops: AtomicU64,
+    /// Checksum-related MMA instructions on tensor cores.
+    pub ft_mma_ops: AtomicU64,
+    /// Kernel launches performed.
+    pub kernel_launches: AtomicU64,
+}
+
+/// A plain-value copy of [`Counters`] at a point in time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    pub bytes_loaded: u64,
+    pub bytes_stored: u64,
+    pub mma_ops: u64,
+    pub fma_ops: u64,
+    pub atomic_ops: u64,
+    pub barriers: u64,
+    pub cp_async_ops: u64,
+    pub ft_extra_loads: u64,
+    pub ft_cuda_ops: u64,
+    pub ft_mma_ops: u64,
+    pub kernel_launches: u64,
+}
+
+impl Counters {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn add_loaded(&self, bytes: u64) {
+        self.bytes_loaded.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add_stored(&self, bytes: u64) {
+        self.bytes_stored.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add_mma(&self, n: u64) {
+        self.mma_ops.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add_fma(&self, n: u64) {
+        self.fma_ops.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add_atomic(&self, n: u64) {
+        self.atomic_ops.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add_barrier(&self) {
+        self.barriers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add_cp_async(&self, n: u64) {
+        self.cp_async_ops.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add_ft_extra_loads(&self, bytes: u64) {
+        self.ft_extra_loads.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add_ft_cuda(&self, n: u64) {
+        self.ft_cuda_ops.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add_ft_mma(&self, n: u64) {
+        self.ft_mma_ops.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add_launch(&self) {
+        self.kernel_launches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Capture current values.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            bytes_loaded: self.bytes_loaded.load(Ordering::Relaxed),
+            bytes_stored: self.bytes_stored.load(Ordering::Relaxed),
+            mma_ops: self.mma_ops.load(Ordering::Relaxed),
+            fma_ops: self.fma_ops.load(Ordering::Relaxed),
+            atomic_ops: self.atomic_ops.load(Ordering::Relaxed),
+            barriers: self.barriers.load(Ordering::Relaxed),
+            cp_async_ops: self.cp_async_ops.load(Ordering::Relaxed),
+            ft_extra_loads: self.ft_extra_loads.load(Ordering::Relaxed),
+            ft_cuda_ops: self.ft_cuda_ops.load(Ordering::Relaxed),
+            ft_mma_ops: self.ft_mma_ops.load(Ordering::Relaxed),
+            kernel_launches: self.kernel_launches.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset every counter to zero.
+    pub fn reset(&self) {
+        self.bytes_loaded.store(0, Ordering::Relaxed);
+        self.bytes_stored.store(0, Ordering::Relaxed);
+        self.mma_ops.store(0, Ordering::Relaxed);
+        self.fma_ops.store(0, Ordering::Relaxed);
+        self.atomic_ops.store(0, Ordering::Relaxed);
+        self.barriers.store(0, Ordering::Relaxed);
+        self.cp_async_ops.store(0, Ordering::Relaxed);
+        self.ft_extra_loads.store(0, Ordering::Relaxed);
+        self.ft_cuda_ops.store(0, Ordering::Relaxed);
+        self.ft_mma_ops.store(0, Ordering::Relaxed);
+        self.kernel_launches.store(0, Ordering::Relaxed);
+    }
+}
+
+impl CounterSnapshot {
+    /// Difference `self - earlier`, elementwise (saturating).
+    pub fn since(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        CounterSnapshot {
+            bytes_loaded: self.bytes_loaded.saturating_sub(earlier.bytes_loaded),
+            bytes_stored: self.bytes_stored.saturating_sub(earlier.bytes_stored),
+            mma_ops: self.mma_ops.saturating_sub(earlier.mma_ops),
+            fma_ops: self.fma_ops.saturating_sub(earlier.fma_ops),
+            atomic_ops: self.atomic_ops.saturating_sub(earlier.atomic_ops),
+            barriers: self.barriers.saturating_sub(earlier.barriers),
+            cp_async_ops: self.cp_async_ops.saturating_sub(earlier.cp_async_ops),
+            ft_extra_loads: self.ft_extra_loads.saturating_sub(earlier.ft_extra_loads),
+            ft_cuda_ops: self.ft_cuda_ops.saturating_sub(earlier.ft_cuda_ops),
+            ft_mma_ops: self.ft_mma_ops.saturating_sub(earlier.ft_mma_ops),
+            kernel_launches: self.kernel_launches.saturating_sub(earlier.kernel_launches),
+        }
+    }
+
+    /// Total global traffic in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_loaded + self.bytes_stored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn increments_and_snapshot() {
+        let c = Counters::new();
+        c.add_loaded(100);
+        c.add_stored(40);
+        c.add_mma(3);
+        c.add_barrier();
+        c.add_atomic(2);
+        let s = c.snapshot();
+        assert_eq!(s.bytes_loaded, 100);
+        assert_eq!(s.bytes_stored, 40);
+        assert_eq!(s.mma_ops, 3);
+        assert_eq!(s.barriers, 1);
+        assert_eq!(s.atomic_ops, 2);
+        assert_eq!(s.total_bytes(), 140);
+    }
+
+    #[test]
+    fn since_computes_delta() {
+        let c = Counters::new();
+        c.add_loaded(10);
+        let before = c.snapshot();
+        c.add_loaded(25);
+        c.add_fma(7);
+        let delta = c.snapshot().since(&before);
+        assert_eq!(delta.bytes_loaded, 25);
+        assert_eq!(delta.fma_ops, 7);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let c = Counters::new();
+        c.add_loaded(1);
+        c.add_ft_mma(5);
+        c.add_launch();
+        c.reset();
+        assert_eq!(c.snapshot(), CounterSnapshot::default());
+    }
+
+    #[test]
+    fn concurrent_increments_are_lossless() {
+        let c = Counters::new();
+        crossbeam::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    for _ in 0..1000 {
+                        c.add_mma(1);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(c.snapshot().mma_ops, 8000);
+    }
+}

@@ -1,0 +1,65 @@
+//! Error type for simulator misuse (resource overflows, shape mismatches).
+
+use std::fmt;
+
+/// Errors surfaced by the functional simulator.
+///
+/// These correspond to conditions that would be compile-time or launch-time
+/// failures on a real GPU (the paper's "demo compile & run" feasibility
+/// probe, Fig. 3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A threadblock requested more shared memory than the device allows.
+    SharedMemoryOverflow { requested: usize, limit: usize },
+    /// A threadblock requested more threads than the device allows.
+    ThreadLimitExceeded { requested: usize, limit: usize },
+    /// Estimated register usage exceeds the per-thread architectural cap.
+    RegisterOverflow { requested: usize, limit: usize },
+    /// Host-side shape mismatch (buffer too small, incompatible matrices).
+    ShapeMismatch(String),
+    /// Kernel configuration violates a structural rule (e.g. warp tile does
+    /// not divide threadblock tile).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::SharedMemoryOverflow { requested, limit } => write!(
+                f,
+                "shared memory overflow: requested {requested} B, limit {limit} B"
+            ),
+            SimError::ThreadLimitExceeded { requested, limit } => {
+                write!(
+                    f,
+                    "thread limit exceeded: requested {requested}, limit {limit}"
+                )
+            }
+            SimError::RegisterOverflow { requested, limit } => {
+                write!(f, "register overflow: requested {requested}, limit {limit}")
+            }
+            SimError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
+            SimError::InvalidConfig(msg) => write!(f, "invalid kernel config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::SharedMemoryOverflow {
+            requested: 200_000,
+            limit: 163_840,
+        };
+        let s = e.to_string();
+        assert!(s.contains("200000"));
+        assert!(s.contains("163840"));
+        let e2 = SimError::InvalidConfig("warp tile".into());
+        assert!(e2.to_string().contains("warp tile"));
+    }
+}

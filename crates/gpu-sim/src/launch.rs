@@ -1,0 +1,242 @@
+//! Kernel launch: validate resources, then execute one closure per
+//! threadblock, in parallel across host threads.
+//!
+//! Threadblocks on a GPU execute independently (no inter-block ordering);
+//! the simulator reproduces that by distributing blocks over a crossbeam
+//! worker pool with a shared atomic work index. Kernels that need
+//! cross-block coordination must use the atomic primitives
+//! ([`crate::memory::GlobalBuffer::atomic_add`],
+//! [`crate::atomics::ArgminStore`]) — plain stores to overlapping locations
+//! are a bug, as on hardware.
+
+use crate::counters::Counters;
+use crate::device::DeviceProfile;
+use crate::dim::Dim3;
+use crate::error::SimError;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Launch geometry and declared resource usage of a kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct LaunchConfig {
+    /// Grid of threadblocks.
+    pub grid: Dim3,
+    /// Threads per threadblock (informational: the functional simulator
+    /// executes warps as units, but the count is validated and used by the
+    /// timing model).
+    pub threads_per_block: usize,
+    /// Declared dynamic shared memory per block, bytes.
+    pub smem_bytes: usize,
+}
+
+/// Per-block execution context handed to kernel closures.
+pub struct BlockCtx<'a> {
+    /// Block x coordinate (output-column / N direction by our convention).
+    pub bx: usize,
+    /// Block y coordinate (output-row / M direction).
+    pub by: usize,
+    /// Block z coordinate.
+    pub bz: usize,
+    /// Event counters shared across the launch.
+    pub counters: &'a Counters,
+    /// Profile of the device the kernel runs on.
+    pub device: &'a DeviceProfile,
+}
+
+impl BlockCtx<'_> {
+    /// `__syncthreads()` — a no-op functionally (warps in a block execute
+    /// sequentially in the simulator) but counted for the timing model.
+    pub fn barrier(&self) {
+        self.counters.add_barrier();
+    }
+}
+
+fn validate(device: &DeviceProfile, cfg: &LaunchConfig) -> Result<(), SimError> {
+    if cfg.threads_per_block > device.max_threads_per_block {
+        return Err(SimError::ThreadLimitExceeded {
+            requested: cfg.threads_per_block,
+            limit: device.max_threads_per_block,
+        });
+    }
+    if cfg.smem_bytes > device.smem_per_block {
+        return Err(SimError::SharedMemoryOverflow {
+            requested: cfg.smem_bytes,
+            limit: device.smem_per_block,
+        });
+    }
+    if cfg.threads_per_block == 0 || !cfg.threads_per_block.is_multiple_of(32) {
+        return Err(SimError::InvalidConfig(format!(
+            "threads per block must be a positive multiple of the warp size, got {}",
+            cfg.threads_per_block
+        )));
+    }
+    Ok(())
+}
+
+/// Launch `kernel` over the grid, running threadblocks in parallel.
+///
+/// The closure is invoked once per block with a fresh [`BlockCtx`]; any
+/// per-block state (pipelines, fragments) should be created inside it.
+pub fn launch_grid<F>(
+    device: &DeviceProfile,
+    cfg: LaunchConfig,
+    counters: &Counters,
+    kernel: F,
+) -> Result<(), SimError>
+where
+    F: Fn(&BlockCtx) + Sync,
+{
+    validate(device, &cfg)?;
+    counters.add_launch();
+    let total = cfg.grid.volume();
+    if total == 0 {
+        return Ok(());
+    }
+    let workers = std::thread::available_parallelism()
+        .map_or(4, |n| n.get())
+        .min(total)
+        .max(1);
+    let next = AtomicUsize::new(0);
+    crossbeam::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= total {
+                    break;
+                }
+                let (bx, by, bz) = cfg.grid.unlinear(idx);
+                let ctx = BlockCtx {
+                    bx,
+                    by,
+                    bz,
+                    counters,
+                    device,
+                };
+                kernel(&ctx);
+            });
+        }
+    })
+    .expect("threadblock worker panicked");
+    Ok(())
+}
+
+/// Serial variant of [`launch_grid`] with a deterministic block order —
+/// useful for debugging kernels and for tests that want reproducible
+/// interleavings.
+pub fn launch_grid_serial<F>(
+    device: &DeviceProfile,
+    cfg: LaunchConfig,
+    counters: &Counters,
+    mut kernel: F,
+) -> Result<(), SimError>
+where
+    F: FnMut(&BlockCtx),
+{
+    validate(device, &cfg)?;
+    counters.add_launch();
+    for idx in 0..cfg.grid.volume() {
+        let (bx, by, bz) = cfg.grid.unlinear(idx);
+        let ctx = BlockCtx {
+            bx,
+            by,
+            bz,
+            counters,
+            device,
+        };
+        kernel(&ctx);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::GlobalBuffer;
+
+    #[test]
+    fn all_blocks_execute_exactly_once() {
+        let dev = DeviceProfile::a100();
+        let c = Counters::new();
+        let grid = Dim3::xy(7, 5);
+        let hits = GlobalBuffer::<f64>::zeros(grid.volume());
+        launch_grid(
+            &dev,
+            LaunchConfig {
+                grid,
+                threads_per_block: 128,
+                smem_bytes: 0,
+            },
+            &c,
+            |ctx| {
+                let idx = grid.linear(ctx.bx, ctx.by, ctx.bz);
+                hits.atomic_add(idx, 1.0, ctx.counters);
+            },
+        )
+        .unwrap();
+        assert!(hits.to_vec().iter().all(|&v| v == 1.0));
+        assert_eq!(c.snapshot().kernel_launches, 1);
+    }
+
+    #[test]
+    fn serial_launch_is_deterministic_order() {
+        let dev = DeviceProfile::t4();
+        let c = Counters::new();
+        let mut order = Vec::new();
+        launch_grid_serial(
+            &dev,
+            LaunchConfig {
+                grid: Dim3::xy(2, 2),
+                threads_per_block: 32,
+                smem_bytes: 0,
+            },
+            &c,
+            |ctx| order.push((ctx.bx, ctx.by)),
+        )
+        .unwrap();
+        assert_eq!(order, vec![(0, 0), (1, 0), (0, 1), (1, 1)]);
+    }
+
+    #[test]
+    fn resource_validation() {
+        let dev = DeviceProfile::a100();
+        let c = Counters::new();
+        let bad_threads = LaunchConfig {
+            grid: Dim3::x(1),
+            threads_per_block: 2048,
+            smem_bytes: 0,
+        };
+        assert!(matches!(
+            launch_grid(&dev, bad_threads, &c, |_| {}),
+            Err(SimError::ThreadLimitExceeded { .. })
+        ));
+        let bad_smem = LaunchConfig {
+            grid: Dim3::x(1),
+            threads_per_block: 128,
+            smem_bytes: 1 << 20,
+        };
+        assert!(matches!(
+            launch_grid(&dev, bad_smem, &c, |_| {}),
+            Err(SimError::SharedMemoryOverflow { .. })
+        ));
+        let bad_warp = LaunchConfig {
+            grid: Dim3::x(1),
+            threads_per_block: 48,
+            smem_bytes: 0,
+        };
+        assert!(matches!(
+            launch_grid(&dev, bad_warp, &c, |_| {}),
+            Err(SimError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn empty_grid_is_ok() {
+        let dev = DeviceProfile::a100();
+        let c = Counters::new();
+        let cfg = LaunchConfig {
+            grid: Dim3::x(0),
+            threads_per_block: 32,
+            smem_bytes: 0,
+        };
+        launch_grid(&dev, cfg, &c, |_| panic!("no blocks should run")).unwrap();
+    }
+}

@@ -1,0 +1,291 @@
+//! Simulated global (device) memory.
+//!
+//! [`GlobalBuffer`] stores every element as atomic 64-bit raw bits so that
+//! parallel threadblocks can load, store and `atomicAdd` safely — exactly the
+//! access modes CUDA kernels have. Loads and stores are relaxed atomics;
+//! `atomicAdd` is a compare-and-swap loop, which is literally how CUDA
+//! implements floating-point atomics on older hardware.
+//!
+//! Traffic accounting is explicit: kernels charge a [`Counters`] instance
+//! when they touch global memory, mirroring the transactions a profiler
+//! would report.
+
+use crate::counters::Counters;
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A device-global buffer of `T` with atomic element access.
+pub struct GlobalBuffer<T: Scalar> {
+    bits: Vec<AtomicU64>,
+    len: usize,
+    _marker: PhantomData<T>,
+}
+
+impl<T: Scalar> GlobalBuffer<T> {
+    /// Zero-initialized buffer of `len` elements.
+    pub fn zeros(len: usize) -> Self {
+        let mut bits = Vec::with_capacity(len);
+        let zero = T::ZERO.to_raw_u64();
+        bits.resize_with(len, || AtomicU64::new(zero));
+        GlobalBuffer {
+            bits,
+            len,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Buffer filled with `v`.
+    pub fn filled(len: usize, v: T) -> Self {
+        let raw = v.to_raw_u64();
+        let mut bits = Vec::with_capacity(len);
+        bits.resize_with(len, || AtomicU64::new(raw));
+        GlobalBuffer {
+            bits,
+            len,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Upload a host slice.
+    pub fn from_slice(data: &[T]) -> Self {
+        let bits = data
+            .iter()
+            .map(|v| AtomicU64::new(v.to_raw_u64()))
+            .collect();
+        GlobalBuffer {
+            bits,
+            len: data.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Upload a host matrix (row-major).
+    pub fn from_matrix(m: &Matrix<T>) -> Self {
+        Self::from_slice(m.as_slice())
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Plain load (no traffic charged — use [`GlobalBuffer::load_counted`]
+    /// inside kernels).
+    #[inline]
+    pub fn load(&self, idx: usize) -> T {
+        T::from_raw_u64(self.bits[idx].load(Ordering::Relaxed))
+    }
+
+    /// Load charging `counters` for the transaction.
+    #[inline]
+    pub fn load_counted(&self, idx: usize, counters: &Counters) -> T {
+        counters.add_loaded(std::mem::size_of::<T>() as u64);
+        self.load(idx)
+    }
+
+    /// Plain store.
+    #[inline]
+    pub fn store(&self, idx: usize, v: T) {
+        self.bits[idx].store(v.to_raw_u64(), Ordering::Relaxed);
+    }
+
+    /// Store charging `counters`.
+    #[inline]
+    pub fn store_counted(&self, idx: usize, v: T, counters: &Counters) {
+        counters.add_stored(std::mem::size_of::<T>() as u64);
+        self.store(idx, v);
+    }
+
+    /// Atomic floating-point add via a CAS loop (CUDA `atomicAdd` semantics).
+    /// Returns the previous value.
+    pub fn atomic_add(&self, idx: usize, v: T, counters: &Counters) -> T {
+        counters.add_atomic(1);
+        let cell = &self.bits[idx];
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let old = T::from_raw_u64(cur);
+            let new = (old + v).to_raw_u64();
+            match cell.compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Relaxed) {
+                Ok(_) => return old,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Download a contiguous range into a vector.
+    pub fn to_vec(&self) -> Vec<T> {
+        (0..self.len).map(|i| self.load(i)).collect()
+    }
+
+    /// Download as a row-major matrix of the given shape.
+    pub fn to_matrix(&self, rows: usize, cols: usize) -> Matrix<T> {
+        assert_eq!(rows * cols, self.len, "matrix shape must cover the buffer");
+        Matrix::from_vec(rows, cols, self.to_vec()).expect("shape checked above")
+    }
+
+    /// Copy a contiguous range into `out` without counting (host access).
+    pub fn read_range(&self, start: usize, out: &mut [T]) {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.load(start + i);
+        }
+    }
+
+    /// Overwrite every element with `v` (host-side reset between iterations).
+    pub fn fill(&self, v: T) {
+        let raw = v.to_raw_u64();
+        for cell in &self.bits {
+            cell.store(raw, Ordering::Relaxed);
+        }
+    }
+}
+
+impl<T: Scalar> std::fmt::Debug for GlobalBuffer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "GlobalBuffer<{}>[len={}]",
+            std::any::type_name::<T>(),
+            self.len
+        )
+    }
+}
+
+/// A global buffer of `u32` indices (assignment lists, counts) with atomic
+/// increment support.
+#[derive(Debug)]
+pub struct GlobalIndexBuffer {
+    data: Vec<std::sync::atomic::AtomicU32>,
+}
+
+impl GlobalIndexBuffer {
+    /// Zero-initialized index buffer.
+    pub fn zeros(len: usize) -> Self {
+        let mut data = Vec::with_capacity(len);
+        data.resize_with(len, || std::sync::atomic::AtomicU32::new(0));
+        GlobalIndexBuffer { data }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    pub fn load(&self, idx: usize) -> u32 {
+        self.data[idx].load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    pub fn store(&self, idx: usize, v: u32) {
+        self.data[idx].store(v, Ordering::Relaxed);
+    }
+
+    /// Atomic `+1`, returning the previous value.
+    pub fn atomic_inc(&self, idx: usize, counters: &Counters) -> u32 {
+        counters.add_atomic(1);
+        self.data[idx].fetch_add(1, Ordering::AcqRel)
+    }
+
+    pub fn to_vec(&self) -> Vec<u32> {
+        self.data
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    pub fn fill(&self, v: u32) {
+        for cell in &self.data {
+            cell.store(v, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_f32_and_f64() {
+        let b32 = GlobalBuffer::<f32>::from_slice(&[1.5, -2.25, 3.0]);
+        assert_eq!(b32.to_vec(), vec![1.5, -2.25, 3.0]);
+        let b64 = GlobalBuffer::<f64>::from_slice(&[1e-300, 2e300]);
+        assert_eq!(b64.to_vec(), vec![1e-300, 2e300]);
+    }
+
+    #[test]
+    fn counted_access_charges_traffic() {
+        let c = Counters::new();
+        let b = GlobalBuffer::<f64>::zeros(4);
+        b.store_counted(0, 5.0, &c);
+        let v = b.load_counted(0, &c);
+        assert_eq!(v, 5.0);
+        let s = c.snapshot();
+        assert_eq!(s.bytes_stored, 8);
+        assert_eq!(s.bytes_loaded, 8);
+    }
+
+    #[test]
+    fn atomic_add_is_exact_under_contention() {
+        let c = Counters::new();
+        let b = GlobalBuffer::<f64>::zeros(1);
+        crossbeam::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    for _ in 0..1000 {
+                        b.atomic_add(0, 1.0, &c);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(b.load(0), 8000.0);
+        assert_eq!(c.snapshot().atomic_ops, 8000);
+    }
+
+    #[test]
+    fn atomic_add_f32_under_contention() {
+        let c = Counters::new();
+        let b = GlobalBuffer::<f32>::zeros(2);
+        crossbeam::thread::scope(|s| {
+            for t in 0..4 {
+                let b = &b;
+                let c = &c;
+                s.spawn(move |_| {
+                    for _ in 0..500 {
+                        b.atomic_add(t % 2, 1.0f32, c);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(b.load(0) + b.load(1), 2000.0);
+    }
+
+    #[test]
+    fn matrix_roundtrip() {
+        let m = Matrix::<f32>::from_fn(3, 4, |r, c| (r * 4 + c) as f32);
+        let b = GlobalBuffer::from_matrix(&m);
+        assert_eq!(b.to_matrix(3, 4), m);
+    }
+
+    #[test]
+    fn index_buffer_atomics() {
+        let c = Counters::new();
+        let idx = GlobalIndexBuffer::zeros(3);
+        assert_eq!(idx.atomic_inc(1, &c), 0);
+        assert_eq!(idx.atomic_inc(1, &c), 1);
+        assert_eq!(idx.load(1), 2);
+        idx.fill(9);
+        assert_eq!(idx.to_vec(), vec![9, 9, 9]);
+    }
+}

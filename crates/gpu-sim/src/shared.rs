@@ -1,0 +1,112 @@
+//! Shared-memory tiles.
+//!
+//! Each simulated threadblock executes on one host thread, so a shared tile
+//! is simply an owned buffer; what matters for fidelity is *capacity
+//! accounting* (the feasibility rules of the paper's code generator reject
+//! parameter sets whose staged tiles exceed the SM's shared memory) and the
+//! staging discipline enforced by [`crate::async_copy::AsyncPipeline`].
+
+use crate::scalar::Scalar;
+
+/// A row-major shared-memory tile of `rows x cols` elements.
+#[derive(Debug, Clone)]
+pub struct SharedTile<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> SharedTile<T> {
+    /// Zeroed tile.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        SharedTile {
+            rows,
+            cols,
+            data: vec![T::ZERO; rows * cols],
+        }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Size in bytes, as charged against the shared-memory budget.
+    pub fn bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<T>()
+    }
+
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> T {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: T) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow one row.
+    pub fn row(&self, r: usize) -> &[T] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Whole tile as a flat slice.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Whole tile as a mutable flat slice.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Reset to zero (used when a pipeline stage is recycled with a partial
+    /// edge tile, so stale data never leaks into padded regions).
+    pub fn zero(&mut self) {
+        self.data.fill(T::ZERO);
+    }
+}
+
+/// Bytes of shared memory needed by a `k_stage`-deep pipeline of A
+/// (`tb_m x tb_k`) and B (`tb_n x tb_k`) tiles — the quantity the paper's
+/// feasibility probe checks against the SM budget.
+pub fn staged_smem_bytes(
+    tb_m: usize,
+    tb_n: usize,
+    tb_k: usize,
+    k_stages: usize,
+    elem_bytes: usize,
+) -> usize {
+    k_stages * (tb_m + tb_n) * tb_k * elem_bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_accessors() {
+        let mut t = SharedTile::<f32>::new(4, 8);
+        t.set(3, 7, 2.5);
+        assert_eq!(t.get(3, 7), 2.5);
+        assert_eq!(t.row(3)[7], 2.5);
+        assert_eq!(t.bytes(), 4 * 8 * 4);
+        t.zero();
+        assert_eq!(t.get(3, 7), 0.0);
+    }
+
+    #[test]
+    fn smem_formula_matches_paper_examples() {
+        // cuML FP32 tile <32,256,16>, 3 stages: 3*(32+256)*16*4 bytes
+        assert_eq!(staged_smem_bytes(32, 256, 16, 3, 4), 3 * 288 * 16 * 4);
+        // FP64 <64,64,16>, 2 stages
+        assert_eq!(staged_smem_bytes(64, 64, 16, 2, 8), 2 * 128 * 16 * 8);
+    }
+}

@@ -1,0 +1,105 @@
+//! Threadblock-to-problem-tile mapping helpers.
+
+use crate::dim::ceil_div;
+
+/// The sub-rectangle of the GEMM output a threadblock owns, clamped to the
+/// problem edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockTile {
+    /// First output row (sample index).
+    pub row0: usize,
+    /// Number of valid rows (≤ tile M).
+    pub rows: usize,
+    /// First output column (centroid index).
+    pub col0: usize,
+    /// Number of valid columns (≤ tile N).
+    pub cols: usize,
+}
+
+/// Maps grid coordinates to output tiles for a `tb_m x tb_n` blocking of an
+/// `m x n` GEMM output.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockGrid {
+    pub m: usize,
+    pub n: usize,
+    pub tb_m: usize,
+    pub tb_n: usize,
+}
+
+impl BlockGrid {
+    pub fn new(m: usize, n: usize, tb_m: usize, tb_n: usize) -> Self {
+        assert!(tb_m > 0 && tb_n > 0);
+        BlockGrid { m, n, tb_m, tb_n }
+    }
+
+    /// Grid extent in blocks (rows of blocks, cols of blocks).
+    pub fn grid_dims(&self) -> (usize, usize) {
+        (ceil_div(self.m, self.tb_m), ceil_div(self.n, self.tb_n))
+    }
+
+    /// Total number of threadblocks.
+    pub fn block_count(&self) -> usize {
+        let (gm, gn) = self.grid_dims();
+        gm * gn
+    }
+
+    /// The output tile of block `(bm, bn)`.
+    pub fn tile(&self, bm: usize, bn: usize) -> BlockTile {
+        let (gm, gn) = self.grid_dims();
+        assert!(
+            bm < gm && bn < gn,
+            "block ({bm},{bn}) outside grid ({gm},{gn})"
+        );
+        let row0 = bm * self.tb_m;
+        let col0 = bn * self.tb_n;
+        BlockTile {
+            row0,
+            rows: self.tb_m.min(self.m - row0),
+            col0,
+            cols: self.tb_n.min(self.n - col0),
+        }
+    }
+
+    /// Fraction of tile slots that hold valid output (the paper's occupancy
+    /// collapse for cuML's fixed `Threadblock.N = 256` at small cluster
+    /// counts is exactly this ratio, §V-A6).
+    pub fn utilization(&self) -> f64 {
+        let (gm, gn) = self.grid_dims();
+        let covered = (gm * self.tb_m * gn * self.tb_n) as f64;
+        (self.m * self.n) as f64 / covered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_dims_and_tiles() {
+        let g = BlockGrid::new(100, 30, 32, 16);
+        assert_eq!(g.grid_dims(), (4, 2));
+        assert_eq!(g.block_count(), 8);
+        let t = g.tile(0, 0);
+        assert_eq!((t.row0, t.rows, t.col0, t.cols), (0, 32, 0, 16));
+        // edge tile is clamped
+        let t = g.tile(3, 1);
+        assert_eq!((t.row0, t.rows, t.col0, t.cols), (96, 4, 16, 14));
+    }
+
+    #[test]
+    fn utilization_matches_paper_example() {
+        // cuML FP32: Threadblock.N = 256 with only 8 clusters
+        let g = BlockGrid::new(131072, 8, 32, 256);
+        assert!(g.utilization() <= 8.0 / 256.0 + 1e-12);
+        // a matched tile wastes nothing
+        let g2 = BlockGrid::new(128, 128, 32, 32);
+        assert_eq!(g2.utilization(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside grid")]
+    fn out_of_grid_panics() {
+        let g = BlockGrid::new(64, 64, 32, 32);
+        let _ = g.tile(2, 0);
+    }
+}

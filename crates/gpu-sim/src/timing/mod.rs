@@ -1,0 +1,22 @@
+//! Analytic GPU performance model.
+//!
+//! The functional simulator (the rest of this crate) establishes *what* a
+//! kernel computes; this module estimates *how fast* the same kernel runs on
+//! a real A100 or T4, reproducing the performance shapes of the paper's
+//! evaluation: tile-utilization collapse for fixed parameters, occupancy
+//! effects, pipeline-bubble absorption of ABFT work, and the penalties of
+//! register-reuse ABFT once `cp.async` exists.
+//!
+//! The model is deliberately white-box — every term is a named, documented
+//! quantity (see [`calibration`]) so the ablation benches can switch terms
+//! off individually.
+
+pub mod calibration;
+pub mod model;
+pub mod occupancy;
+
+pub use calibration::Calibration;
+pub use model::{
+    estimate, estimate_with, FtMode, GemmShape, KernelClass, KernelTiming, TileConfig, TimingInput,
+};
+pub use occupancy::{occupancy, OccupancyResult};

@@ -1,0 +1,139 @@
+//! CUDA occupancy arithmetic: how many threadblocks fit on one SM.
+//!
+//! This is the standard occupancy calculation (shared memory, registers,
+//! threads, hardware block cap) that both the timing model and the
+//! code-generation feasibility probe use. The paper's parameter analysis
+//! (§V-A6) attributes cuML's losses at small N to exactly this quantity.
+
+use crate::device::{DeviceProfile, Precision};
+
+/// Result of the occupancy calculation for one kernel configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OccupancyResult {
+    /// Resident threadblocks per SM (0 = configuration cannot launch).
+    pub blocks_per_sm: usize,
+    /// Resident warps per SM.
+    pub active_warps: usize,
+    /// `active_warps / max_warps_per_sm`, in `[0, 1]`.
+    pub ratio: f64,
+    /// Which resource bound the result (for diagnostics).
+    pub limiter: Limiter,
+}
+
+/// The resource that limited occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Limiter {
+    SharedMemory,
+    Registers,
+    Threads,
+    BlockCap,
+}
+
+/// Compute occupancy for a block of `threads_per_block` threads using
+/// `smem_bytes` shared memory and `regs_per_thread` registers.
+pub fn occupancy(
+    device: &DeviceProfile,
+    threads_per_block: usize,
+    smem_bytes: usize,
+    regs_per_thread: usize,
+) -> OccupancyResult {
+    let by_smem = device
+        .smem_per_sm
+        .checked_div(smem_bytes)
+        .unwrap_or(usize::MAX);
+    let by_threads = device
+        .max_threads_per_sm
+        .checked_div(threads_per_block)
+        .unwrap_or(0);
+    let regs_per_block = regs_per_thread * threads_per_block;
+    let by_regs = device
+        .regs_per_sm
+        .checked_div(regs_per_block)
+        .unwrap_or(usize::MAX);
+    let by_cap = device.max_blocks_per_sm;
+
+    let (blocks, limiter) = [
+        (by_smem, Limiter::SharedMemory),
+        (by_regs, Limiter::Registers),
+        (by_threads, Limiter::Threads),
+        (by_cap, Limiter::BlockCap),
+    ]
+    .into_iter()
+    .min_by_key(|&(b, _)| b)
+    .expect("non-empty candidate list");
+
+    let active_warps = blocks * threads_per_block / 32;
+    OccupancyResult {
+        blocks_per_sm: blocks,
+        active_warps,
+        ratio: active_warps as f64 / device.max_warps_per_sm() as f64,
+        limiter,
+    }
+}
+
+/// Estimate 32-bit registers per thread for the tensor-core distance kernel
+/// with a `wm x wn` warp tile: accumulator fragment + A/B fragments spread
+/// over 32 lanes, plus fixed addressing/pipeline overhead.
+pub fn tensor_regs_per_thread(wm: usize, wn: usize, mma_k: usize, precision: Precision) -> usize {
+    let words = match precision {
+        Precision::Fp32 => 1,
+        Precision::Fp64 => 2,
+    };
+    let acc = wm * wn / 32 * words;
+    let frags = (wm + wn) * mma_k / 32 * words * 2; // double-buffered fragments
+    let overhead = 40;
+    (acc + frags + overhead).min(255)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_limited_case() {
+        let dev = DeviceProfile::a100();
+        // tiny smem, few regs: 2048/256 = 8 blocks, but reg/smem allow more.
+        let r = occupancy(&dev, 256, 1024, 16);
+        assert_eq!(r.blocks_per_sm, 8);
+        assert_eq!(r.limiter, Limiter::Threads);
+        assert_eq!(r.active_warps, 64);
+        assert!((r.ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smem_limited_case() {
+        let dev = DeviceProfile::a100();
+        // 60 KiB/block -> 2 blocks per 164 KiB SM.
+        let r = occupancy(&dev, 128, 60 * 1024, 32);
+        assert_eq!(r.blocks_per_sm, 2);
+        assert_eq!(r.limiter, Limiter::SharedMemory);
+    }
+
+    #[test]
+    fn register_limited_case() {
+        let dev = DeviceProfile::a100();
+        // 255 regs x 512 threads = 130k regs/block > 65536 -> 0 blocks.
+        let r = occupancy(&dev, 512, 0, 255);
+        assert_eq!(r.blocks_per_sm, 0);
+        assert_eq!(r.limiter, Limiter::Registers);
+    }
+
+    #[test]
+    fn block_cap_case() {
+        let dev = DeviceProfile::a100();
+        let r = occupancy(&dev, 32, 0, 16);
+        assert_eq!(r.blocks_per_sm, 32);
+        assert_eq!(r.limiter, Limiter::BlockCap);
+    }
+
+    #[test]
+    fn reg_estimate_scales_with_tile() {
+        let small = tensor_regs_per_thread(32, 32, 8, Precision::Fp32);
+        let large = tensor_regs_per_thread(64, 64, 8, Precision::Fp32);
+        assert!(large > small);
+        let fp64 = tensor_regs_per_thread(32, 32, 4, Precision::Fp64);
+        let fp32 = tensor_regs_per_thread(32, 32, 4, Precision::Fp32);
+        assert!(fp64 > fp32);
+        assert!(tensor_regs_per_thread(128, 128, 8, Precision::Fp64) <= 255);
+    }
+}

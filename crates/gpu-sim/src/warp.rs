@@ -1,0 +1,147 @@
+//! Warp-level helpers: fragment loading from shared tiles and the shuffle
+//! reductions the ABFT encodings rely on.
+
+use crate::scalar::Scalar;
+use crate::shared::SharedTile;
+
+/// Load a `wm x kk` A-fragment (rows `row0..row0+wm` of the shared A tile at
+/// columns `k0..k0+kk`) into `frag`, row-major. Rows beyond the tile are
+/// zero-filled (edge tiles).
+pub fn load_a_fragment<T: Scalar>(
+    tile: &SharedTile<T>,
+    row0: usize,
+    k0: usize,
+    wm: usize,
+    kk: usize,
+    frag: &mut [T],
+) {
+    debug_assert_eq!(frag.len(), wm * kk);
+    for i in 0..wm {
+        let r = row0 + i;
+        for k in 0..kk {
+            let c = k0 + k;
+            frag[i * kk + k] = if r < tile.rows() && c < tile.cols() {
+                tile.get(r, c)
+            } else {
+                T::ZERO
+            };
+        }
+    }
+}
+
+/// Load a `wn x kk` B-fragment (rows of the shared B tile = centroids).
+pub fn load_b_fragment<T: Scalar>(
+    tile: &SharedTile<T>,
+    row0: usize,
+    k0: usize,
+    wn: usize,
+    kk: usize,
+    frag: &mut [T],
+) {
+    load_a_fragment(tile, row0, k0, wn, kk, frag);
+}
+
+/// Warp reduction: plain sum over a fragment's rows at one k column —
+/// computes `e1ᵀ·frag[:,k]` (Fig. 6 line 15/16). `frag` is `rows x kk`
+/// row-major.
+pub fn frag_col_sum<T: Scalar>(frag: &[T], rows: usize, kk: usize, k: usize) -> T {
+    debug_assert!(k < kk);
+    let mut s = T::ZERO;
+    for i in 0..rows {
+        s += frag[i * kk + k];
+    }
+    s
+}
+
+/// Warp reduction: index-weighted sum `Σ_i (i+1)·frag[i,k]` — computes
+/// `e2ᵀ·frag[:,k]` (Fig. 6 line 17/18). Weights start at 1 as in the paper's
+/// `e2 = [1, 2, …, n]`.
+pub fn frag_col_weighted_sum<T: Scalar>(frag: &[T], rows: usize, kk: usize, k: usize) -> T {
+    debug_assert!(k < kk);
+    let mut s = T::ZERO;
+    for i in 0..rows {
+        s += T::from_usize(i + 1) * frag[i * kk + k];
+    }
+    s
+}
+
+/// Sum of all elements of a `wm x wn` accumulator tile (`e1ᵀ C e1`).
+pub fn tile_sum<T: Scalar>(acc: &[T]) -> T {
+    acc.iter().copied().sum()
+}
+
+/// Row-index-weighted sum `Σ_ij (i+1)·C[i,j]` (`e2ᵀ C e1`).
+pub fn tile_row_weighted_sum<T: Scalar>(acc: &[T], wn: usize) -> T {
+    let mut s = T::ZERO;
+    for (i, row) in acc.chunks_exact(wn).enumerate() {
+        let w = T::from_usize(i + 1);
+        for &v in row {
+            s += w * v;
+        }
+    }
+    s
+}
+
+/// Column-index-weighted sum `Σ_ij (j+1)·C[i,j]` (`e1ᵀ C e2`).
+pub fn tile_col_weighted_sum<T: Scalar>(acc: &[T], wn: usize) -> T {
+    let mut s = T::ZERO;
+    for row in acc.chunks_exact(wn) {
+        for (j, &v) in row.iter().enumerate() {
+            s += T::from_usize(j + 1) * v;
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tile_3x4() -> SharedTile<f64> {
+        let mut t = SharedTile::new(3, 4);
+        for r in 0..3 {
+            for c in 0..4 {
+                t.set(r, c, (r * 4 + c) as f64);
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn fragment_load_in_bounds() {
+        let t = tile_3x4();
+        let mut frag = vec![0.0f64; 2 * 2];
+        load_a_fragment(&t, 1, 1, 2, 2, &mut frag);
+        assert_eq!(frag, vec![5.0, 6.0, 9.0, 10.0]);
+    }
+
+    #[test]
+    fn fragment_load_zero_pads_edges() {
+        let t = tile_3x4();
+        let mut frag = vec![7.0f64; 2 * 2];
+        load_a_fragment(&t, 2, 3, 2, 2, &mut frag);
+        assert_eq!(frag, vec![11.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn column_sums() {
+        // frag rows = [1,2], [3,4], [5,6] ; kk = 2
+        let frag = vec![1.0f64, 2.0, 3.0, 4.0, 5.0, 6.0];
+        assert_eq!(frag_col_sum(&frag, 3, 2, 0), 9.0);
+        assert_eq!(frag_col_sum(&frag, 3, 2, 1), 12.0);
+        // weighted: 1*1 + 2*3 + 3*5 = 22 ; 1*2 + 2*4 + 3*6 = 28
+        assert_eq!(frag_col_weighted_sum(&frag, 3, 2, 0), 22.0);
+        assert_eq!(frag_col_weighted_sum(&frag, 3, 2, 1), 28.0);
+    }
+
+    #[test]
+    fn tile_checksum_sums() {
+        // C = [[1,2],[3,4]]
+        let acc = vec![1.0f64, 2.0, 3.0, 4.0];
+        assert_eq!(tile_sum(&acc), 10.0);
+        // rows: 1*(1+2) + 2*(3+4) = 17
+        assert_eq!(tile_row_weighted_sum(&acc, 2), 17.0);
+        // cols: 1*(1+3) + 2*(2+4) = 16
+        assert_eq!(tile_col_weighted_sum(&acc, 2), 16.0);
+    }
+}

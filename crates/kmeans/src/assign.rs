@@ -1,0 +1,97 @@
+//! Assignment-stage results and variant dispatch.
+
+use crate::config::Variant;
+use crate::device_data::DeviceData;
+use crate::variants;
+use abft::SchemeKind;
+use fault::CampaignStats;
+use gpu_sim::mma::FaultHook;
+use gpu_sim::timing::TileConfig;
+use gpu_sim::{Counters, DeviceProfile, Precision, Scalar, SimError};
+use parking_lot::Mutex;
+
+/// Output of one distance/assignment pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssignmentResult<T> {
+    /// Nearest-centroid index per sample.
+    pub labels: Vec<u32>,
+    /// Squared distance to that centroid per sample.
+    pub distances: Vec<T>,
+}
+
+impl<T: Scalar> AssignmentResult<T> {
+    /// Sum of the squared distances (the inertia of this assignment).
+    pub fn inertia(&self) -> f64 {
+        self.distances.iter().map(|d| d.to_f64()).sum()
+    }
+}
+
+/// Default tensor tile per precision — the strongest general-purpose
+/// parameters from the paper's Table I (id 83 for FP32, id 19 for FP64).
+pub fn default_tile(precision: Precision) -> TileConfig {
+    match precision {
+        Precision::Fp32 => TileConfig {
+            tb_m: 64,
+            tb_n: 128,
+            tb_k: 16,
+            wm: 64,
+            wn: 32,
+            k_stages: 3,
+        },
+        Precision::Fp64 => TileConfig {
+            tb_m: 64,
+            tb_n: 64,
+            tb_k: 16,
+            wm: 32,
+            wn: 32,
+            k_stages: 3,
+        },
+    }
+}
+
+/// Run the assignment stage with the chosen kernel variant.
+#[allow(clippy::too_many_arguments)]
+pub fn run_assignment<T: Scalar>(
+    device: &DeviceProfile,
+    data: &DeviceData<T>,
+    variant: Variant,
+    scheme: SchemeKind,
+    hook: &dyn FaultHook<T>,
+    counters: &Counters,
+    stats: &Mutex<CampaignStats>,
+) -> Result<AssignmentResult<T>, SimError> {
+    match variant {
+        Variant::Naive => variants::naive::naive_assign(device, data, hook, counters),
+        Variant::GemmV1 => variants::gemm::gemm_assign(device, data, hook, counters),
+        Variant::FusedV2 => variants::fused::fused_assign(device, data, hook, counters),
+        Variant::BroadcastV3 => variants::broadcast::broadcast_assign(device, data, hook, counters),
+        Variant::Tensor(tile) => {
+            let tile = tile.unwrap_or_else(|| default_tile(T::PRECISION));
+            variants::tensor::tensor_assign(device, tile, data, scheme, hook, counters, stats)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_tiles_match_table1() {
+        let t32 = default_tile(Precision::Fp32);
+        assert_eq!((t32.tb_m, t32.tb_n, t32.tb_k), (64, 128, 16));
+        assert_eq!((t32.wm, t32.wn), (64, 32));
+        let t64 = default_tile(Precision::Fp64);
+        assert_eq!((t64.tb_m, t64.tb_n, t64.tb_k), (64, 64, 16));
+        assert_eq!((t64.wm, t64.wn), (32, 32));
+    }
+
+    #[test]
+    fn inertia_sums_distances() {
+        let r = AssignmentResult {
+            labels: vec![0, 1],
+            distances: vec![1.5f64, 2.5],
+        };
+        assert_eq!(r.inertia(), 4.0);
+    }
+}

@@ -1,0 +1,58 @@
+//! The cuML baseline: the same fused tensor-core kernel locked to cuML's
+//! hard-coded tiling (Table I, "cuML" rows).
+//!
+//! "in the cluster assignment stage, it has hard-coded parameters in its
+//! GEMM kernel, which can trigger low performance in some input sizes"
+//! (§III-B). The comparison in the paper is therefore parameter choice, not
+//! kernel structure — both run CUTLASS-style fused FusedDistanceNN kernels.
+
+use gpu_sim::timing::TileConfig;
+use gpu_sim::Precision;
+
+/// cuML's fixed tile for a precision (Table I).
+pub fn cuml_tile(precision: Precision) -> TileConfig {
+    match precision {
+        // Threadblock <32,256,16>, Warp <32,64,16>.
+        Precision::Fp32 => TileConfig {
+            tb_m: 32,
+            tb_n: 256,
+            tb_k: 16,
+            wm: 32,
+            wn: 64,
+            k_stages: 3,
+        },
+        // Threadblock <64,64,16>, Warp <32,32,16>.
+        Precision::Fp64 => TileConfig {
+            tb_m: 64,
+            tb_n: 64,
+            tb_k: 16,
+            wm: 32,
+            wn: 32,
+            k_stages: 3,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiles_match_table1() {
+        let t = cuml_tile(Precision::Fp32);
+        assert_eq!((t.tb_m, t.tb_n, t.tb_k), (32, 256, 16));
+        assert_eq!((t.wm, t.wn), (32, 64));
+        let t = cuml_tile(Precision::Fp64);
+        assert_eq!((t.tb_m, t.tb_n, t.tb_k), (64, 64, 16));
+        assert_eq!((t.wm, t.wn), (32, 32));
+    }
+
+    #[test]
+    fn warp_tiles_divide_threadblock_tiles() {
+        for p in Precision::all() {
+            let t = cuml_tile(p);
+            assert_eq!(t.tb_m % t.wm, 0);
+            assert_eq!(t.tb_n % t.wn, 0);
+        }
+    }
+}

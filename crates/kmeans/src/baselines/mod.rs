@@ -1,0 +1,9 @@
+//! Comparison baselines: cuML's fixed kernel parameters and the two
+//! hand-picked "selected by experience" parameter sets from the paper's
+//! evaluation (§V-A2).
+
+pub mod cuml;
+pub mod params;
+
+pub use cuml::cuml_tile;
+pub use params::{parameter1, parameter2};

@@ -1,0 +1,178 @@
+//! Estimator configuration.
+
+use abft::SchemeKind;
+use fault::InjectionSchedule;
+use gpu_sim::timing::TileConfig;
+use serde::{Deserialize, Serialize};
+
+/// Which distance/assignment kernel implementation to run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Variant {
+    /// Thread-per-sample baseline (§III-A1).
+    Naive,
+    /// SIMT GEMM + separate reduction kernel (§III-A2).
+    GemmV1,
+    /// GEMM with thread/threadblock-fused reduction (§III-A3).
+    FusedV2,
+    /// Fully fused with threadblock broadcast (§III-A4).
+    BroadcastV3,
+    /// Tensor-core pipeline kernel with the given tiling (§III-A5). `None`
+    /// selects a per-precision default tile.
+    Tensor(Option<TileConfig>),
+}
+
+impl Variant {
+    /// The production variant with default tiling.
+    pub fn tensor_default() -> Self {
+        Variant::Tensor(None)
+    }
+
+    /// Display label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Variant::Naive => "K-Means Naive",
+            Variant::GemmV1 => "K-Means V1",
+            Variant::FusedV2 => "K-Means V2",
+            Variant::BroadcastV3 => "K-Means V3",
+            Variant::Tensor(_) => "FT K-Means",
+        }
+    }
+}
+
+/// Centroid initialization strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InitMethod {
+    /// K distinct samples chosen uniformly.
+    RandomSamples,
+    /// K-means++ (D² weighting) — better seeds, more setup work.
+    KMeansPlusPlus,
+}
+
+/// Fault-tolerance configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FtConfig {
+    /// ABFT scheme protecting the distance kernel.
+    pub scheme: SchemeKind,
+    /// Whether the centroid update runs under DMR.
+    pub dmr_update: bool,
+    /// Error-injection schedule (for evaluation campaigns).
+    pub injection: InjectionSchedule,
+    /// Injection RNG seed.
+    pub injection_seed: u64,
+}
+
+impl Default for FtConfig {
+    fn default() -> Self {
+        FtConfig {
+            scheme: SchemeKind::None,
+            dmr_update: false,
+            injection: InjectionSchedule::Off,
+            injection_seed: 0,
+        }
+    }
+}
+
+impl FtConfig {
+    /// The paper's production configuration: warp-level ABFT + DMR update.
+    pub fn protected() -> Self {
+        FtConfig {
+            scheme: SchemeKind::FtKMeans,
+            dmr_update: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// Full estimator configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansConfig {
+    /// Number of clusters K.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iter: usize,
+    /// Relative inertia-improvement tolerance for convergence.
+    pub tol: f64,
+    /// Seed for initialization.
+    pub seed: u64,
+    /// Initialization method.
+    pub init: InitMethod,
+    /// Kernel variant for the assignment stage.
+    pub variant: Variant,
+    /// Fault-tolerance setup.
+    pub ft: FtConfig,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig {
+            k: 8,
+            max_iter: 50,
+            tol: 1e-4,
+            seed: 0,
+            init: InitMethod::RandomSamples,
+            variant: Variant::tensor_default(),
+            ft: FtConfig::default(),
+        }
+    }
+}
+
+impl KMeansConfig {
+    /// Convenience constructor.
+    pub fn new(k: usize) -> Self {
+        KMeansConfig {
+            k,
+            ..Default::default()
+        }
+    }
+
+    /// Builder-style variant selection.
+    pub fn with_variant(mut self, v: Variant) -> Self {
+        self.variant = v;
+        self
+    }
+
+    /// Builder-style FT selection.
+    pub fn with_ft(mut self, ft: FtConfig) -> Self {
+        self.ft = ft;
+        self
+    }
+
+    /// Builder-style seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = KMeansConfig::default();
+        assert_eq!(c.k, 8);
+        assert!(c.max_iter > 0);
+        assert_eq!(c.ft.scheme, SchemeKind::None);
+        assert!(matches!(c.variant, Variant::Tensor(None)));
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = KMeansConfig::new(16)
+            .with_variant(Variant::Naive)
+            .with_ft(FtConfig::protected())
+            .with_seed(7);
+        assert_eq!(c.k, 16);
+        assert_eq!(c.variant, Variant::Naive);
+        assert_eq!(c.ft.scheme, SchemeKind::FtKMeans);
+        assert!(c.ft.dmr_update);
+        assert_eq!(c.seed, 7);
+    }
+
+    #[test]
+    fn labels_match_paper_legends() {
+        assert_eq!(Variant::Naive.label(), "K-Means Naive");
+        assert_eq!(Variant::Tensor(None).label(), "FT K-Means");
+    }
+}

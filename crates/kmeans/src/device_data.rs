@@ -1,0 +1,120 @@
+//! Device-resident problem state shared by all kernel variants.
+
+use crate::norms::row_sq_norms_kernel;
+use gpu_sim::{Counters, DeviceProfile, GlobalBuffer, Matrix, Scalar, SimError};
+
+/// Samples, centroids and their squared norms, uploaded to simulated global
+/// memory (Fig. 2 step 1: the `Samples²` / `Centroids²` terms are computed
+/// once per iteration by dedicated kernels).
+pub struct DeviceData<T: Scalar> {
+    /// Samples, row-major `m x dim`.
+    pub samples: GlobalBuffer<T>,
+    /// Centroids, row-major `k x dim`.
+    pub centroids: GlobalBuffer<T>,
+    /// `‖x_i‖²` per sample.
+    pub sample_norms: GlobalBuffer<T>,
+    /// `‖y_j‖²` per centroid.
+    pub centroid_norms: GlobalBuffer<T>,
+    /// Number of samples (GEMM M).
+    pub m: usize,
+    /// Number of centroids (GEMM N).
+    pub k: usize,
+    /// Feature dimension (GEMM K).
+    pub dim: usize,
+}
+
+impl<T: Scalar> DeviceData<T> {
+    /// Upload samples and centroids and compute both norm vectors with the
+    /// squared-norm kernel.
+    pub fn upload(
+        device: &DeviceProfile,
+        samples: &Matrix<T>,
+        centroids: &Matrix<T>,
+        counters: &Counters,
+    ) -> Result<Self, SimError> {
+        if samples.cols() != centroids.cols() {
+            return Err(SimError::ShapeMismatch(format!(
+                "samples dim {} != centroids dim {}",
+                samples.cols(),
+                centroids.cols()
+            )));
+        }
+        let s = GlobalBuffer::from_matrix(samples);
+        let c = GlobalBuffer::from_matrix(centroids);
+        let sn = row_sq_norms_kernel(device, &s, samples.rows(), samples.cols(), counters)?;
+        let cn = row_sq_norms_kernel(device, &c, centroids.rows(), centroids.cols(), counters)?;
+        Ok(DeviceData {
+            samples: s,
+            centroids: c,
+            sample_norms: sn,
+            centroid_norms: cn,
+            m: samples.rows(),
+            k: centroids.rows(),
+            dim: samples.cols(),
+        })
+    }
+
+    /// Replace the centroids (between Lloyd iterations) and refresh their
+    /// norms.
+    pub fn refresh_centroids(
+        &mut self,
+        device: &DeviceProfile,
+        centroids: &Matrix<T>,
+        counters: &Counters,
+    ) -> Result<(), SimError> {
+        if centroids.cols() != self.dim || centroids.rows() != self.k {
+            return Err(SimError::ShapeMismatch(format!(
+                "expected {}x{} centroids, got {}x{}",
+                self.k,
+                self.dim,
+                centroids.rows(),
+                centroids.cols()
+            )));
+        }
+        self.centroids = GlobalBuffer::from_matrix(centroids);
+        self.centroid_norms =
+            row_sq_norms_kernel(device, &self.centroids, self.k, self.dim, counters)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upload_computes_norms() {
+        let dev = DeviceProfile::a100();
+        let c = Counters::new();
+        let samples = Matrix::from_vec(2, 2, vec![3.0f32, 4.0, 1.0, 0.0]).unwrap();
+        let cents = Matrix::from_vec(1, 2, vec![0.0f32, 2.0]).unwrap();
+        let d = DeviceData::upload(&dev, &samples, &cents, &c).unwrap();
+        assert_eq!(d.sample_norms.to_vec(), vec![25.0, 1.0]);
+        assert_eq!(d.centroid_norms.to_vec(), vec![4.0]);
+        assert_eq!((d.m, d.k, d.dim), (2, 1, 2));
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let dev = DeviceProfile::a100();
+        let c = Counters::new();
+        let samples = Matrix::<f64>::zeros(4, 3);
+        let cents = Matrix::<f64>::zeros(2, 5);
+        assert!(DeviceData::upload(&dev, &samples, &cents, &c).is_err());
+    }
+
+    #[test]
+    fn refresh_centroids_updates_norms() {
+        let dev = DeviceProfile::a100();
+        let c = Counters::new();
+        let samples = Matrix::<f64>::zeros(3, 2);
+        let cents = Matrix::from_vec(2, 2, vec![1.0f64, 0.0, 0.0, 1.0]).unwrap();
+        let mut d = DeviceData::upload(&dev, &samples, &cents, &c).unwrap();
+        let new_c = Matrix::from_vec(2, 2, vec![2.0f64, 0.0, 0.0, 3.0]).unwrap();
+        d.refresh_centroids(&dev, &new_c, &c).unwrap();
+        assert_eq!(d.centroid_norms.to_vec(), vec![4.0, 9.0]);
+        // wrong shape rejected
+        let bad = Matrix::<f64>::zeros(3, 2);
+        assert!(d.refresh_centroids(&dev, &bad, &c).is_err());
+    }
+}

@@ -1,0 +1,564 @@
+//! The Lloyd-iteration driver: init → (assign → update)* → converge.
+
+use crate::assign::{default_tile, run_assignment, AssignmentResult};
+use crate::config::{InitMethod, KMeansConfig, Variant};
+use crate::device_data::DeviceData;
+use crate::update::update_centroids;
+use abft::dmr::DmrStats;
+use fault::{CampaignStats, Injector, InjectorConfig};
+use gpu_sim::counters::CounterSnapshot;
+use gpu_sim::mma::{FaultHook, NoFault};
+use gpu_sim::timing::{estimate, GemmShape, KernelClass, TimingInput};
+use gpu_sim::{Counters, DeviceProfile, Matrix, Precision, Scalar, SimError};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Per-iteration progress record (populated when history tracking is on).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationEvent {
+    /// Lloyd iteration index (0-based).
+    pub iteration: usize,
+    /// Inertia after the assignment step.
+    pub inertia: f64,
+    /// Samples whose assignment changed relative to the previous iteration.
+    pub reassigned: usize,
+    /// Clusters that ended the iteration empty (before reseeding).
+    pub empty_clusters: usize,
+}
+
+/// Outcome of a `fit`.
+#[derive(Debug, Clone)]
+pub struct FitResult<T> {
+    /// Final centroids, `k x dim`.
+    pub centroids: Matrix<T>,
+    /// Final assignment per sample.
+    pub labels: Vec<u32>,
+    /// Final within-cluster sum of squares.
+    pub inertia: f64,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+    /// Whether the tolerance criterion fired before `max_iter`.
+    pub converged: bool,
+    /// Fault-tolerance campaign statistics.
+    pub ft_stats: CampaignStats,
+    /// DMR statistics from the update phase.
+    pub dmr: DmrStats,
+    /// Hardware-event counters accumulated over the whole fit.
+    pub counters: CounterSnapshot,
+    /// Faults injected during the fit (0 without an injection campaign).
+    pub injected: u64,
+    /// Per-iteration trace (inertia, reassignments, empty clusters).
+    pub history: Vec<IterationEvent>,
+}
+
+/// The FT K-means estimator.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    device: DeviceProfile,
+    config: KMeansConfig,
+}
+
+impl KMeans {
+    /// Build an estimator for a device.
+    pub fn new(device: DeviceProfile, config: KMeansConfig) -> Self {
+        KMeans { device, config }
+    }
+
+    /// Convenience: A100 with the given cluster count, everything default.
+    pub fn with_k(k: usize) -> Self {
+        KMeans::new(DeviceProfile::a100(), KMeansConfig::new(k))
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &KMeansConfig {
+        &self.config
+    }
+
+    /// Fit the estimator on `samples` (row-major `m x dim`).
+    pub fn fit<T: Scalar>(&self, samples: &Matrix<T>) -> Result<FitResult<T>, SimError> {
+        let cfg = &self.config;
+        let (m, dim) = (samples.rows(), samples.cols());
+        if cfg.k == 0 || cfg.k > m {
+            return Err(SimError::InvalidConfig(format!(
+                "k = {} must be in [1, {m}]",
+                cfg.k
+            )));
+        }
+        if dim == 0 {
+            return Err(SimError::InvalidConfig(
+                "feature dimension must be positive".into(),
+            ));
+        }
+
+        let counters = Counters::new();
+        let stats = Mutex::new(CampaignStats::default());
+        let mut dmr_total = DmrStats::default();
+
+        let mut centroids = init_centroids(samples, cfg.k, cfg.seed, cfg.init);
+        let mut data = DeviceData::upload(&self.device, samples, &centroids, &counters)?;
+
+        let injector = self.build_injector::<T>(m, dim);
+        let hook: &dyn FaultHook<T> = match injector.as_ref() {
+            Some(i) => i,
+            None => &NoFault,
+        };
+
+        let mut prev_inertia = f64::INFINITY;
+        let mut labels = vec![0u32; m];
+        let mut inertia = f64::INFINITY;
+        let mut converged = false;
+        let mut iterations = 0;
+        let mut history = Vec::with_capacity(cfg.max_iter);
+
+        for it in 0..cfg.max_iter {
+            iterations = it + 1;
+            if let Some(i) = injector.as_ref() {
+                i.begin_launch();
+            }
+            let assignment: AssignmentResult<T> = run_assignment(
+                &self.device,
+                &data,
+                cfg.variant,
+                cfg.ft.scheme,
+                hook,
+                &counters,
+                &stats,
+            )?;
+            let reassigned = if it == 0 {
+                m
+            } else {
+                labels
+                    .iter()
+                    .zip(&assignment.labels)
+                    .filter(|(a, b)| a != b)
+                    .count()
+            };
+            labels = assignment.labels;
+            inertia = assignment
+                .distances
+                .iter()
+                .map(|d| d.to_f64().max(0.0)) // FP cancellation may yield -0 epsilon
+                .sum();
+
+            if let Some(i) = injector.as_ref() {
+                i.begin_launch();
+            }
+            let update = update_centroids(
+                &self.device,
+                &data.samples,
+                m,
+                dim,
+                &labels,
+                &centroids,
+                cfg.ft.dmr_update,
+                hook,
+                &counters,
+            )?;
+            dmr_total.merge(&update.dmr);
+            centroids = update.centroids;
+
+            let empty_clusters = update.counts.iter().filter(|&&c| c == 0).count();
+            history.push(IterationEvent {
+                iteration: it,
+                inertia,
+                reassigned,
+                empty_clusters,
+            });
+
+            // Empty-cluster repair: reseed each empty cluster at the sample
+            // currently farthest from its centroid.
+            reseed_empty_clusters(
+                &mut centroids,
+                &update.counts,
+                samples,
+                &assignment.distances,
+            );
+
+            data.refresh_centroids(&self.device, &centroids, &counters)?;
+
+            let rel = if prev_inertia.is_finite() && prev_inertia > 0.0 {
+                (prev_inertia - inertia).abs() / prev_inertia
+            } else {
+                f64::INFINITY
+            };
+            if rel < cfg.tol {
+                converged = true;
+                break;
+            }
+            prev_inertia = inertia;
+        }
+
+        let ft_stats = *stats.lock();
+        Ok(FitResult {
+            centroids,
+            labels,
+            inertia,
+            iterations,
+            converged,
+            ft_stats,
+            dmr: dmr_total,
+            counters: counters.snapshot(),
+            injected: injector.as_ref().map_or(0, |i| i.injected_count()),
+            history,
+        })
+    }
+
+    /// Predict nearest centroids for new samples given a fitted result.
+    pub fn predict<T: Scalar>(
+        &self,
+        fitted: &FitResult<T>,
+        samples: &Matrix<T>,
+    ) -> Result<Vec<u32>, SimError> {
+        let counters = Counters::new();
+        let stats = Mutex::new(CampaignStats::default());
+        let data = DeviceData::upload(&self.device, samples, &fitted.centroids, &counters)?;
+        let out = run_assignment(
+            &self.device,
+            &data,
+            self.config.variant,
+            self.config.ft.scheme,
+            &NoFault,
+            &counters,
+            &stats,
+        )?;
+        Ok(out.labels)
+    }
+
+    fn build_injector<T: Scalar>(&self, m: usize, dim: usize) -> Option<Injector> {
+        let cfg = &self.config;
+        if !cfg.ft.injection.is_active() {
+            return None;
+        }
+        let tile = match cfg.variant {
+            Variant::Tensor(Some(t)) => t,
+            _ => default_tile(T::PRECISION),
+        };
+        let shape = GemmShape::new(m, cfg.k, dim);
+        let t = estimate(&TimingInput {
+            ft: cfg.ft.scheme.ft_mode(),
+            ..TimingInput::plain(&self.device, T::PRECISION, KernelClass::Tensor(tile), shape)
+        });
+        let blocks = m.div_ceil(tile.tb_m) * cfg.k.div_ceil(tile.tb_n);
+        let mma_k = match T::PRECISION {
+            Precision::Fp32 => 8,
+            Precision::Fp64 => 4,
+        };
+        let events = (tile.warps() * dim.div_ceil(tile.tb_k).max(1) * (tile.tb_k / mma_k)) as u64;
+        Some(Injector::new(InjectorConfig {
+            schedule: cfg.ft.injection,
+            model: fault::SeuModel::default(),
+            seed: cfg.ft.injection_seed,
+            kernel_time_hint_s: t.time_s.max(1e-9),
+            blocks_hint: blocks,
+            events_per_block_hint: events.max(1),
+        }))
+    }
+}
+
+/// Choose initial centroids.
+fn init_centroids<T: Scalar>(
+    samples: &Matrix<T>,
+    k: usize,
+    seed: u64,
+    method: InitMethod,
+) -> Matrix<T> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = samples.rows();
+    let dim = samples.cols();
+    let mut out = Matrix::<T>::zeros(k, dim);
+    match method {
+        InitMethod::RandomSamples => {
+            // k distinct indices via partial Fisher-Yates.
+            let mut idx: Vec<usize> = (0..m).collect();
+            for i in 0..k {
+                let j = rng.random_range(i..m);
+                idx.swap(i, j);
+            }
+            for (c, &i) in idx[..k].iter().enumerate() {
+                for d in 0..dim {
+                    out.set(c, d, samples.get(i, d));
+                }
+            }
+        }
+        InitMethod::KMeansPlusPlus => {
+            let first = rng.random_range(0..m);
+            for d in 0..dim {
+                out.set(0, d, samples.get(first, d));
+            }
+            let mut d2 = vec![f64::INFINITY; m];
+            for c in 1..k {
+                // update D² against the newest centroid
+                for (i, slot) in d2.iter_mut().enumerate() {
+                    let mut dd = 0.0;
+                    for d in 0..dim {
+                        let diff = samples.get(i, d).to_f64() - out.get(c - 1, d).to_f64();
+                        dd += diff * diff;
+                    }
+                    if dd < *slot {
+                        *slot = dd;
+                    }
+                }
+                let total: f64 = d2.iter().sum();
+                let chosen = if total <= 0.0 {
+                    rng.random_range(0..m)
+                } else {
+                    let mut target = rng.random::<f64>() * total;
+                    let mut pick = m - 1;
+                    for (i, &w) in d2.iter().enumerate() {
+                        target -= w;
+                        if target <= 0.0 {
+                            pick = i;
+                            break;
+                        }
+                    }
+                    pick
+                };
+                for d in 0..dim {
+                    out.set(c, d, samples.get(chosen, d));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Move each empty cluster onto the sample farthest from its current
+/// centroid (distinct samples per empty cluster).
+fn reseed_empty_clusters<T: Scalar>(
+    centroids: &mut Matrix<T>,
+    counts: &[u32],
+    samples: &Matrix<T>,
+    distances: &[T],
+) {
+    let empties: Vec<usize> = counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c == 0)
+        .map(|(i, _)| i)
+        .collect();
+    if empties.is_empty() {
+        return;
+    }
+    // Rank samples by assignment distance, descending.
+    let mut order: Vec<usize> = (0..distances.len()).collect();
+    order.sort_by(|&a, &b| {
+        distances[b]
+            .partial_cmp(&distances[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    for (rank, cluster) in empties.into_iter().enumerate() {
+        if rank >= order.len() {
+            break;
+        }
+        let i = order[rank];
+        for d in 0..samples.cols() {
+            centroids.set(cluster, d, samples.get(i, d));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FtConfig;
+    use crate::metrics::inertia as inertia_of;
+    use crate::reference::lloyd_reference;
+
+    fn blobs(m: usize, dim: usize, k: usize, seed: u64) -> Matrix<f64> {
+        // lightweight local blob generator to avoid a dev-dependency cycle
+        let mut rng = StdRng::seed_from_u64(seed);
+        Matrix::from_fn(m, dim, |r, c| {
+            let center = ((r % k) * 10) as f64;
+            center + ((rng.random::<f64>() - 0.5) * 0.5) + c as f64 * 0.01
+        })
+    }
+
+    #[test]
+    fn fit_recovers_separated_clusters() {
+        let data = blobs(120, 3, 3, 1);
+        let km = KMeans::new(
+            DeviceProfile::a100(),
+            KMeansConfig::new(3)
+                .with_variant(Variant::Tensor(None))
+                .with_seed(5),
+        );
+        let r = km.fit(&data).unwrap();
+        assert!(r.converged, "should converge on separable data");
+        assert!(r.iterations <= 50);
+        // every cluster used
+        let mut seen = [false; 3];
+        for &l in &r.labels {
+            seen[l as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // inertia consistent with returned centroids/labels
+        let check = inertia_of(&data, &r.centroids, &r.labels);
+        assert!((check - r.inertia).abs() / check.max(1.0) < 1e-6);
+    }
+
+    #[test]
+    fn matches_cpu_reference_per_iteration() {
+        let data = blobs(90, 4, 3, 2);
+        let km = KMeans::new(
+            DeviceProfile::a100(),
+            KMeansConfig {
+                k: 3,
+                max_iter: 8,
+                tol: 0.0, // run all iterations
+                seed: 11,
+                ..Default::default()
+            },
+        );
+        let r = km.fit(&data).unwrap();
+        let init = init_centroids(&data, 3, 11, InitMethod::RandomSamples);
+        let (_, ref_labels, _) = lloyd_reference(&data, &init, 8);
+        assert_eq!(r.labels, ref_labels);
+    }
+
+    #[test]
+    fn all_variants_agree_on_final_labels() {
+        let data = blobs(100, 5, 4, 3);
+        let variants = [
+            Variant::Naive,
+            Variant::GemmV1,
+            Variant::FusedV2,
+            Variant::BroadcastV3,
+            Variant::Tensor(None),
+        ];
+        let mut results = Vec::new();
+        for v in variants {
+            let km = KMeans::new(
+                DeviceProfile::a100(),
+                KMeansConfig::new(4).with_variant(v).with_seed(9),
+            );
+            results.push(km.fit(&data).unwrap().labels);
+        }
+        for r in &results[1..] {
+            assert_eq!(r, &results[0]);
+        }
+    }
+
+    #[test]
+    fn history_tracks_monotone_convergence() {
+        let data = blobs(150, 3, 3, 17);
+        let km = KMeans::new(
+            DeviceProfile::a100(),
+            KMeansConfig {
+                k: 3,
+                max_iter: 15,
+                tol: 0.0,
+                seed: 2,
+                ..Default::default()
+            },
+        );
+        let r = km.fit(&data).unwrap();
+        assert_eq!(r.history.len(), r.iterations);
+        assert_eq!(
+            r.history[0].reassigned, 150,
+            "first iteration assigns everything"
+        );
+        // Lloyd monotonicity: inertia never increases along the trace.
+        for w in r.history.windows(2) {
+            assert!(
+                w[1].inertia <= w[0].inertia * (1.0 + 1e-12),
+                "inertia rose: {} -> {}",
+                w[0].inertia,
+                w[1].inertia
+            );
+        }
+        // Once the assignment stabilizes, reassignment counts hit zero.
+        assert_eq!(r.history.last().unwrap().reassigned, 0);
+    }
+
+    #[test]
+    fn kmeans_plus_plus_initializes_distinctly() {
+        let data = blobs(60, 2, 4, 4);
+        let km = KMeans::new(
+            DeviceProfile::a100(),
+            KMeansConfig {
+                k: 4,
+                init: InitMethod::KMeansPlusPlus,
+                seed: 21,
+                ..Default::default()
+            },
+        );
+        let r = km.fit(&data).unwrap();
+        assert!(r.converged);
+        let mut seen = [false; 4];
+        for &l in &r.labels {
+            seen[l as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn rejects_degenerate_configs() {
+        let data = Matrix::<f32>::zeros(5, 2);
+        let km = KMeans::new(DeviceProfile::a100(), KMeansConfig::new(0));
+        assert!(km.fit(&data).is_err());
+        let km = KMeans::new(DeviceProfile::a100(), KMeansConfig::new(6));
+        assert!(km.fit(&data).is_err());
+    }
+
+    #[test]
+    fn predict_assigns_new_samples() {
+        let data = blobs(80, 3, 2, 7);
+        let km = KMeans::new(DeviceProfile::a100(), KMeansConfig::new(2).with_seed(1));
+        let fitted = km.fit(&data).unwrap();
+        let labels = km.predict(&fitted, &data).unwrap();
+        assert_eq!(labels, fitted.labels);
+    }
+
+    #[test]
+    fn protected_fit_under_injection_matches_clean_fit() {
+        let data = blobs(128, 4, 4, 8);
+        let clean = KMeans::new(
+            DeviceProfile::a100(),
+            KMeansConfig::new(4).with_seed(2).with_ft(FtConfig {
+                scheme: abft::SchemeKind::FtKMeans,
+                dmr_update: true,
+                injection: fault::InjectionSchedule::Off,
+                injection_seed: 0,
+            }),
+        )
+        .fit(&data)
+        .unwrap();
+        let injected = KMeans::new(
+            DeviceProfile::a100(),
+            KMeansConfig::new(4).with_seed(2).with_ft(FtConfig {
+                scheme: abft::SchemeKind::FtKMeans,
+                dmr_update: true,
+                injection: fault::InjectionSchedule::PerBlock { probability: 0.8 },
+                injection_seed: 99,
+            }),
+        )
+        .fit(&data)
+        .unwrap();
+        assert!(injected.injected > 0, "campaign must actually inject");
+        assert_eq!(injected.labels, clean.labels, "FT must absorb every fault");
+        assert!(injected.ft_stats.handled() + injected.dmr.mismatches > 0);
+    }
+
+    #[test]
+    fn empty_cluster_reseeding_keeps_k_clusters() {
+        // Pathological init: k=4 on data with 2 real blobs.
+        let data = blobs(40, 2, 2, 10);
+        let km = KMeans::new(
+            DeviceProfile::a100(),
+            KMeansConfig {
+                k: 4,
+                max_iter: 30,
+                seed: 13,
+                ..Default::default()
+            },
+        );
+        let r = km.fit(&data).unwrap();
+        let mut counts = [0usize; 4];
+        for &l in &r.labels {
+            counts[l as usize] += 1;
+        }
+        // after reseeding, no cluster should be persistently empty
+        assert!(counts.iter().filter(|&&c| c > 0).count() >= 2);
+    }
+}

@@ -1,0 +1,96 @@
+//! Row squared-norm kernel (Fig. 2 step 1).
+//!
+//! "The first two parts of this formula can be computed by squaring
+//! elements and summing them up in each row. This can be finished by
+//! launching two simple kernels." — one thread per row, streaming reads.
+
+use gpu_sim::{
+    launch_grid, Counters, DeviceProfile, Dim3, GlobalBuffer, LaunchConfig, Scalar, SimError,
+};
+
+/// Rows handled per threadblock.
+const ROWS_PER_BLOCK: usize = 256;
+
+/// Compute `‖row_i‖²` for every row of a row-major `rows x cols` buffer.
+pub fn row_sq_norms_kernel<T: Scalar>(
+    device: &DeviceProfile,
+    data: &GlobalBuffer<T>,
+    rows: usize,
+    cols: usize,
+    counters: &Counters,
+) -> Result<GlobalBuffer<T>, SimError> {
+    if data.len() < rows * cols {
+        return Err(SimError::ShapeMismatch(format!(
+            "buffer of {} elements cannot be {rows}x{cols}",
+            data.len()
+        )));
+    }
+    let out = GlobalBuffer::<T>::zeros(rows);
+    let grid = Dim3::x(rows.div_ceil(ROWS_PER_BLOCK).max(1));
+    let cfg = LaunchConfig {
+        grid,
+        threads_per_block: ROWS_PER_BLOCK.min(1024),
+        smem_bytes: 0,
+    };
+    launch_grid(device, cfg, counters, |ctx| {
+        let row0 = ctx.bx * ROWS_PER_BLOCK;
+        for r in row0..(row0 + ROWS_PER_BLOCK).min(rows) {
+            let mut acc = T::ZERO;
+            for c in 0..cols {
+                let v = data.load_counted(r * cols + c, ctx.counters);
+                acc += v * v;
+                ctx.counters.add_fma(1);
+            }
+            out.store_counted(r, acc, ctx.counters);
+        }
+    })?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::Matrix;
+
+    #[test]
+    fn matches_host_computation() {
+        let dev = DeviceProfile::a100();
+        let c = Counters::new();
+        let m = Matrix::<f64>::from_fn(300, 7, |r, c| (r as f64 - c as f64) * 0.25);
+        let buf = GlobalBuffer::from_matrix(&m);
+        let norms = row_sq_norms_kernel(&dev, &buf, 300, 7, &c).unwrap();
+        let expect = m.row_sq_norms();
+        for (a, b) in norms.to_vec().iter().zip(expect.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn charges_memory_traffic() {
+        let dev = DeviceProfile::a100();
+        let c = Counters::new();
+        let buf = GlobalBuffer::<f32>::filled(40, 2.0);
+        let _ = row_sq_norms_kernel(&dev, &buf, 10, 4, &c).unwrap();
+        let s = c.snapshot();
+        assert_eq!(s.bytes_loaded, 40 * 4);
+        assert_eq!(s.bytes_stored, 10 * 4);
+        assert_eq!(s.kernel_launches, 1);
+    }
+
+    #[test]
+    fn rejects_undersized_buffer() {
+        let dev = DeviceProfile::a100();
+        let c = Counters::new();
+        let buf = GlobalBuffer::<f32>::zeros(5);
+        assert!(row_sq_norms_kernel(&dev, &buf, 3, 3, &c).is_err());
+    }
+
+    #[test]
+    fn empty_rows_ok() {
+        let dev = DeviceProfile::t4();
+        let c = Counters::new();
+        let buf = GlobalBuffer::<f64>::zeros(0);
+        let out = row_sq_norms_kernel(&dev, &buf, 0, 4, &c).unwrap();
+        assert_eq!(out.len(), 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Plain CPU Lloyd iteration — the ground truth every kernel variant is
+//! validated against.
+
+use gpu_sim::{Matrix, Scalar};
+
+/// Assign each sample to its nearest centroid (squared Euclidean), ties to
+/// the lower index. Returns (assignments, squared distances).
+pub fn assign_reference<T: Scalar>(
+    samples: &Matrix<T>,
+    centroids: &Matrix<T>,
+) -> (Vec<u32>, Vec<T>) {
+    assert_eq!(samples.cols(), centroids.cols(), "dimension mismatch");
+    let mut labels = Vec::with_capacity(samples.rows());
+    let mut dists = Vec::with_capacity(samples.rows());
+    for i in 0..samples.rows() {
+        let x = samples.row(i);
+        let mut best = T::INFINITY;
+        let mut best_j = u32::MAX;
+        for j in 0..centroids.rows() {
+            let y = centroids.row(j);
+            let mut d = T::ZERO;
+            for (a, b) in x.iter().zip(y.iter()) {
+                let diff = *a - *b;
+                d += diff * diff;
+            }
+            if d < best {
+                best = d;
+                best_j = j as u32;
+            }
+        }
+        labels.push(best_j);
+        dists.push(best);
+    }
+    (labels, dists)
+}
+
+/// Recompute centroids as the mean of their members. Empty clusters keep
+/// their previous position. Returns (centroids, member counts).
+pub fn update_reference<T: Scalar>(
+    samples: &Matrix<T>,
+    labels: &[u32],
+    old_centroids: &Matrix<T>,
+) -> (Matrix<T>, Vec<u32>) {
+    let k = old_centroids.rows();
+    let dim = samples.cols();
+    let mut sums = Matrix::<T>::zeros(k, dim);
+    let mut counts = vec![0u32; k];
+    for (i, &label) in labels.iter().enumerate().take(samples.rows()) {
+        let c = label as usize;
+        counts[c] += 1;
+        for d in 0..dim {
+            sums.set(c, d, sums.get(c, d) + samples.get(i, d));
+        }
+    }
+    let mut out = Matrix::<T>::zeros(k, dim);
+    for (c, &count) in counts.iter().enumerate() {
+        for d in 0..dim {
+            let v = if count == 0 {
+                old_centroids.get(c, d)
+            } else {
+                sums.get(c, d) / T::from_usize(count as usize)
+            };
+            out.set(c, d, v);
+        }
+    }
+    (out, counts)
+}
+
+/// Full reference K-means: Lloyd iterations until the assignment is stable
+/// or `max_iter` is reached. Returns (centroids, labels, iterations).
+pub fn lloyd_reference<T: Scalar>(
+    samples: &Matrix<T>,
+    init: &Matrix<T>,
+    max_iter: usize,
+) -> (Matrix<T>, Vec<u32>, usize) {
+    let mut centroids = init.clone();
+    let mut labels = vec![u32::MAX; samples.rows()];
+    for it in 0..max_iter {
+        let (new_labels, _) = assign_reference(samples, &centroids);
+        let stable = new_labels == labels;
+        labels = new_labels;
+        let (new_centroids, _) = update_reference(samples, &labels, &centroids);
+        centroids = new_centroids;
+        if stable {
+            return (centroids, labels, it + 1);
+        }
+    }
+    (centroids, labels, max_iter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cluster_data() -> (Matrix<f64>, Matrix<f64>) {
+        // Four points in two obvious pairs.
+        let samples = Matrix::from_vec(4, 2, vec![0.0, 0.0, 0.1, 0.0, 5.0, 5.0, 5.1, 5.0]).unwrap();
+        let init = Matrix::from_vec(2, 2, vec![0.0, 0.1, 5.0, 4.9]).unwrap();
+        (samples, init)
+    }
+
+    #[test]
+    fn assignment_picks_nearest() {
+        let (samples, init) = two_cluster_data();
+        let (labels, dists) = assign_reference(&samples, &init);
+        assert_eq!(labels, vec![0, 0, 1, 1]);
+        assert!(dists.iter().all(|&d| d < 0.1));
+    }
+
+    #[test]
+    fn ties_break_low_index() {
+        let samples = Matrix::from_vec(1, 1, vec![0.0f32]).unwrap();
+        let cents = Matrix::from_vec(2, 1, vec![1.0f32, -1.0]).unwrap();
+        let (labels, _) = assign_reference(&samples, &cents);
+        assert_eq!(labels[0], 0);
+    }
+
+    #[test]
+    fn update_computes_means() {
+        let (samples, init) = two_cluster_data();
+        let labels = vec![0, 0, 1, 1];
+        let (c, counts) = update_reference(&samples, &labels, &init);
+        assert_eq!(counts, vec![2, 2]);
+        assert!((c.get(0, 0) - 0.05).abs() < 1e-12);
+        assert!((c.get(1, 0) - 5.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cluster_keeps_old_position() {
+        let samples = Matrix::from_vec(2, 1, vec![1.0f64, 2.0]).unwrap();
+        let old = Matrix::from_vec(2, 1, vec![0.0f64, 99.0]).unwrap();
+        let (c, counts) = update_reference(&samples, &[0, 0], &old);
+        assert_eq!(counts, vec![2, 0]);
+        assert_eq!(c.get(1, 0), 99.0);
+        assert!((c.get(0, 0) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lloyd_converges_on_separable_data() {
+        let (samples, init) = two_cluster_data();
+        let (c, labels, iters) = lloyd_reference(&samples, &init, 20);
+        assert!(iters < 20);
+        assert_eq!(labels, vec![0, 0, 1, 1]);
+        assert!((c.get(0, 0) - 0.05).abs() < 1e-9);
+    }
+}

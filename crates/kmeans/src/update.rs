@@ -1,0 +1,363 @@
+//! Centroid-update phase (Fig. 2 step 3) with optional DMR protection.
+//!
+//! One fused kernel accumulates every sample into its assigned centroid via
+//! `atomicAdd` and bumps the member counter; a second kernel averages. The
+//! phase is memory-bound, so duplicating the arithmetic (DMR) and voting
+//! hides behind the loads — the paper measures <1% overhead (§I, §IV).
+
+use abft::dmr::{protected, DmrStats};
+use gpu_sim::memory::GlobalIndexBuffer;
+use gpu_sim::mma::{FaultHook, MmaSite};
+use gpu_sim::{
+    launch_grid, Counters, DeviceProfile, Dim3, GlobalBuffer, LaunchConfig, Matrix, Scalar,
+    SimError,
+};
+use parking_lot::Mutex;
+
+/// Samples per threadblock in the accumulation kernel.
+const SAMPLES_PER_BLOCK: usize = 256;
+
+/// Result of the update phase.
+#[derive(Debug, Clone)]
+pub struct UpdateResult<T> {
+    /// New centroid positions (empty clusters keep their previous ones).
+    pub centroids: Matrix<T>,
+    /// Members per cluster.
+    pub counts: Vec<u32>,
+    /// DMR statistics (zeros when DMR was off).
+    pub dmr: DmrStats,
+}
+
+/// Run the centroid update.
+#[allow(clippy::too_many_arguments)]
+pub fn update_centroids<T: Scalar>(
+    device: &DeviceProfile,
+    samples: &GlobalBuffer<T>,
+    m: usize,
+    dim: usize,
+    labels: &[u32],
+    old_centroids: &Matrix<T>,
+    dmr: bool,
+    hook: &dyn FaultHook<T>,
+    counters: &Counters,
+) -> Result<UpdateResult<T>, SimError> {
+    if labels.len() != m {
+        return Err(SimError::ShapeMismatch(format!(
+            "{} labels for {m} samples",
+            labels.len()
+        )));
+    }
+    let k = old_centroids.rows();
+    let sums = GlobalBuffer::<T>::zeros(k * dim);
+    let count_buf = GlobalIndexBuffer::zeros(k);
+    let dmr_stats = Mutex::new(DmrStats::default());
+
+    // Kernel 1: fused accumulation — "each thread … uses atomic add to add
+    // the values of this sample in every dimension to its assigned centroid
+    // and add one to the counter" (§III-A2).
+    let grid = Dim3::x(m.div_ceil(SAMPLES_PER_BLOCK).max(1));
+    let cfg = LaunchConfig {
+        grid,
+        threads_per_block: 256,
+        smem_bytes: 0,
+    };
+    launch_grid(device, cfg, counters, |ctx| {
+        let row0 = ctx.bx * SAMPLES_PER_BLOCK;
+        let mut local_dmr = DmrStats::default();
+        for (i, &label) in labels
+            .iter()
+            .enumerate()
+            .take((row0 + SAMPLES_PER_BLOCK).min(m))
+            .skip(row0)
+        {
+            let c = label as usize;
+            debug_assert!(c < k, "label {c} out of range {k}");
+            for d in 0..dim {
+                let x = samples.load_counted(i * dim + d, ctx.counters);
+                let site = MmaSite {
+                    block: (ctx.bx, 0),
+                    warp: 0,
+                    k_step: d,
+                    is_checksum: false,
+                };
+                let v = if dmr {
+                    // Duplicated arithmetic: both replicas run the same FMA
+                    // through the fault hook; disagreement is voted out.
+                    protected(|_| hook.post_fma(&site, x), 3, &mut local_dmr)
+                } else {
+                    hook.post_fma(&site, x)
+                };
+                ctx.counters.add_fma(if dmr { 2 } else { 1 });
+                sums.atomic_add(c * dim + d, v, ctx.counters);
+            }
+            count_buf.atomic_inc(c, ctx.counters);
+        }
+        if dmr {
+            dmr_stats.lock().merge(&local_dmr);
+        }
+    })?;
+
+    // Kernel 2: averaging — one thread per centroid.
+    let out = GlobalBuffer::<T>::zeros(k * dim);
+    let cfg2 = LaunchConfig {
+        grid: Dim3::x(k.div_ceil(SAMPLES_PER_BLOCK).max(1)),
+        threads_per_block: 256,
+        smem_bytes: 0,
+    };
+    let old = GlobalBuffer::from_matrix(old_centroids);
+    launch_grid(device, cfg2, counters, |ctx| {
+        let c0 = ctx.bx * SAMPLES_PER_BLOCK;
+        let mut local_dmr = DmrStats::default();
+        for c in c0..(c0 + SAMPLES_PER_BLOCK).min(k) {
+            let n = count_buf.load(c);
+            for d in 0..dim {
+                let v = if n == 0 {
+                    old.load_counted(c * dim + d, ctx.counters)
+                } else {
+                    let s = sums.load_counted(c * dim + d, ctx.counters);
+                    let site = MmaSite {
+                        block: (ctx.bx, 0),
+                        warp: 1,
+                        k_step: d,
+                        is_checksum: false,
+                    };
+                    let divide = |_: u32| hook.post_fma(&site, s / T::from_usize(n as usize));
+                    if dmr {
+                        protected(divide, 3, &mut local_dmr)
+                    } else {
+                        divide(0)
+                    }
+                };
+                out.store_counted(c * dim + d, v, ctx.counters);
+            }
+        }
+        if dmr {
+            dmr_stats.lock().merge(&local_dmr);
+        }
+    })?;
+
+    let dmr = *dmr_stats.lock();
+    Ok(UpdateResult {
+        centroids: out.to_matrix(k, dim),
+        counts: count_buf.to_vec(),
+        dmr,
+    })
+}
+
+/// The *basic* update of §III-A1: one kernel launch **per centroid**, each
+/// scanning every sample and accumulating only the matching ones ("launching
+/// N kernels is a great waste of time, because, in kernel j, a large number
+/// of threads are idle", §III-A2). Kept as the baseline the fused update is
+/// measured against; functionally identical to [`update_centroids`].
+pub fn update_centroids_naive<T: Scalar>(
+    device: &DeviceProfile,
+    samples: &GlobalBuffer<T>,
+    m: usize,
+    dim: usize,
+    labels: &[u32],
+    old_centroids: &Matrix<T>,
+    counters: &Counters,
+) -> Result<UpdateResult<T>, SimError> {
+    if labels.len() != m {
+        return Err(SimError::ShapeMismatch(format!(
+            "{} labels for {m} samples",
+            labels.len()
+        )));
+    }
+    let k = old_centroids.rows();
+    let sums = GlobalBuffer::<T>::zeros(k * dim);
+    let count_buf = GlobalIndexBuffer::zeros(k);
+
+    // One launch per centroid; every thread reads its sample even when the
+    // sample belongs elsewhere — the idle-thread waste the paper calls out.
+    for cluster in 0..k {
+        let grid = Dim3::x(m.div_ceil(SAMPLES_PER_BLOCK).max(1));
+        let cfg = LaunchConfig {
+            grid,
+            threads_per_block: 256,
+            smem_bytes: 0,
+        };
+        launch_grid(device, cfg, counters, |ctx| {
+            let row0 = ctx.bx * SAMPLES_PER_BLOCK;
+            for i in row0..(row0 + SAMPLES_PER_BLOCK).min(m) {
+                // the label read happens regardless of membership
+                let belongs = labels[i] as usize == cluster;
+                ctx.counters.add_loaded(4);
+                if belongs {
+                    for d in 0..dim {
+                        let x = samples.load_counted(i * dim + d, ctx.counters);
+                        sums.atomic_add(cluster * dim + d, x, ctx.counters);
+                    }
+                    count_buf.atomic_inc(cluster, ctx.counters);
+                }
+            }
+        })?;
+    }
+
+    // Final averaging kernel (identical to the fused path's kernel 2).
+    let out = GlobalBuffer::<T>::zeros(k * dim);
+    let cfg2 = LaunchConfig {
+        grid: Dim3::x(k.div_ceil(SAMPLES_PER_BLOCK).max(1)),
+        threads_per_block: 256,
+        smem_bytes: 0,
+    };
+    let old = GlobalBuffer::from_matrix(old_centroids);
+    launch_grid(device, cfg2, counters, |ctx| {
+        let c0 = ctx.bx * SAMPLES_PER_BLOCK;
+        for c in c0..(c0 + SAMPLES_PER_BLOCK).min(k) {
+            let n = count_buf.load(c);
+            for d in 0..dim {
+                let v = if n == 0 {
+                    old.load_counted(c * dim + d, ctx.counters)
+                } else {
+                    sums.load_counted(c * dim + d, ctx.counters) / T::from_usize(n as usize)
+                };
+                out.store_counted(c * dim + d, v, ctx.counters);
+            }
+        }
+    })?;
+
+    Ok(UpdateResult {
+        centroids: out.to_matrix(k, dim),
+        counts: count_buf.to_vec(),
+        dmr: DmrStats::default(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::update_reference;
+    use fault::{Injector, PlannedInjection};
+    use gpu_sim::mma::NoFault;
+
+    fn setup(m: usize, dim: usize, k: usize) -> (Matrix<f64>, Vec<u32>, Matrix<f64>) {
+        let samples = Matrix::<f64>::from_fn(m, dim, |r, c| ((r * 3 + c) % 7) as f64 - 3.0);
+        let labels: Vec<u32> = (0..m).map(|i| (i % k) as u32).collect();
+        let old = Matrix::<f64>::from_fn(k, dim, |r, c| (r + c) as f64);
+        (samples, labels, old)
+    }
+
+    #[test]
+    fn matches_reference_update() {
+        let dev = DeviceProfile::a100();
+        let c = Counters::new();
+        let (samples, labels, old) = setup(100, 5, 7);
+        let buf = GlobalBuffer::from_matrix(&samples);
+        let out = update_centroids(&dev, &buf, 100, 5, &labels, &old, false, &NoFault, &c).unwrap();
+        let (want, want_counts) = update_reference(&samples, &labels, &old);
+        assert_eq!(out.counts, want_counts);
+        assert!(out.centroids.max_abs_diff(&want) < 1e-9);
+    }
+
+    #[test]
+    fn empty_cluster_keeps_old_position() {
+        let dev = DeviceProfile::a100();
+        let c = Counters::new();
+        let samples = Matrix::<f32>::filled(4, 2, 1.0);
+        let labels = vec![0, 0, 0, 0];
+        let old = Matrix::from_vec(2, 2, vec![0.0f32, 0.0, 7.0, 8.0]).unwrap();
+        let out = update_centroids(
+            &dev,
+            &GlobalBuffer::from_matrix(&samples),
+            4,
+            2,
+            &labels,
+            &old,
+            false,
+            &NoFault,
+            &c,
+        )
+        .unwrap();
+        assert_eq!(out.counts, vec![4, 0]);
+        assert_eq!(out.centroids.get(1, 0), 7.0);
+        assert_eq!(out.centroids.get(1, 1), 8.0);
+        assert_eq!(out.centroids.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn dmr_votes_out_injected_fault() {
+        let dev = DeviceProfile::a100();
+        let c = Counters::new();
+        let (samples, labels, old) = setup(64, 4, 4);
+        let buf = GlobalBuffer::from_matrix(&samples);
+        // One planned strike on the accumulation FMA of block 0.
+        let inj = Injector::planned(vec![PlannedInjection {
+            block: (0, 0),
+            warp: 0,
+            k_step: 2,
+            elem_idx: 0,
+            bit: 62,
+            target_checksum: false,
+        }]);
+        let out = update_centroids(&dev, &buf, 64, 4, &labels, &old, true, &inj, &c).unwrap();
+        assert_eq!(inj.injected_count(), 1);
+        assert_eq!(out.dmr.mismatches, 1, "DMR caught the corrupted replica");
+        let (want, _) = update_reference(&samples, &labels, &old);
+        assert!(
+            out.centroids.max_abs_diff(&want) < 1e-9,
+            "result unaffected"
+        );
+    }
+
+    #[test]
+    fn unprotected_update_is_corrupted_by_same_fault() {
+        let dev = DeviceProfile::a100();
+        let c = Counters::new();
+        let (samples, labels, old) = setup(64, 4, 4);
+        let buf = GlobalBuffer::from_matrix(&samples);
+        let inj = Injector::planned(vec![PlannedInjection {
+            block: (0, 0),
+            warp: 0,
+            k_step: 2,
+            elem_idx: 0,
+            bit: 62,
+            target_checksum: false,
+        }]);
+        let out = update_centroids(&dev, &buf, 64, 4, &labels, &old, false, &inj, &c).unwrap();
+        let (want, _) = update_reference(&samples, &labels, &old);
+        assert!(
+            out.centroids.max_abs_diff(&want) > 1.0,
+            "without DMR the flip silently lands in a centroid"
+        );
+    }
+
+    #[test]
+    fn naive_update_matches_fused_but_wastes_launches() {
+        let dev = DeviceProfile::a100();
+        let (samples, labels, old) = setup(120, 6, 8);
+        let buf = GlobalBuffer::from_matrix(&samples);
+
+        let c_naive = Counters::new();
+        let naive = update_centroids_naive(&dev, &buf, 120, 6, &labels, &old, &c_naive).unwrap();
+        let c_fused = Counters::new();
+        let fused =
+            update_centroids(&dev, &buf, 120, 6, &labels, &old, false, &NoFault, &c_fused).unwrap();
+
+        // Functionally identical…
+        assert_eq!(naive.counts, fused.counts);
+        assert!(naive.centroids.max_abs_diff(&fused.centroids) < 1e-12);
+        // …but one launch per centroid (plus averaging) instead of two.
+        let sn = c_naive.snapshot();
+        let sf = c_fused.snapshot();
+        assert_eq!(sn.kernel_launches, 8 + 1);
+        assert_eq!(sf.kernel_launches, 2);
+        // and K redundant label scans.
+        assert!(
+            sn.bytes_loaded > sf.bytes_loaded,
+            "{} vs {}",
+            sn.bytes_loaded,
+            sf.bytes_loaded
+        );
+    }
+
+    #[test]
+    fn dmr_off_has_zero_stats() {
+        let dev = DeviceProfile::t4();
+        let c = Counters::new();
+        let (samples, labels, old) = setup(16, 2, 2);
+        let buf = GlobalBuffer::from_matrix(&samples);
+        let out = update_centroids(&dev, &buf, 16, 2, &labels, &old, false, &NoFault, &c).unwrap();
+        assert_eq!(out.dmr, DmrStats::default());
+    }
+}

@@ -1,0 +1,176 @@
+//! The step-wise kernel variants of §III, lowest to highest performance.
+
+pub mod broadcast;
+pub mod fused;
+pub mod gemm;
+pub mod naive;
+pub mod tensor;
+
+use gpu_sim::mma::{FaultHook, MmaSite};
+use gpu_sim::shared::SharedTile;
+use gpu_sim::{Counters, GlobalBuffer, Scalar};
+
+/// Fill a shared operand tile from global memory with zero-padding at the
+/// problem edge, charging only in-bounds loads (cp.async zero-fill
+/// semantics).
+///
+/// `row0` is the first global row; `k0` the first global column of the
+/// K-slab; the backing matrix is `rows x cols` row-major in `global`.
+pub(crate) fn fill_tile_from_global<T: Scalar>(
+    tile: &mut SharedTile<T>,
+    global: &GlobalBuffer<T>,
+    row0: usize,
+    k0: usize,
+    rows: usize,
+    cols: usize,
+    counters: &Counters,
+) {
+    let mut loaded = 0u64;
+    for r in 0..tile.rows() {
+        let gr = row0 + r;
+        for c in 0..tile.cols() {
+            let gc = k0 + c;
+            let v = if gr < rows && gc < cols {
+                loaded += 1;
+                global.load(gr * cols + gc)
+            } else {
+                T::ZERO
+            };
+            tile.set(r, c, v);
+        }
+    }
+    counters.add_loaded(loaded * std::mem::size_of::<T>() as u64);
+}
+
+/// SIMT threadblock GEMM slab: `acc[i][j] += Σ_k a[i][k]·b[j][k]` over the
+/// shared tiles' first `kk` columns. Fault hook applied at slab granularity;
+/// FMA count charged in bulk.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn simt_block_gemm<T: Scalar>(
+    acc: &mut [T],
+    a: &SharedTile<T>,
+    b: &SharedTile<T>,
+    tm: usize,
+    tn: usize,
+    kk: usize,
+    site: MmaSite,
+    hook: &dyn FaultHook<T>,
+    counters: &Counters,
+) {
+    debug_assert_eq!(acc.len(), tm * tn);
+    for i in 0..tm {
+        for j in 0..tn {
+            let mut sum = T::ZERO;
+            for k in 0..kk {
+                sum += a.get(i, k) * b.get(j, k);
+            }
+            acc[i * tn + j] += sum;
+        }
+    }
+    counters.add_fma((tm * tn * kk) as u64);
+    hook.post_mma(&site, acc, tn);
+}
+
+/// Row-minimum epilogue over a block's accumulator tile: for every valid
+/// row, find the nearest centroid among the block's valid columns using
+/// `dist = ‖x‖² + ‖y‖² − 2·(x·y)` and return `(distance, global column)`
+/// pairs. Charges epilogue FMA work.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn block_row_min<T: Scalar>(
+    acc: &[T],
+    tn: usize,
+    row0: usize,
+    rows_valid: usize,
+    col0: usize,
+    cols_valid: usize,
+    sample_norms: &GlobalBuffer<T>,
+    centroid_norms: &GlobalBuffer<T>,
+    counters: &Counters,
+) -> Vec<(T, u32)> {
+    let two = T::ONE + T::ONE;
+    let mut out = Vec::with_capacity(rows_valid);
+    for i in 0..rows_valid {
+        let xn = sample_norms.load_counted(row0 + i, counters);
+        let mut best = T::INFINITY;
+        let mut best_j = u32::MAX;
+        for j in 0..cols_valid {
+            let yn = centroid_norms.load(col0 + j);
+            let d = xn + yn - two * acc[i * tn + j];
+            if d < best || (d == best && ((col0 + j) as u32) < best_j) {
+                best = d;
+                best_j = (col0 + j) as u32;
+            }
+        }
+        out.push((best, best_j));
+    }
+    counters.add_fma((rows_valid * cols_valid * 2) as u64);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::mma::NoFault;
+
+    #[test]
+    fn tile_fill_pads_with_zero_and_charges_inbounds_only() {
+        let c = Counters::new();
+        let global = GlobalBuffer::<f32>::from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]); // 3x2
+        let mut tile = SharedTile::<f32>::new(2, 3);
+        fill_tile_from_global(&mut tile, &global, 2, 0, 3, 2, &c);
+        // global row 2 = [5,6]; row 3 doesn't exist; col 2 doesn't exist
+        assert_eq!(tile.get(0, 0), 5.0);
+        assert_eq!(tile.get(0, 1), 6.0);
+        assert_eq!(tile.get(0, 2), 0.0);
+        assert_eq!(tile.get(1, 0), 0.0);
+        assert_eq!(c.snapshot().bytes_loaded, 2 * 4);
+    }
+
+    #[test]
+    fn simt_gemm_matches_reference() {
+        let c = Counters::new();
+        let mut a = SharedTile::<f64>::new(2, 3);
+        let mut b = SharedTile::<f64>::new(2, 3);
+        for k in 0..3 {
+            a.set(0, k, (k + 1) as f64);
+            a.set(1, k, 1.0);
+            b.set(0, k, 2.0);
+            b.set(1, k, (k as f64) - 1.0);
+        }
+        let mut acc = vec![0.0f64; 4];
+        let site = MmaSite {
+            block: (0, 0),
+            warp: 0,
+            k_step: 0,
+            is_checksum: false,
+        };
+        simt_block_gemm(&mut acc, &a, &b, 2, 2, 3, site, &NoFault, &c);
+        // row0: [1,2,3]·[2,2,2]=12 ; [1,2,3]·[-1,0,1]=2
+        // row1: [1,1,1]·[2,2,2]=6  ; [1,1,1]·[-1,0,1]=0
+        assert_eq!(acc, vec![12.0, 2.0, 6.0, 0.0]);
+        assert_eq!(c.snapshot().fma_ops, 12);
+    }
+
+    #[test]
+    fn row_min_uses_norm_identity() {
+        let c = Counters::new();
+        // x = (1,0); centroids y0 = (1,0), y1 = (0,2)
+        // products: x·y0 = 1, x·y1 = 0
+        let acc = vec![1.0f64, 0.0];
+        let xn = GlobalBuffer::from_slice(&[1.0f64]);
+        let yn = GlobalBuffer::from_slice(&[1.0f64, 4.0]);
+        let out = block_row_min(&acc, 2, 0, 1, 0, 2, &xn, &yn, &c);
+        // d0 = 1+1-2 = 0 ; d1 = 1+4-0 = 5
+        assert_eq!(out, vec![(0.0, 0)]);
+    }
+
+    #[test]
+    fn row_min_ties_break_low_index() {
+        let c = Counters::new();
+        let acc = vec![0.0f32, 0.0];
+        let xn = GlobalBuffer::from_slice(&[0.0f32]);
+        let yn = GlobalBuffer::from_slice(&[1.0f32, 1.0]);
+        let out = block_row_min(&acc, 2, 0, 1, 0, 2, &xn, &yn, &c);
+        assert_eq!(out[0].1, 0);
+    }
+}

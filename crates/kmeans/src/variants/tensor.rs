@@ -1,0 +1,826 @@
+//! V4 — the tensor-core pipeline kernel (§III-A5, Fig. 4) with optional
+//! online fault tolerance (§IV, Fig. 6).
+//!
+//! Per threadblock the kernel runs the paper's structure faithfully:
+//!
+//! 1. a `k_stage`-deep asynchronous copy pipeline stages A/B tiles into
+//!    shared memory (`cp.async` + commit/wait groups, lines 03–09, 13–14,
+//!    18–19),
+//! 2. each warp loads register fragments and issues tensor-core MMA slabs
+//!    over its `wm x wn` accumulator (line 17),
+//! 3. with FT enabled, input checksums are folded from the *register
+//!    fragments* (lines 15–18 — no extra memory traffic, which is why the
+//!    scheme survives `cp.async`) and three checksum MMAs accumulate the
+//!    protected sums (lines 22–24),
+//! 4. every `DETECT_INTERVAL_K` steps and at the loop end the accumulator
+//!    is verified and, for FT K-means, corrected in place via location
+//!    encoding (lines 25–31),
+//! 5. the fused epilogue performs the row-minimum with the norm identity
+//!    and merges into the global argmin store (threadblock broadcast).
+//!
+//! Wu's threadblock-level scheme instead absorbs whole staged tiles; on
+//! `cp.async` devices those values are *re-read from global memory*
+//! (charged to `ft_extra_loads`) because the register-staged observation
+//! path no longer exists.
+
+use crate::assign::AssignmentResult;
+use crate::device_data::DeviceData;
+use abft::online::{CheckOutcome, WarpOnlineState};
+use abft::schemes::ftkmeans::FtKMeansScheme;
+use abft::schemes::kosaian::KosaianScheme;
+use abft::schemes::wu::WuBlockState;
+use abft::SchemeKind;
+use fault::CampaignStats;
+use gpu_sim::atomics::ArgminStore;
+use gpu_sim::mma::{shapes, FaultHook, FragmentMma, MmaSite};
+use gpu_sim::timing::TileConfig;
+use gpu_sim::warp::{load_a_fragment, load_b_fragment};
+use gpu_sim::{
+    launch_grid, AsyncPipeline, CopyPath, Counters, DeviceProfile, Dim3, LaunchConfig, Precision,
+    Scalar, SimError,
+};
+use parking_lot::Mutex;
+
+/// Online detection interval along the K dimension (Fig. 6 line 25:
+/// `if k % 256 == 0`).
+pub const DETECT_INTERVAL_K: usize = 256;
+
+fn validate<T: Scalar>(device: &DeviceProfile, tile: &TileConfig) -> Result<(), SimError> {
+    if tile.wm == 0
+        || tile.wn == 0
+        || !tile.tb_m.is_multiple_of(tile.wm)
+        || !tile.tb_n.is_multiple_of(tile.wn)
+    {
+        return Err(SimError::InvalidConfig(format!(
+            "warp tile {}x{} must divide threadblock tile {}x{}",
+            tile.wm, tile.wn, tile.tb_m, tile.tb_n
+        )));
+    }
+    let mma_k = match T::PRECISION {
+        Precision::Fp32 => shapes::FP32_MMA.2,
+        Precision::Fp64 => shapes::FP64_MMA.2,
+    };
+    if tile.tb_k == 0 || !tile.tb_k.is_multiple_of(mma_k) {
+        return Err(SimError::InvalidConfig(format!(
+            "Threadblock.K = {} must be a positive multiple of the MMA K = {mma_k}",
+            tile.tb_k
+        )));
+    }
+    if tile.k_stages < 2 {
+        return Err(SimError::InvalidConfig(
+            "pipeline needs at least 2 stages".into(),
+        ));
+    }
+    let smem = tile.smem_bytes(T::PRECISION);
+    if smem > device.smem_per_block {
+        return Err(SimError::SharedMemoryOverflow {
+            requested: smem,
+            limit: device.smem_per_block,
+        });
+    }
+    if tile.threads() > device.max_threads_per_block {
+        return Err(SimError::ThreadLimitExceeded {
+            requested: tile.threads(),
+            limit: device.max_threads_per_block,
+        });
+    }
+    Ok(())
+}
+
+/// Run the tensor-core assignment kernel.
+#[allow(clippy::too_many_arguments)]
+pub fn tensor_assign<T: Scalar>(
+    device: &DeviceProfile,
+    tile: TileConfig,
+    data: &DeviceData<T>,
+    scheme: SchemeKind,
+    hook: &dyn FaultHook<T>,
+    counters: &Counters,
+    stats: &Mutex<CampaignStats>,
+) -> Result<AssignmentResult<T>, SimError> {
+    validate::<T>(device, &tile)?;
+    let (m, kc, dim) = (data.m, data.k, data.dim);
+    let mma_k = match T::PRECISION {
+        Precision::Fp32 => shapes::FP32_MMA.2,
+        Precision::Fp64 => shapes::FP64_MMA.2,
+    };
+    let bm = m.div_ceil(tile.tb_m);
+    let bn = kc.div_ceil(tile.tb_n);
+    let n_ktiles = dim.div_ceil(tile.tb_k).max(1);
+    let warps_n = tile.tb_n / tile.wn;
+    let warps_m = tile.tb_m / tile.wm;
+    let n_warps = warps_m * warps_n;
+    let path = if device.has_async_copy {
+        CopyPath::AsyncBypass
+    } else {
+        CopyPath::RegisterStaged
+    };
+    let store = ArgminStore::<T>::new(m);
+    let exec = FragmentMma::new::<T>(tile.wm, tile.wn);
+    let elem = std::mem::size_of::<T>();
+
+    let cfg = LaunchConfig {
+        grid: Dim3::xy(bn.max(1), bm.max(1)),
+        threads_per_block: tile.threads(),
+        smem_bytes: tile.smem_bytes(T::PRECISION),
+    };
+
+    launch_grid(device, cfg, counters, |ctx| {
+        let row0 = ctx.by * tile.tb_m;
+        let col0 = ctx.bx * tile.tb_n;
+        let rows_valid = tile.tb_m.min(m.saturating_sub(row0));
+        let cols_valid = tile.tb_n.min(kc.saturating_sub(col0));
+        if rows_valid == 0 || cols_valid == 0 {
+            return;
+        }
+        let block = (ctx.by, ctx.bx);
+
+        let mut pipeline =
+            AsyncPipeline::<T>::new(tile.k_stages, tile.tb_m, tile.tb_n, tile.tb_k, path);
+        let mut accs: Vec<Vec<T>> = (0..n_warps)
+            .map(|_| vec![T::ZERO; tile.wm * tile.wn])
+            .collect();
+        let mut warp_states: Option<Vec<WarpOnlineState<T>>> = match scheme {
+            SchemeKind::FtKMeans => {
+                let s = FtKMeansScheme::new(T::PRECISION);
+                Some(
+                    (0..n_warps)
+                        .map(|_| s.warp_state(tile.wm, tile.wn))
+                        .collect(),
+                )
+            }
+            SchemeKind::Kosaian => {
+                let s = KosaianScheme::new(T::PRECISION);
+                Some(
+                    (0..n_warps)
+                        .map(|_| s.warp_state(tile.wm, tile.wn))
+                        .collect(),
+                )
+            }
+            _ => None,
+        };
+        let mut wu_state: Option<WuBlockState<T>> = (scheme == SchemeKind::Wu)
+            .then(|| WuBlockState::new(tile.tb_m, tile.tb_n, T::PRECISION));
+
+        let fill_a = |dst: &mut gpu_sim::SharedTile<T>, k0: usize, c: &Counters| {
+            crate::variants::fill_tile_from_global(dst, &data.samples, row0, k0, m, dim, c);
+        };
+        let fill_b = |dst: &mut gpu_sim::SharedTile<T>, k0: usize, c: &Counters| {
+            crate::variants::fill_tile_from_global(dst, &data.centroids, col0, k0, kc, dim, c);
+        };
+
+        // Prologue: stage the first k_stages-1 tiles (Fig. 4 lines 03-07).
+        let prologue = (tile.k_stages - 1).min(n_ktiles);
+        for s in 0..prologue {
+            let k0 = s * tile.tb_k;
+            pipeline.cp_async(
+                s,
+                ctx.counters,
+                |t| fill_a(t, k0, ctx.counters),
+                |t| fill_b(t, k0, ctx.counters),
+            );
+            pipeline.commit_group();
+        }
+        let mut committed = prologue;
+
+        let mut a_frag = vec![T::ZERO; tile.wm * mma_k];
+        let mut b_frag = vec![T::ZERO; tile.wn * mma_k];
+
+        for kt in 0..n_ktiles {
+            // Prefetch the tile k_stages-1 ahead (Fig. 4 lines 13-14).
+            let pf = kt + tile.k_stages - 1;
+            if pf < n_ktiles {
+                let stage = pf % tile.k_stages;
+                let k0 = pf * tile.tb_k;
+                pipeline.cp_async(
+                    stage,
+                    ctx.counters,
+                    |t| fill_a(t, k0, ctx.counters),
+                    |t| fill_b(t, k0, ctx.counters),
+                );
+                pipeline.commit_group();
+                committed += 1;
+            }
+            // Wait until this iteration's tile is resident (line 08/19).
+            pipeline.wait_group(committed - kt - 1);
+            ctx.barrier();
+
+            let stage = kt % tile.k_stages;
+
+            // Wu's threadblock-level checksums: absorb the staged tiles. On
+            // cp.async devices the values must be re-read from global.
+            if let Some(wu) = wu_state.as_mut() {
+                if path == CopyPath::AsyncBypass {
+                    ctx.counters
+                        .add_ft_extra_loads(((tile.tb_m + tile.tb_n) * tile.tb_k * elem) as u64);
+                }
+                wu.absorb_tiles(
+                    pipeline.a(stage),
+                    pipeline.b(stage),
+                    tile.tb_k,
+                    ctx.counters,
+                );
+            }
+
+            // Warp MMA main loop (Fig. 4 lines 15-17).
+            for wi in 0..warps_m {
+                for wj in 0..warps_n {
+                    let warp_id = wi * warps_n + wj;
+                    let acc = &mut accs[warp_id];
+                    for kk0 in (0..tile.tb_k).step_by(mma_k) {
+                        load_a_fragment(
+                            pipeline.a(stage),
+                            wi * tile.wm,
+                            kk0,
+                            tile.wm,
+                            mma_k,
+                            &mut a_frag,
+                        );
+                        load_b_fragment(
+                            pipeline.b(stage),
+                            wj * tile.wn,
+                            kk0,
+                            tile.wn,
+                            mma_k,
+                            &mut b_frag,
+                        );
+                        let site = MmaSite {
+                            block,
+                            warp: warp_id,
+                            k_step: kt * tile.tb_k + kk0,
+                            is_checksum: false,
+                        };
+                        exec.mma(acc, &a_frag, &b_frag, mma_k, site, hook, ctx.counters);
+                        if let Some(states) = warp_states.as_mut() {
+                            states[warp_id].accumulate(
+                                &a_frag,
+                                &b_frag,
+                                mma_k,
+                                site,
+                                hook,
+                                ctx.counters,
+                            );
+                        }
+                    }
+                }
+            }
+
+            // Online verification (Fig. 6 lines 25-31).
+            let k_end = (kt + 1) * tile.tb_k;
+            let at_interval = k_end.is_multiple_of(DETECT_INTERVAL_K);
+            let at_end = kt == n_ktiles - 1;
+            if at_interval || at_end {
+                if let Some(states) = warp_states.as_mut() {
+                    for wi in 0..warps_m {
+                        for wj in 0..warps_n {
+                            let warp_id = wi * warps_n + wj;
+                            let outcome =
+                                states[warp_id].check(&mut accs[warp_id], k_end, ctx.counters);
+                            record_outcome(stats, outcome);
+                            if let CheckOutcome::RecomputeRequired { .. } = outcome {
+                                // Detection-only scheme: time-redundant
+                                // recomputation of the warp tile from global
+                                // memory, then re-baseline.
+                                recompute_warp(
+                                    data,
+                                    row0 + wi * tile.wm,
+                                    col0 + wj * tile.wn,
+                                    &tile,
+                                    mma_k,
+                                    k_end,
+                                    &exec,
+                                    block,
+                                    warp_id,
+                                    ctx.counters,
+                                    &mut accs[warp_id],
+                                );
+                                states[warp_id].rebaseline(&accs[warp_id], ctx.counters);
+                            }
+                        }
+                    }
+                }
+                if let Some(wu) = wu_state.as_mut() {
+                    let (wm, wn) = (tile.wm, tile.wn);
+                    // Assemble a block-level view of the distributed warp
+                    // accumulators, verify it, and write corrections back.
+                    let mut tile_copy = vec![T::ZERO; tile.tb_m * tile.tb_n];
+                    for r in 0..tile.tb_m {
+                        for c in 0..tile.tb_n {
+                            let warp_id = (r / wm) * warps_n + (c / wn);
+                            tile_copy[r * tile.tb_n + c] = accs[warp_id][(r % wm) * wn + (c % wn)];
+                        }
+                    }
+                    let outcome = wu.check_and_correct(
+                        |r, c| tile_copy[r * tile.tb_n + c],
+                        |r, c, v| {
+                            let warp_id = (r / wm) * warps_n + (c / wn);
+                            accs[warp_id][(r % wm) * wn + (c % wn)] = v;
+                        },
+                        ctx.counters,
+                    );
+                    record_outcome(stats, outcome);
+                    if let CheckOutcome::RecomputeRequired { .. } = outcome {
+                        // Block-level recomputation: redo every warp tile.
+                        for wi in 0..warps_m {
+                            for wj in 0..warps_n {
+                                let warp_id = wi * warps_n + wj;
+                                recompute_warp(
+                                    data,
+                                    row0 + wi * wm,
+                                    col0 + wj * wn,
+                                    &tile,
+                                    mma_k,
+                                    k_end,
+                                    &exec,
+                                    block,
+                                    warp_id,
+                                    ctx.counters,
+                                    &mut accs[warp_id],
+                                );
+                            }
+                        }
+                        let accs_ref = &accs;
+                        wu.rebaseline_from(
+                            |r, c| {
+                                let warp_id = (r / wm) * warps_n + (c / wn);
+                                accs_ref[warp_id][(r % wm) * wn + (c % wn)]
+                            },
+                            ctx.counters,
+                        );
+                    }
+                }
+            }
+        }
+
+        // Fused epilogue: row-minimum with the norm identity, then the
+        // threadblock broadcast merge.
+        let two = T::ONE + T::ONE;
+        let mut best = vec![(T::INFINITY, u32::MAX); rows_valid];
+        for wi in 0..warps_m {
+            let r_base = wi * tile.wm;
+            if r_base >= rows_valid {
+                continue;
+            }
+            for wj in 0..warps_n {
+                let c_base = wj * tile.wn;
+                if c_base >= cols_valid {
+                    continue;
+                }
+                let acc = &accs[wi * warps_n + wj];
+                for i in 0..tile.wm.min(rows_valid - r_base) {
+                    let row = r_base + i;
+                    let xn = data.sample_norms.load(row0 + row);
+                    let slot = &mut best[row];
+                    for j in 0..tile.wn.min(cols_valid - c_base) {
+                        let col_g = (col0 + c_base + j) as u32;
+                        let yn = data.centroid_norms.load(col0 + c_base + j);
+                        let d = xn + yn - two * acc[i * tile.wn + j];
+                        if d < slot.0 || (d == slot.0 && col_g < slot.1) {
+                            *slot = (d, col_g);
+                        }
+                    }
+                }
+            }
+        }
+        ctx.counters.add_fma((rows_valid * cols_valid * 2) as u64);
+        ctx.barrier();
+        for (i, (d, j)) in best.into_iter().enumerate() {
+            store.merge(row0 + i, d, j, ctx.counters);
+        }
+    })?;
+
+    let (distances, labels) = store.snapshot();
+    Ok(AssignmentResult { labels, distances })
+}
+
+fn record_outcome(stats: &Mutex<CampaignStats>, outcome: CheckOutcome) {
+    let mut s = stats.lock();
+    match outcome {
+        CheckOutcome::Clean => s.clean_sweeps += 1,
+        CheckOutcome::Corrected { .. } => {
+            s.detected += 1;
+            s.corrected += 1;
+        }
+        CheckOutcome::Rebaselined => {
+            s.detected += 1;
+            s.rebaselined += 1;
+        }
+        CheckOutcome::RecomputeRequired { .. } => {
+            s.detected += 1;
+            s.recomputed += 1;
+        }
+    }
+}
+
+/// Time-redundant recomputation of one warp tile's accumulator from global
+/// memory over `[0, k_end)` — the correction path of detection-only
+/// schemes. Charges the extra global loads it performs.
+#[allow(clippy::too_many_arguments)]
+fn recompute_warp<T: Scalar>(
+    data: &DeviceData<T>,
+    grow0: usize,
+    gcol0: usize,
+    tile: &TileConfig,
+    mma_k: usize,
+    k_end: usize,
+    exec: &FragmentMma,
+    block: (usize, usize),
+    warp_id: usize,
+    counters: &Counters,
+    acc: &mut [T],
+) {
+    acc.fill(T::ZERO);
+    let mut a_frag = vec![T::ZERO; tile.wm * mma_k];
+    let mut b_frag = vec![T::ZERO; tile.wn * mma_k];
+    let elem = std::mem::size_of::<T>() as u64;
+    for k0 in (0..k_end.min(data.dim.next_multiple_of(mma_k))).step_by(mma_k) {
+        let mut loaded = 0u64;
+        for i in 0..tile.wm {
+            for kk in 0..mma_k {
+                let (r, c) = (grow0 + i, k0 + kk);
+                a_frag[i * mma_k + kk] = if r < data.m && c < data.dim {
+                    loaded += 1;
+                    data.samples.load(r * data.dim + c)
+                } else {
+                    T::ZERO
+                };
+            }
+        }
+        for j in 0..tile.wn {
+            for kk in 0..mma_k {
+                let (r, c) = (gcol0 + j, k0 + kk);
+                b_frag[j * mma_k + kk] = if r < data.k && c < data.dim {
+                    loaded += 1;
+                    data.centroids.load(r * data.dim + c)
+                } else {
+                    T::ZERO
+                };
+            }
+        }
+        counters.add_loaded(loaded * elem);
+        counters.add_ft_extra_loads(loaded * elem);
+        let site = MmaSite {
+            block,
+            warp: warp_id,
+            k_step: k0,
+            is_checksum: false,
+        };
+        // Recomputation bypasses the fault hook: under SEU at most one
+        // error strikes per interval and it already fired.
+        exec.mma(
+            acc,
+            &a_frag,
+            &b_frag,
+            mma_k,
+            site,
+            &gpu_sim::NoFault,
+            counters,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assign::default_tile;
+    use crate::reference::assign_reference;
+    use fault::{Injector, PlannedInjection};
+    use gpu_sim::mma::NoFault;
+    use gpu_sim::Matrix;
+
+    fn small_tile() -> TileConfig {
+        TileConfig {
+            tb_m: 16,
+            tb_n: 16,
+            tb_k: 8,
+            wm: 8,
+            wn: 8,
+            k_stages: 2,
+        }
+    }
+
+    fn mk_data_f64(
+        m: usize,
+        k: usize,
+        dim: usize,
+    ) -> (DeviceProfile, Counters, Matrix<f64>, Matrix<f64>) {
+        let dev = DeviceProfile::a100();
+        let c = Counters::new();
+        let samples =
+            Matrix::<f64>::from_fn(m, dim, |r, cc| ((r * 7 + cc * 13) % 23) as f64 * 0.25 - 2.5);
+        let cents =
+            Matrix::<f64>::from_fn(k, dim, |r, cc| ((r * 11 + cc * 3) % 19) as f64 * 0.25 - 2.0);
+        (dev, c, samples, cents)
+    }
+
+    #[test]
+    fn matches_reference_f64_odd_shapes() {
+        let (dev, c, samples, cents) = mk_data_f64(77, 21, 13);
+        let data = DeviceData::upload(&dev, &samples, &cents, &c).unwrap();
+        let stats = Mutex::new(CampaignStats::default());
+        let out = tensor_assign(
+            &dev,
+            small_tile(),
+            &data,
+            SchemeKind::None,
+            &NoFault,
+            &c,
+            &stats,
+        )
+        .unwrap();
+        let (want, want_d) = assign_reference(&samples, &cents);
+        assert_eq!(out.labels, want);
+        for (a, b) in out.distances.iter().zip(want_d.iter()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn matches_reference_f32_with_default_tile() {
+        let dev = DeviceProfile::a100();
+        let c = Counters::new();
+        let samples = Matrix::<f32>::from_fn(300, 24, |r, cc| ((r + cc * 7) % 11) as f32 - 5.0);
+        let cents = Matrix::<f32>::from_fn(40, 24, |r, cc| ((r * 3 + cc) % 13) as f32 - 6.0);
+        let data = DeviceData::upload(&dev, &samples, &cents, &c).unwrap();
+        let stats = Mutex::new(CampaignStats::default());
+        let out = tensor_assign(
+            &dev,
+            default_tile(Precision::Fp32),
+            &data,
+            SchemeKind::None,
+            &NoFault,
+            &c,
+            &stats,
+        )
+        .unwrap();
+        let (want, _) = assign_reference(&samples, &cents);
+        assert_eq!(out.labels, want);
+    }
+
+    #[test]
+    fn ft_scheme_clean_run_matches_and_counts_sweeps() {
+        let (dev, c, samples, cents) = mk_data_f64(64, 20, 16);
+        let data = DeviceData::upload(&dev, &samples, &cents, &c).unwrap();
+        let stats = Mutex::new(CampaignStats::default());
+        let out = tensor_assign(
+            &dev,
+            small_tile(),
+            &data,
+            SchemeKind::FtKMeans,
+            &NoFault,
+            &c,
+            &stats,
+        )
+        .unwrap();
+        let (want, _) = assign_reference(&samples, &cents);
+        assert_eq!(out.labels, want);
+        let s = stats.lock();
+        assert!(s.clean_sweeps > 0);
+        assert_eq!(s.detected, 0);
+        assert!(c.snapshot().ft_mma_ops > 0, "checksum MMAs issued");
+    }
+
+    #[test]
+    fn injected_payload_error_is_corrected() {
+        let (dev, c, samples, cents) = mk_data_f64(48, 12, 16);
+        let data = DeviceData::upload(&dev, &samples, &cents, &c).unwrap();
+        // Fault-free baseline.
+        let stats0 = Mutex::new(CampaignStats::default());
+        let clean = tensor_assign(
+            &dev,
+            small_tile(),
+            &data,
+            SchemeKind::FtKMeans,
+            &NoFault,
+            &c,
+            &stats0,
+        )
+        .unwrap();
+        // Inject a moderate, locatable flip (top mantissa bit) into block
+        // (1,0), warp 0, k-step 8.
+        let inj = Injector::planned(vec![PlannedInjection {
+            block: (1, 0),
+            warp: 0,
+            k_step: 8,
+            elem_idx: 5,
+            bit: 51,
+            target_checksum: false,
+        }]);
+        let stats = Mutex::new(CampaignStats::default());
+        let out = tensor_assign(
+            &dev,
+            small_tile(),
+            &data,
+            SchemeKind::FtKMeans,
+            &inj,
+            &c,
+            &stats,
+        )
+        .unwrap();
+        assert_eq!(inj.injected_count(), 1, "fault fired");
+        let s = stats.lock();
+        assert_eq!(s.corrected, 1, "location encoding repaired it");
+        drop(s);
+        assert_eq!(out.labels, clean.labels, "final assignment unaffected");
+        for (a, b) in out.distances.iter().zip(clean.distances.iter()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn injected_checksum_error_rebaselines() {
+        let (dev, c, samples, cents) = mk_data_f64(32, 12, 16);
+        let data = DeviceData::upload(&dev, &samples, &cents, &c).unwrap();
+        let inj = Injector::planned(vec![PlannedInjection {
+            block: (0, 0),
+            warp: 0,
+            k_step: 0,
+            elem_idx: 0,
+            bit: 62,
+            target_checksum: true,
+        }]);
+        let stats = Mutex::new(CampaignStats::default());
+        let out = tensor_assign(
+            &dev,
+            small_tile(),
+            &data,
+            SchemeKind::FtKMeans,
+            &inj,
+            &c,
+            &stats,
+        )
+        .unwrap();
+        assert_eq!(inj.injected_count(), 1);
+        assert_eq!(
+            stats.lock().rebaselined,
+            1,
+            "checksum hit resolved by re-baseline"
+        );
+        let (want, _) = assign_reference(&samples, &cents);
+        assert_eq!(out.labels, want, "payload was never wrong");
+    }
+
+    #[test]
+    fn kosaian_recomputes_and_recovers() {
+        let (dev, c, samples, cents) = mk_data_f64(48, 12, 16);
+        let data = DeviceData::upload(&dev, &samples, &cents, &c).unwrap();
+        let inj = Injector::planned(vec![PlannedInjection {
+            block: (0, 0),
+            warp: 1,
+            k_step: 8,
+            elem_idx: 3,
+            bit: 61,
+            target_checksum: false,
+        }]);
+        let stats = Mutex::new(CampaignStats::default());
+        let before = c.snapshot();
+        let out = tensor_assign(
+            &dev,
+            small_tile(),
+            &data,
+            SchemeKind::Kosaian,
+            &inj,
+            &c,
+            &stats,
+        )
+        .unwrap();
+        assert_eq!(stats.lock().recomputed, 1);
+        let (want, _) = assign_reference(&samples, &cents);
+        assert_eq!(out.labels, want, "recompute restored correctness");
+        let delta = c.snapshot().since(&before);
+        assert!(delta.ft_extra_loads > 0, "recompute re-reads operands");
+    }
+
+    #[test]
+    fn wu_corrects_at_block_level_and_pays_rereads_on_ampere() {
+        let (dev, c, samples, cents) = mk_data_f64(32, 16, 16);
+        let data = DeviceData::upload(&dev, &samples, &cents, &c).unwrap();
+        let inj = Injector::planned(vec![PlannedInjection {
+            block: (0, 0),
+            warp: 2,
+            k_step: 0,
+            elem_idx: 7,
+            bit: 51,
+            target_checksum: false,
+        }]);
+        let stats = Mutex::new(CampaignStats::default());
+        let before = c.snapshot();
+        let out =
+            tensor_assign(&dev, small_tile(), &data, SchemeKind::Wu, &inj, &c, &stats).unwrap();
+        assert_eq!(stats.lock().corrected, 1, "block-level correction");
+        let (want, _) = assign_reference(&samples, &cents);
+        assert_eq!(out.labels, want);
+        let delta = c.snapshot().since(&before);
+        assert!(delta.ft_extra_loads > 0, "cp.async forces Wu to re-read");
+    }
+
+    #[test]
+    fn wu_needs_no_rereads_on_turing() {
+        let dev = DeviceProfile::t4();
+        let c = Counters::new();
+        let samples = Matrix::<f64>::from_fn(32, 8, |r, cc| (r + cc) as f64 * 0.1);
+        let cents = Matrix::<f64>::from_fn(16, 8, |r, cc| (r * cc) as f64 * 0.1);
+        let data = DeviceData::upload(&dev, &samples, &cents, &c).unwrap();
+        let stats = Mutex::new(CampaignStats::default());
+        let before = c.snapshot();
+        let _ = tensor_assign(
+            &dev,
+            small_tile(),
+            &data,
+            SchemeKind::Wu,
+            &NoFault,
+            &c,
+            &stats,
+        )
+        .unwrap();
+        let delta = c.snapshot().since(&before);
+        assert_eq!(
+            delta.ft_extra_loads, 0,
+            "register staging keeps Wu free on Turing"
+        );
+    }
+
+    #[test]
+    fn invalid_tiles_rejected() {
+        let (dev, c, samples, cents) = mk_data_f64(16, 8, 8);
+        let data = DeviceData::upload(&dev, &samples, &cents, &c).unwrap();
+        let stats = Mutex::new(CampaignStats::default());
+        // warp tile does not divide threadblock tile
+        let bad = TileConfig {
+            tb_m: 24,
+            tb_n: 16,
+            tb_k: 8,
+            wm: 16,
+            wn: 8,
+            k_stages: 2,
+        };
+        assert!(tensor_assign(&dev, bad, &data, SchemeKind::None, &NoFault, &c, &stats).is_err());
+        // tb_k not a multiple of mma k (f64 -> 4)
+        let bad_k = TileConfig {
+            tb_m: 16,
+            tb_n: 16,
+            tb_k: 6,
+            wm: 8,
+            wn: 8,
+            k_stages: 2,
+        };
+        assert!(tensor_assign(&dev, bad_k, &data, SchemeKind::None, &NoFault, &c, &stats).is_err());
+    }
+
+    #[test]
+    fn catastrophic_exponent_flip_triggers_recompute() {
+        // A top-exponent-bit flip turns the accumulator element into a
+        // subnormal/astronomical value; location encoding overflows or the
+        // correction cannot restore precision — the scheme must fall back
+        // to recomputation and still deliver the clean result.
+        let (dev, c, samples, cents) = mk_data_f64(48, 12, 16);
+        let data = DeviceData::upload(&dev, &samples, &cents, &c).unwrap();
+        let inj = Injector::planned(vec![PlannedInjection {
+            block: (0, 0),
+            warp: 0,
+            k_step: 0,
+            elem_idx: 2,
+            bit: 62,
+            target_checksum: false,
+        }]);
+        let stats = Mutex::new(CampaignStats::default());
+        let out = tensor_assign(
+            &dev,
+            small_tile(),
+            &data,
+            SchemeKind::FtKMeans,
+            &inj,
+            &c,
+            &stats,
+        )
+        .unwrap();
+        assert_eq!(inj.injected_count(), 1);
+        let s = *stats.lock();
+        assert!(
+            s.corrected + s.recomputed >= 1,
+            "catastrophic flip must be handled, stats: {s:?}"
+        );
+        let (want, _) = assign_reference(&samples, &cents);
+        assert_eq!(out.labels, want, "result still clean");
+    }
+
+    #[test]
+    fn dim_smaller_than_tbk_works() {
+        // Gk = 3 with tb_k = 8: single zero-padded k-tile.
+        let (dev, c, samples, cents) = mk_data_f64(40, 10, 3);
+        let data = DeviceData::upload(&dev, &samples, &cents, &c).unwrap();
+        let stats = Mutex::new(CampaignStats::default());
+        let out = tensor_assign(
+            &dev,
+            small_tile(),
+            &data,
+            SchemeKind::FtKMeans,
+            &NoFault,
+            &c,
+            &stats,
+        )
+        .unwrap();
+        let (want, _) = assign_reference(&samples, &cents);
+        assert_eq!(out.labels, want);
+    }
+}

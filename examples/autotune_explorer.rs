@@ -1,0 +1,92 @@
+//! Walk the code-generation pipeline end to end: enumerate the parameter
+//! space, probe feasibility, tune over the paper's 64-shape grid, inspect
+//! the winners, and emit the generated CUDA-like source for the best
+//! kernel (§III-B, Fig. 3).
+//!
+//! ```text
+//! cargo run --release --example autotune_explorer
+//! ```
+
+use ft_kmeans::codegen::feasibility::feasible_set;
+use ft_kmeans::codegen::template::{emit_kernel, emit_selector};
+use ft_kmeans::codegen::tuner::{tune, ShapeGrid};
+use ft_kmeans::codegen::{enumerate_params, KernelParams, KernelSelector, ParamRegistry};
+use ft_kmeans::{DeviceProfile, Precision};
+
+fn main() {
+    let device = DeviceProfile::a100();
+    println!("code-generation pipeline on {}", device.name);
+    println!("============================================");
+
+    for precision in Precision::all() {
+        let space = enumerate_params(precision);
+        let feasible = feasible_set(&device, precision, &space);
+        let registry = ParamRegistry::new(precision);
+        let table = tune(&device, precision, &registry, &ShapeGrid::paper());
+        let winners = table.distinct_winners();
+
+        println!();
+        println!("[{precision}]");
+        println!("  candidates defined   : {}", space.len());
+        println!("  feasible on device   : {}", feasible.len());
+        println!("  shapes benchmarked   : {}", table.entries.len());
+        println!("  distinct winners     : {}", winners.len());
+        println!("  mean speedup vs cuML : {:.2}x", table.mean_speedup());
+        println!("  max speedup vs cuML  : {:.2}x", table.max_speedup());
+        for id in &winners {
+            let p = registry.get(*id).expect("winner id");
+            let uses = table.entries.iter().filter(|e| e.param_id == *id).count();
+            println!(
+                "    id {id:>3}: tb{} warp{} — wins {uses}/64 shapes",
+                p.threadblock, p.warp
+            );
+        }
+
+        // Emit generated source for the overall best kernel + the selector.
+        let best = table
+            .entries
+            .iter()
+            .max_by(|a, b| a.speedup().partial_cmp(&b.speedup()).unwrap())
+            .expect("entries");
+        let best_params = *registry.get(best.param_id).expect("id");
+        println!(
+            "  biggest win          : {:.2}x at N={}, K={}",
+            best.speedup(),
+            best.dim,
+            best.clusters
+        );
+        println!("  --- generated kernel (FT instrumented) ---");
+        for line in emit_kernel(best.param_id, precision, &best_params, true)
+            .lines()
+            .take(8)
+        {
+            println!("  | {line}");
+        }
+        let named: Vec<(usize, KernelParams)> = winners
+            .iter()
+            .map(|&id| (id, *registry.get(id).unwrap()))
+            .collect();
+        println!("  selector covers {} kernels", named.len());
+        let _ = emit_selector(precision, &named);
+
+        // The queryable artifact.
+        let selector = KernelSelector::build(&device, precision);
+        let choice = selector.select(131_072, 8, 64);
+        println!(
+            "  selector(M=131072, K=8, N=64) -> tb{} warp{}",
+            choice.threadblock, choice.warp
+        );
+
+        // Roofline diagnosis of the chosen kernel at that shape.
+        use ft_kmeans::codegen::feasibility::stages_for;
+        use ft_kmeans::gpu::timing::{estimate, GemmShape, KernelClass, TimingInput};
+        let timing = estimate(&TimingInput::plain(
+            &device,
+            precision,
+            KernelClass::Tensor(choice.tile_config(stages_for(&device))),
+            GemmShape::new(131_072, 8, 64),
+        ));
+        println!("  breakdown            : {timing}");
+        println!("  binding leg          : {}", timing.binding_leg());
+    }
+}

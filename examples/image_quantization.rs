@@ -1,0 +1,73 @@
+//! Vector quantization of image patches — the classic K-means systems
+//! workload the paper's introduction cites ([2] Gersho & Gray).
+//!
+//! Builds a codebook of 4x4 patches from a synthetic image, reconstructs
+//! the image from the codebook, and reports compression statistics.
+//!
+//! ```text
+//! cargo run --release --example image_quantization
+//! ```
+
+use ft_kmeans::data::{image_patches, SyntheticImage};
+use ft_kmeans::gpu::Matrix;
+use ft_kmeans::kmeans::{FtConfig, KMeans, KMeansConfig, Variant};
+use ft_kmeans::DeviceProfile;
+
+const PATCH: usize = 4;
+const CODEBOOK: usize = 32;
+
+fn main() {
+    // 1. Render a synthetic 256x192 grayscale image and cut it into
+    //    non-overlapping 4x4 patches (16-dimensional samples).
+    let img = SyntheticImage::generate(256, 192, 6, 2024);
+    let patches: Matrix<f32> = image_patches(&img, PATCH);
+    println!(
+        "image {}x{} -> {} patches of dim {}",
+        img.width,
+        img.height,
+        patches.rows(),
+        patches.cols()
+    );
+
+    // 2. Learn the codebook with the FT tensor kernel.
+    let km = KMeans::new(
+        DeviceProfile::a100(),
+        KMeansConfig::new(CODEBOOK)
+            .with_variant(Variant::tensor_default())
+            .with_ft(FtConfig::protected())
+            .with_seed(3),
+    );
+    let fit = km.fit(&patches).expect("codebook fit");
+
+    // 3. Reconstruct: replace every patch by its codeword and measure MSE.
+    let mut mse = 0.0f64;
+    for (i, &code) in fit.labels.iter().enumerate() {
+        for d in 0..patches.cols() {
+            let err = patches.get(i, d) as f64 - fit.centroids.get(code as usize, d) as f64;
+            mse += err * err;
+        }
+    }
+    mse /= (patches.rows() * patches.cols()) as f64;
+    let psnr = 10.0 * (1.0f64 / mse.max(1e-12)).log10();
+
+    let raw_bits = patches.rows() * PATCH * PATCH * 8;
+    let vq_bits =
+        patches.rows() * (CODEBOOK as f64).log2().ceil() as usize + CODEBOOK * PATCH * PATCH * 8;
+
+    println!("codebook entries  : {CODEBOOK}");
+    println!("iterations        : {}", fit.iterations);
+    println!("reconstruction MSE: {mse:.5}");
+    println!("PSNR              : {psnr:.1} dB");
+    println!(
+        "compression       : {} -> {} bits ({:.1}x)",
+        raw_bits,
+        vq_bits,
+        raw_bits as f64 / vq_bits as f64
+    );
+
+    assert!(
+        psnr > 15.0,
+        "codebook should reconstruct the image reasonably"
+    );
+    assert!(fit.iterations > 1);
+}

@@ -1,0 +1,33 @@
+//! # ft-kmeans — facade crate
+//!
+//! Re-exports the public API of the FT K-means workspace (CLUSTER 2024
+//! reproduction): the K-means estimator with algorithm-based fault
+//! tolerance, the simulated-GPU substrate, the ABFT schemes, the fault
+//! injector, the code-generation/auto-tuning layer and the synthetic
+//! workload generators.
+//!
+//! ```
+//! use ft_kmeans::gpu::DeviceProfile;
+//! assert_eq!(DeviceProfile::a100().sm_count, 108);
+//! ```
+
+/// Simulated-GPU substrate (devices, memory, MMA, timing model).
+pub use gpu_sim as gpu;
+
+/// ABFT checksum encodings, detection, location and correction.
+pub use abft;
+
+/// Transient-fault injection (SEU bit flips) and campaign statistics.
+pub use fault;
+
+/// Synthetic workload generators.
+pub use data;
+
+/// The K-means estimator and its kernel variants.
+pub use kmeans;
+
+/// Kernel parameter space, feasibility, templates, tuner and selector.
+pub use codegen;
+
+pub use gpu_sim::{DeviceProfile, Precision};
+pub use kmeans::{KMeans, KMeansConfig};

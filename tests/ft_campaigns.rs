@@ -1,0 +1,255 @@
+//! Cross-crate fault-injection campaigns: every scheme, both precisions,
+//! sustained barrages — the integration-level version of the paper's §V-C.
+
+use ft_kmeans::abft::SchemeKind;
+use ft_kmeans::data::{make_blobs, BlobSpec};
+use ft_kmeans::fault::InjectionSchedule;
+use ft_kmeans::gpu::{Matrix, Scalar};
+use ft_kmeans::kmeans::{FtConfig, KMeans, KMeansConfig, Variant};
+use ft_kmeans::DeviceProfile;
+
+fn blobs<T: Scalar>(m: usize, dim: usize, k: usize, seed: u64) -> Matrix<T> {
+    let (data, _, _) = make_blobs::<T>(&BlobSpec {
+        samples: m,
+        dim,
+        centers: k,
+        cluster_std: 0.3,
+        center_box: 7.0,
+        seed,
+    });
+    data
+}
+
+fn run<T: Scalar>(
+    device: &DeviceProfile,
+    data: &Matrix<T>,
+    k: usize,
+    scheme: SchemeKind,
+    injection: InjectionSchedule,
+    seed: u64,
+) -> ft_kmeans::kmeans::FitResult<T> {
+    let cfg = KMeansConfig {
+        k,
+        max_iter: 5,
+        tol: 0.0,
+        seed,
+        variant: Variant::Tensor(None),
+        ft: FtConfig {
+            scheme,
+            dmr_update: true,
+            injection,
+            injection_seed: seed * 13 + 1,
+        },
+        ..Default::default()
+    };
+    KMeans::new(device.clone(), cfg).fit(data).expect("fit")
+}
+
+#[test]
+fn ftkmeans_scheme_absorbs_sustained_barrage_fp64() {
+    let dev = DeviceProfile::a100();
+    let data = blobs::<f64>(1024, 24, 8, 1);
+    let clean = run(
+        &dev,
+        &data,
+        8,
+        SchemeKind::FtKMeans,
+        InjectionSchedule::Off,
+        4,
+    );
+    let hit = run(
+        &dev,
+        &data,
+        8,
+        SchemeKind::FtKMeans,
+        InjectionSchedule::PerBlock { probability: 0.7 },
+        4,
+    );
+    assert!(
+        hit.injected >= 10,
+        "barrage expected, injected {}",
+        hit.injected
+    );
+    assert_eq!(hit.labels, clean.labels);
+    assert!((hit.inertia - clean.inertia).abs() / clean.inertia < 1e-9);
+    assert!(hit.ft_stats.handled() + hit.dmr.mismatches > 0);
+}
+
+#[test]
+fn kosaian_scheme_recovers_by_recomputation_fp64() {
+    let dev = DeviceProfile::a100();
+    let data = blobs::<f64>(768, 16, 6, 2);
+    let clean = run(
+        &dev,
+        &data,
+        6,
+        SchemeKind::Kosaian,
+        InjectionSchedule::Off,
+        9,
+    );
+    let hit = run(
+        &dev,
+        &data,
+        6,
+        SchemeKind::Kosaian,
+        InjectionSchedule::PerBlock { probability: 0.8 },
+        9,
+    );
+    assert!(hit.injected > 0);
+    assert_eq!(
+        hit.labels, clean.labels,
+        "recompute-based correction must restore the result"
+    );
+    // Detection-only: every handled distance-kernel fault shows up as a
+    // recomputation, never as an in-place correction.
+    assert_eq!(hit.ft_stats.corrected, 0);
+}
+
+#[test]
+fn wu_scheme_corrects_at_block_level_fp64() {
+    let dev = DeviceProfile::a100();
+    let data = blobs::<f64>(768, 16, 6, 3);
+    let clean = run(&dev, &data, 6, SchemeKind::Wu, InjectionSchedule::Off, 10);
+    let hit = run(
+        &dev,
+        &data,
+        6,
+        SchemeKind::Wu,
+        InjectionSchedule::PerBlock { probability: 0.8 },
+        10,
+    );
+    assert!(hit.injected > 0);
+    assert_eq!(hit.labels, clean.labels);
+    // Wu on Ampere must have paid re-read traffic for its checksums.
+    assert!(
+        hit.counters.ft_extra_loads > 0,
+        "cp.async forces Wu to re-read operands"
+    );
+}
+
+#[test]
+fn wu_reread_traffic_absent_on_turing() {
+    let dev = DeviceProfile::t4();
+    let data = blobs::<f64>(512, 16, 4, 4);
+    let fit = run(&dev, &data, 4, SchemeKind::Wu, InjectionSchedule::Off, 3);
+    assert_eq!(
+        fit.counters.ft_extra_loads, 0,
+        "register-staged copies make Wu's checksums free on Turing"
+    );
+}
+
+#[test]
+fn unprotected_runs_are_actually_damaged_fp64() {
+    // Negative control: if injection never changed anything, the FT tests
+    // above would be vacuous.
+    let dev = DeviceProfile::a100();
+    let data = blobs::<f64>(1024, 24, 8, 5);
+    let clean = run(&dev, &data, 8, SchemeKind::None, InjectionSchedule::Off, 6);
+    let mut damaged_any = false;
+    for seed in [6, 7, 8] {
+        let cfg = KMeansConfig {
+            k: 8,
+            max_iter: 5,
+            tol: 0.0,
+            seed: 6,
+            variant: Variant::Tensor(None),
+            ft: FtConfig {
+                scheme: SchemeKind::None,
+                dmr_update: false,
+                injection: InjectionSchedule::PerBlock { probability: 0.9 },
+                injection_seed: seed * 101,
+            },
+            ..Default::default()
+        };
+        let hit = KMeans::new(dev.clone(), cfg).fit(&data).expect("fit");
+        if hit.labels != clean.labels || (hit.inertia - clean.inertia).abs() / clean.inertia > 1e-12
+        {
+            damaged_any = true;
+        }
+    }
+    assert!(
+        damaged_any,
+        "a heavy unprotected barrage should corrupt at least one of three runs"
+    );
+}
+
+#[test]
+fn rate_schedule_converts_to_visible_injections() {
+    let dev = DeviceProfile::a100();
+    let data = blobs::<f32>(2048, 16, 8, 6);
+    let hit = run(
+        &dev,
+        &data,
+        8,
+        SchemeKind::FtKMeans,
+        // absurd rate so the per-launch probability saturates
+        InjectionSchedule::Rate {
+            errors_per_second: 1e9,
+        },
+        12,
+    );
+    assert!(hit.injected > 0, "rate schedule must inject");
+}
+
+#[test]
+fn fp32_campaign_preserves_quality() {
+    let dev = DeviceProfile::a100();
+    let data = blobs::<f32>(1024, 16, 8, 7);
+    let clean = run(
+        &dev,
+        &data,
+        8,
+        SchemeKind::FtKMeans,
+        InjectionSchedule::Off,
+        5,
+    );
+    let hit = run(
+        &dev,
+        &data,
+        8,
+        SchemeKind::FtKMeans,
+        InjectionSchedule::PerBlock { probability: 0.5 },
+        5,
+    );
+    assert!(hit.injected > 0);
+    let agree = clean
+        .labels
+        .iter()
+        .zip(&hit.labels)
+        .filter(|(a, b)| a == b)
+        .count() as f64
+        / clean.labels.len() as f64;
+    assert!(agree > 0.99, "label agreement {agree}");
+    assert!((hit.inertia - clean.inertia).abs() / clean.inertia < 1e-2);
+}
+
+#[test]
+fn dmr_protects_update_phase_under_targeted_storm() {
+    let dev = DeviceProfile::a100();
+    let data = blobs::<f64>(512, 8, 4, 8);
+    let clean = run(
+        &dev,
+        &data,
+        4,
+        SchemeKind::FtKMeans,
+        InjectionSchedule::Off,
+        21,
+    );
+    let hit = run(
+        &dev,
+        &data,
+        4,
+        SchemeKind::FtKMeans,
+        InjectionSchedule::PerBlock { probability: 1.0 },
+        21,
+    );
+    assert_eq!(hit.labels, clean.labels);
+    assert!(
+        hit.dmr.mismatches > 0,
+        "a probability-1 storm must hit the update phase at least once"
+    );
+    assert_eq!(
+        hit.dmr.unresolved, 0,
+        "SEU faults always resolve by majority"
+    );
+}

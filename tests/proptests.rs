@@ -1,0 +1,196 @@
+//! Property-based tests over the core invariants (proptest).
+
+use ft_kmeans::abft::checksum::ChecksumTriple;
+use ft_kmeans::abft::{compare, correct_in_place, locate, Located, ThresholdPolicy};
+use ft_kmeans::codegen::enumerate_params;
+use ft_kmeans::gpu::matrix::gemm_abt_reference;
+use ft_kmeans::gpu::timing::{estimate, GemmShape, KernelClass, TileConfig, TimingInput};
+use ft_kmeans::gpu::{Matrix, Scalar};
+use ft_kmeans::kmeans::reference::{assign_reference, update_reference};
+use ft_kmeans::{DeviceProfile, Precision};
+use proptest::prelude::*;
+
+fn policy() -> ThresholdPolicy {
+    ThresholdPolicy::for_precision(Precision::Fp64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Rank-1 online accumulation equals direct tile checksums for any
+    /// product (bilinearity — the algebra the whole scheme rests on).
+    #[test]
+    fn checksum_telescoping_holds(
+        rows in 1usize..8,
+        cols in 1usize..8,
+        depth in 1usize..10,
+        seed in 0u64..1000,
+    ) {
+        let a = Matrix::<f64>::from_fn(rows, depth, |r, c| {
+            (((r * 31 + c * 17 + seed as usize) % 97) as f64 - 48.0) / 13.0
+        });
+        let b = Matrix::<f64>::from_fn(cols, depth, |r, c| {
+            (((r * 13 + c * 29 + seed as usize) % 89) as f64 - 44.0) / 11.0
+        });
+        let c = gemm_abt_reference(&a, &b);
+        let direct = ChecksumTriple::from_tile(c.as_slice(), rows, cols);
+        let mut online = ChecksumTriple::<f64>::zero();
+        for k in 0..depth {
+            let a1: f64 = (0..rows).map(|i| a.get(i, k)).sum();
+            let a2: f64 = (0..rows).map(|i| (i + 1) as f64 * a.get(i, k)).sum();
+            let b1: f64 = (0..cols).map(|j| b.get(j, k)).sum();
+            let b2: f64 = (0..cols).map(|j| (j + 1) as f64 * b.get(j, k)).sum();
+            online.accumulate_rank1(a1, a2, b1, b2);
+        }
+        prop_assert!((online.s11 - direct.s11).abs() < 1e-8);
+        prop_assert!((online.s21 - direct.s21).abs() < 1e-8);
+        prop_assert!((online.s12 - direct.s12).abs() < 1e-8);
+    }
+
+    /// A single injected error of meaningful magnitude is always detected,
+    /// located exactly, and corrected to within rounding.
+    #[test]
+    fn single_error_detect_locate_correct(
+        rows in 1usize..9,
+        cols in 1usize..9,
+        row in 0usize..9,
+        col in 0usize..9,
+        magnitude in prop::sample::select(vec![0.5f64, -2.0, 17.0, -123.5, 1e4]),
+        seed in 0u64..500,
+    ) {
+        let row = row % rows;
+        let col = col % cols;
+        let clean: Vec<f64> = (0..rows * cols)
+            .map(|i| (((i * 37 + seed as usize) % 41) as f64 - 20.0) / 7.0)
+            .collect();
+        let reference = ChecksumTriple::from_tile(&clean, rows, cols);
+        let mut acc = clean.clone();
+        acc[row * cols + col] += magnitude;
+        let observed = ChecksumTriple::from_tile(&acc, rows, cols);
+        let disc = compare(&observed, &reference, &policy());
+        prop_assert!(disc.is_some(), "error of {magnitude} must be detected");
+        let disc = disc.unwrap();
+        match locate(&disc, rows, cols) {
+            Located::At { row: r, col: c } => {
+                prop_assert_eq!((r, c), (row, col));
+                correct_in_place(&mut acc, cols, r, c, disc.d);
+                for (x, y) in acc.iter().zip(clean.iter()) {
+                    prop_assert!((x - y).abs() < 1e-6);
+                }
+            }
+            Located::Ambiguous => prop_assert!(false, "single error must locate"),
+        }
+    }
+
+    /// Clean tiles never raise an alarm (no false positives), regardless of
+    /// data.
+    #[test]
+    fn no_false_positives(
+        rows in 1usize..9,
+        cols in 1usize..9,
+        scale in prop::sample::select(vec![1e-3f64, 1.0, 1e3, 1e6]),
+        seed in 0u64..500,
+    ) {
+        let tile: Vec<f64> = (0..rows * cols)
+            .map(|i| (((i * 53 + seed as usize) % 71) as f64 - 35.0) * scale)
+            .collect();
+        let t = ChecksumTriple::from_tile(&tile, rows, cols);
+        prop_assert!(compare(&t, &t.clone(), &policy()).is_none());
+    }
+
+    /// Bit flips roundtrip for all positions and values.
+    #[test]
+    fn bit_flip_involution(v in prop::num::f64::ANY, bit in 0u32..64) {
+        let flipped = v.flip_bit(bit);
+        prop_assert_eq!(flipped.flip_bit(bit).to_bits(), v.to_bits());
+        if v.is_finite() && bit != 63 {
+            prop_assert_ne!(flipped.to_bits(), v.to_bits());
+        }
+    }
+
+    /// Every enumerated kernel parameter group obeys the paper's rules.
+    #[test]
+    fn enumeration_rules_always_hold(fp64 in proptest::bool::ANY) {
+        let precision = if fp64 { Precision::Fp64 } else { Precision::Fp32 };
+        for p in enumerate_params(precision) {
+            prop_assert!(p.threadblock.m.is_power_of_two());
+            prop_assert!(p.threadblock.n.is_power_of_two());
+            prop_assert_eq!(p.warp.k, p.threadblock.k);
+            prop_assert_eq!(p.threadblock.m % p.warp.m, 0);
+            prop_assert_eq!(p.threadblock.n % p.warp.n, 0);
+            let ratio = (p.warp.m * p.warp.n) / (p.thread.m * p.thread.n);
+            prop_assert!(ratio == 8 || ratio == 16);
+        }
+    }
+
+    /// Timing model sanity: feasible configs give positive finite times,
+    /// and more work never takes less time on the same config.
+    #[test]
+    fn timing_monotone_in_problem_size(
+        mexp in 10usize..17,
+        n in 1usize..512,
+        k in 1usize..256,
+    ) {
+        let dev = DeviceProfile::a100();
+        let tile = TileConfig { tb_m: 64, tb_n: 64, tb_k: 16, wm: 32, wn: 32, k_stages: 3 };
+        let m = 1 << mexp;
+        let t1 = estimate(&TimingInput::plain(
+            &dev, Precision::Fp32, KernelClass::Tensor(tile), GemmShape::new(m, n, k),
+        ));
+        let t2 = estimate(&TimingInput::plain(
+            &dev, Precision::Fp32, KernelClass::Tensor(tile), GemmShape::new(2 * m, n, k),
+        ));
+        prop_assert!(t1.feasible && t2.feasible);
+        prop_assert!(t1.time_s.is_finite() && t1.time_s > 0.0);
+        prop_assert!(t2.time_s >= t1.time_s, "double the samples cannot be faster");
+    }
+
+    /// Reference assignment: the reported distance is the true minimum.
+    #[test]
+    fn reference_assignment_is_argmin(
+        m in 1usize..30,
+        k in 1usize..10,
+        dim in 1usize..6,
+        seed in 0u64..200,
+    ) {
+        let samples = Matrix::<f64>::from_fn(m, dim, |r, c| {
+            (((r * 7 + c * 3 + seed as usize) % 23) as f64 - 11.0) / 3.0
+        });
+        let cents = Matrix::<f64>::from_fn(k, dim, |r, c| {
+            (((r * 11 + c * 5 + seed as usize) % 19) as f64 - 9.0) / 3.0
+        });
+        let (labels, dists) = assign_reference(&samples, &cents);
+        for i in 0..m {
+            for j in 0..k {
+                let d: f64 = (0..dim)
+                    .map(|dd| (samples.get(i, dd) - cents.get(j, dd)).powi(2))
+                    .sum();
+                prop_assert!(dists[i] <= d + 1e-12, "sample {i}: {} > {d}", dists[i]);
+            }
+            prop_assert!((labels[i] as usize) < k);
+        }
+    }
+
+    /// Centroid update: means weighted by counts reproduce the total mass.
+    #[test]
+    fn update_conserves_mass(
+        m in 1usize..40,
+        k in 1usize..6,
+        seed in 0u64..200,
+    ) {
+        let dim = 3;
+        let samples = Matrix::<f64>::from_fn(m, dim, |r, c| {
+            (((r * 13 + c + seed as usize) % 31) as f64 - 15.0) / 4.0
+        });
+        let labels: Vec<u32> = (0..m).map(|i| ((i * 7 + seed as usize) % k) as u32).collect();
+        let old = Matrix::<f64>::zeros(k, dim);
+        let (new_c, counts) = update_reference(&samples, &labels, &old);
+        for d in 0..dim {
+            let total: f64 = (0..m).map(|i| samples.get(i, d)).sum();
+            let reconstructed: f64 =
+                (0..k).map(|c| new_c.get(c, d) * counts[c] as f64).sum();
+            prop_assert!((total - reconstructed).abs() < 1e-9);
+        }
+        prop_assert_eq!(counts.iter().sum::<u32>() as usize, m);
+    }
+}
