@@ -8,7 +8,7 @@
 //!   rounding must not raise false alarms; injected bit flips above the
 //!   noise floor must),
 //! * [`detect`] — checksum comparison and discrepancy extraction,
-//! * [`locate`] — **location encoding**: recovering the (row, column) of a
+//! * [`mod@locate`] — **location encoding**: recovering the (row, column) of a
 //!   corrupted accumulator element from the ratios of weighted checksum
 //!   discrepancies,
 //! * [`correct`] — in-place subtraction of the error magnitude,

@@ -1,7 +1,7 @@
 //! CLI harness: regenerate every table and figure of the paper.
 //!
 //! ```text
-//! cargo run -p ftk-bench --release --bin figures -- [--fig all|7|8|...|21|table1] [--quick] [--out DIR]
+//! cargo run -p bench_harness --release --bin figures -- [--fig all|7|8|...|21|table1] [--quick] [--out DIR]
 //! ```
 
 use bench_harness::figures;

@@ -1,4 +1,4 @@
-//! # ftk-bench — the evaluation harness
+//! # bench_harness — the evaluation harness
 //!
 //! Regenerates every table and figure of the paper's §V on the simulated
 //! GPU: the step-wise optimization ladder (Fig. 7), the parameter sweeps
@@ -12,7 +12,7 @@
 //! campaigns at reduced scale where real bit flips are injected, detected
 //! and corrected, so the correctness claims are exercised, not asserted.
 //!
-//! Run `cargo run -p ftk-bench --release --bin figures -- --fig all` to
+//! Run `cargo run -p bench_harness --release --bin figures -- --fig all` to
 //! write `results/figNN.csv` plus a printed summary per figure.
 
 pub mod figures;

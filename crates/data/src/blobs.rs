@@ -4,7 +4,7 @@
 
 use gpu_sim::{Matrix, Scalar};
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// Specification of a Gaussian-blobs dataset.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -1,13 +1,13 @@
 //! Synthetic image patches for the vector-quantization example.
 //!
 //! K-means' classic systems application (paper §I cites vector quantization
-//! [2]) clusters small pixel patches into a codebook. Real images are not
+//! \[2\]) clusters small pixel patches into a codebook. Real images are not
 //! shippable here, so a procedural image (smooth gradients + texture bands
 //! + noise) provides patches with realistic low-dimensional structure.
 
 use gpu_sim::{Matrix, Scalar};
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// A procedurally generated grayscale image.
 #[derive(Debug, Clone)]

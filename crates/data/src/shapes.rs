@@ -5,7 +5,7 @@
 use crate::blobs::normal;
 use gpu_sim::{Matrix, Scalar};
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// Uniform samples in the cube `[-half, half]^dim` (clusterless noise —
 /// worst case for convergence tests).

@@ -17,7 +17,7 @@ use gpu_sim::mma::{FaultHook, MmaSite};
 use gpu_sim::Scalar;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 /// A deterministic injection order.

@@ -12,7 +12,7 @@ use gpu_sim::timing::{estimate, GemmShape, KernelClass, TimingInput};
 use gpu_sim::{Counters, DeviceProfile, Matrix, Precision, Scalar, SimError};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// Per-iteration progress record (populated when history tracking is on).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -106,7 +106,7 @@ impl KMeans {
 
         let mut prev_inertia = f64::INFINITY;
         let mut labels = vec![0u32; m];
-        let mut inertia = f64::INFINITY;
+        let mut inertia;
         let mut converged = false;
         let mut iterations = 0;
         let mut history = Vec::with_capacity(cfg.max_iter);
@@ -188,6 +188,15 @@ impl KMeans {
             }
             prev_inertia = inertia;
         }
+
+        // The loop's `inertia` was measured against the centroids the last
+        // assignment ran with, but `centroids` has since been updated (and
+        // possibly reseeded). Re-measure so the returned inertia is the cost
+        // of the returned labels under the returned centroids. (On a
+        // max_iter-bounded fit the labels themselves may still predate the
+        // final update — no extra assignment pass is run, matching
+        // `lloyd_reference`.)
+        let inertia = crate::metrics::inertia(samples, &centroids, &labels);
 
         let ft_stats = *stats.lock();
         Ok(FitResult {

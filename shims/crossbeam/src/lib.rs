@@ -1,0 +1,81 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::thread::scope` is used by this workspace (the
+//! threadblock launcher fans work out to host threads). Since Rust 1.63
+//! the standard library has structured scoped threads, so the shim is a
+//! thin adapter that reproduces crossbeam's call shape: the closure passed
+//! to `spawn` receives a `&Scope` argument (std's does not), and `scope`
+//! returns a `Result` the callers `.unwrap()` / `.expect()`.
+
+pub mod thread {
+    //! Scoped threads mirroring `crossbeam::thread`.
+
+    /// Adapter over [`std::thread::Scope`] reproducing crossbeam's
+    /// spawn-with-scope-argument signature.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. As in crossbeam, the closure
+        /// receives the scope itself so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            self.inner.spawn(move || f(&scope))
+        }
+    }
+
+    /// Run `f` with a scope; all spawned threads are joined before this
+    /// returns. Always `Ok` here: std's scope propagates a child panic by
+    /// resuming it on the caller, which for this workspace's
+    /// `.unwrap()` / `.expect()` call sites is the same observable
+    /// behavior as crossbeam's `Err` branch.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join_and_borrow() {
+        let mut counts = vec![0u32; 4];
+        super::thread::scope(|s| {
+            for (i, slot) in counts.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i as u32 + 1);
+            }
+        })
+        .unwrap();
+        assert_eq!(counts, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_argument() {
+        let total = std::sync::atomic::AtomicU32::new(0);
+        super::thread::scope(|s| {
+            s.spawn(|inner| {
+                total.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                inner.spawn(|_| {
+                    total.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(total.load(std::sync::atomic::Ordering::SeqCst), 2);
+    }
+}

@@ -1,0 +1,326 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset this workspace's property tests use: the
+//! `proptest!` macro with `#![proptest_config(..)]`, range strategies
+//! (`1usize..20`, `-1e30f32..1e30f32`), `prop::collection::vec`,
+//! `prop::sample::select`, `prop::num::{f32,f64}::ANY`, `bool::ANY`, and
+//! the `prop_assert*` macros.
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports the sampled inputs (each
+//!   generated value is formatted into the panic payload by the macro) but
+//!   is not minimized.
+//! * **Deterministic seeding.** Each test derives its RNG seed from the
+//!   test's name via FNV-1a, so failures reproduce exactly across runs and
+//!   machines. Set `PROPTEST_SHIM_SEED` to explore a different universe.
+//! * **Uniform sampling only.** The real proptest biases toward edge
+//!   cases; here `ANY` for floats samples raw bit patterns (which does
+//!   cover infinities, NaNs and subnormals by construction).
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod prelude {
+    //! Mirrors `proptest::prelude`: everything a `proptest!` block needs.
+    /// The real prelude exposes the crate root as `prop`.
+    pub use crate as prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
+}
+
+/// Runner configuration; only `cases` is meaningful in the shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A source of sampled values. The shim's strategies sample directly —
+/// there is no intermediate value tree because there is no shrinking.
+pub trait Strategy {
+    type Value: Debug;
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(usize, u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        let u: f64 = rng.random();
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut StdRng) -> f32 {
+        let u: f64 = rng.random();
+        (self.start as f64 + u * (self.end as f64 - self.start as f64)) as f32
+    }
+}
+
+pub mod bool {
+    //! Mirrors `proptest::bool`.
+    use super::{Rng, StdRng, Strategy};
+
+    /// Strategy yielding uniformly random booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniformly random `bool`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut StdRng) -> bool {
+            rng.random()
+        }
+    }
+}
+
+pub mod num {
+    //! Mirrors `proptest::num`: full-domain float strategies.
+
+    pub mod f64 {
+        use crate::{Rng, StdRng, Strategy};
+
+        /// Strategy over every `f64` bit pattern (including NaN/inf).
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// Any `f64` bit pattern.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = f64;
+            fn sample(&self, rng: &mut StdRng) -> f64 {
+                f64::from_bits(rng.random::<u64>())
+            }
+        }
+    }
+
+    pub mod f32 {
+        use crate::{Rng, StdRng, Strategy};
+
+        /// Strategy over every `f32` bit pattern (including NaN/inf).
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// Any `f32` bit pattern.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = f32;
+            fn sample(&self, rng: &mut StdRng) -> f32 {
+                f32::from_bits(rng.random::<u32>())
+            }
+        }
+    }
+}
+
+pub mod collection {
+    //! Mirrors `proptest::collection`.
+    use super::{Rng, StdRng, Strategy};
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with length drawn from `len` and
+    /// elements drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `vec(element, 1..60)` — a vector strategy.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.random_range(self.len.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Mirrors `proptest::sample`.
+    use super::{Rng, StdRng, Strategy};
+    use std::fmt::Debug;
+
+    /// Strategy drawing uniformly from a fixed set of options.
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// `select(vec![..])` — pick one of the given options per case.
+    pub fn select<T: Clone + Debug>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select() needs at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone + Debug> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            self.options[rng.random_range(0..self.options.len())].clone()
+        }
+    }
+}
+
+/// Derive the per-test RNG, honoring `PROPTEST_SHIM_SEED` for manual
+/// exploration of other sampling universes.
+pub fn rng_for_test(test_name: &str) -> StdRng {
+    // FNV-1a over the test name: stable across runs, platforms, compilers.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    if let Ok(extra) = std::env::var("PROPTEST_SHIM_SEED") {
+        if let Ok(n) = extra.trim().parse::<u64>() {
+            h ^= n.rotate_left(17);
+        }
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Mirrors `proptest::proptest!`: expands each `fn name(arg in strategy)`
+/// item into a `#[test]` that samples `cases` inputs and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __pt_cfg: $crate::ProptestConfig = $cfg;
+                let mut __pt_rng = $crate::rng_for_test(stringify!($name));
+                for __pt_case in 0..__pt_cfg.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __pt_rng);)*
+                    let __pt_inputs = format!(
+                        concat!("case {}", $(concat!(", ", stringify!($arg), " = {:?}"),)*),
+                        __pt_case $(, $arg)*
+                    );
+                    let __pt_result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| $body),
+                    );
+                    if let Err(payload) = __pt_result {
+                        eprintln!(
+                            "proptest shim: property `{}` failed at {}",
+                            stringify!($name),
+                            __pt_inputs,
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($rest)*
+        }
+    };
+}
+
+/// Mirrors `prop_assert!`: panics (rather than returning `Err`) — the shim
+/// runs bodies inline, so a panic is the failure channel.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Mirrors `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Mirrors `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..9, y in -2.0f64..2.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in prop::collection::vec(0u32..5, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            for e in v {
+                prop_assert!(e < 5);
+            }
+        }
+
+        #[test]
+        fn select_only_yields_options(m in prop::sample::select(vec![1u8, 4, 9])) {
+            prop_assert!(m == 1 || m == 4 || m == 9);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::rng_for_test("some_test");
+        let mut b = crate::rng_for_test("some_test");
+        let s = 0u64..1000;
+        for _ in 0..32 {
+            assert_eq!(Strategy::sample(&s, &mut a), Strategy::sample(&s, &mut b));
+        }
+    }
+}

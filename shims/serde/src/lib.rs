@@ -1,0 +1,37 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace builds in an environment without crates.io access, so this
+//! shim supplies the *name surface* the codebase uses — `Serialize` /
+//! `Deserialize` as derivable traits — without any actual serialization
+//! machinery. The traits are markers with blanket impls; the derives
+//! (re-exported from the sibling `serde_derive` shim) emit nothing.
+//!
+//! When the real `serde` becomes available, deleting the `shims/` path
+//! entries from `[workspace.dependencies]` and pointing them at crates.io
+//! is the entire migration: call sites already use the real idioms.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`. Blanket-implemented for all
+/// types so derived bounds are always satisfiable.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize<'de>`. Blanket-implemented
+/// for all types so derived bounds are always satisfiable.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Mirrors `serde::de` far enough for `DeserializeOwned` imports.
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+/// Mirrors `serde::ser` for symmetric imports.
+pub mod ser {
+    pub use super::Serialize;
+}
