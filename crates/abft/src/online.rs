@@ -16,7 +16,7 @@ use crate::correct::correct_in_place;
 use crate::detect::compare;
 use crate::locate::{locate, Located};
 use crate::threshold::ThresholdPolicy;
-use gpu_sim::counters::Counters;
+use gpu_sim::counters::EventSink;
 use gpu_sim::mma::{FaultHook, FragmentMma, MmaSite};
 use gpu_sim::warp::{frag_col_sum, frag_col_weighted_sum};
 use gpu_sim::Scalar;
@@ -93,14 +93,14 @@ impl<T: Scalar> WarpOnlineState<T> {
     /// run as tensor-core MMAs through `hook` (so they are themselves
     /// corruptible — the paper's fault model does not exempt checksum
     /// computation).
-    pub fn accumulate<H: FaultHook<T> + ?Sized>(
+    pub fn accumulate<H: FaultHook<T> + ?Sized, C: EventSink + ?Sized>(
         &mut self,
         a_frag: &[T],
         b_frag: &[T],
         kk: usize,
         site: MmaSite,
         hook: &H,
-        counters: &Counters,
+        counters: &C,
     ) {
         debug_assert_eq!(a_frag.len(), self.wm * kk);
         debug_assert_eq!(b_frag.len(), self.wn * kk);
@@ -158,7 +158,12 @@ impl<T: Scalar> WarpOnlineState<T> {
     ///    error magnitude must not survive — fall back to recomputation);
     /// 6. `s11` deviates but location decoding fails (overflowed weighted
     ///    sums, multi-error) → request recomputation.
-    pub fn check(&mut self, acc: &mut [T], k_now: usize, counters: &Counters) -> CheckOutcome {
+    pub fn check<C: EventSink + ?Sized>(
+        &mut self,
+        acc: &mut [T],
+        k_now: usize,
+        counters: &C,
+    ) -> CheckOutcome {
         debug_assert_eq!(acc.len(), self.wm * self.wn);
         // (1) Inf/NaN in the payload: no subtraction can repair it.
         if acc.iter().any(|v| !v.is_finite_s()) {
@@ -228,11 +233,11 @@ impl<T: Scalar> WarpOnlineState<T> {
 
     /// Reset the reference checksums to match the current accumulator
     /// (after an external recompute, or when the checksums were corrupted).
-    pub fn rebaseline(&mut self, acc: &[T], counters: &Counters) {
+    pub fn rebaseline<C: EventSink + ?Sized>(&mut self, acc: &[T], counters: &C) {
         self.reference = self.observed(acc, counters);
     }
 
-    fn observed(&self, acc: &[T], counters: &Counters) -> ChecksumTriple<T> {
+    fn observed<C: EventSink + ?Sized>(&self, acc: &[T], counters: &C) -> ChecksumTriple<T> {
         counters.add_ft_cuda((3 * self.wm * self.wn) as u64);
         let mut t = ChecksumTriple::from_tile(acc, self.wm, self.wn);
         if self.mode == OnlineMode::DetectOnly {
@@ -248,6 +253,7 @@ impl<T: Scalar> WarpOnlineState<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gpu_sim::counters::Counters;
     use gpu_sim::mma::NoFault;
     use gpu_sim::Precision;
 

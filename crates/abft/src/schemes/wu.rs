@@ -15,7 +15,7 @@ use crate::detect::compare;
 use crate::locate::{locate, Located};
 use crate::online::CheckOutcome;
 use crate::threshold::ThresholdPolicy;
-use gpu_sim::counters::Counters;
+use gpu_sim::counters::EventSink;
 use gpu_sim::shared::SharedTile;
 use gpu_sim::{Precision, Scalar};
 
@@ -48,18 +48,18 @@ impl<T: Scalar> WuBlockState<T> {
     /// checksums. The caller decides how the tile data was obtained:
     /// observed during a register-staged copy (free on Turing) or re-read
     /// from global memory (Ampere — charge
-    /// [`Counters::add_ft_extra_loads`] before calling).
+    /// [`gpu_sim::Counters::add_ft_extra_loads`] before calling).
     ///
     /// This is a threadblock-wide reduction: all warps must synchronize
     /// before the sums are complete, which is the synchronization cost the
     /// paper eliminates (§V-D: "60% improvement due to the elimination of
     /// threadblock-level synchronization").
-    pub fn absorb_tiles(
+    pub fn absorb_tiles<C: EventSink + ?Sized>(
         &mut self,
         a_tile: &SharedTile<T>,
         b_tile: &SharedTile<T>,
         kk: usize,
-        counters: &Counters,
+        counters: &C,
     ) {
         debug_assert!(kk <= a_tile.cols());
         for k in 0..kk {
@@ -88,11 +88,11 @@ impl<T: Scalar> WuBlockState<T> {
     /// scheme (see [`crate::online::WarpOnlineState::check`]): non-finite or
     /// unlocatable payload errors request recomputation; checksum-side hits
     /// re-baseline.
-    pub fn check_and_correct(
+    pub fn check_and_correct<C: EventSink + ?Sized>(
         &mut self,
         get: impl Fn(usize, usize) -> T,
         set: impl FnMut(usize, usize, T),
-        counters: &Counters,
+        counters: &C,
     ) -> CheckOutcome {
         let mut set = set;
         let mut tile = vec![T::ZERO; self.tb_m * self.tb_n];
@@ -145,7 +145,11 @@ impl<T: Scalar> WuBlockState<T> {
 
     /// Reset the reference checksums from the current block tile (after an
     /// external recomputation).
-    pub fn rebaseline_from(&mut self, get: impl Fn(usize, usize) -> T, counters: &Counters) {
+    pub fn rebaseline_from<C: EventSink + ?Sized>(
+        &mut self,
+        get: impl Fn(usize, usize) -> T,
+        counters: &C,
+    ) {
         let mut tile = vec![T::ZERO; self.tb_m * self.tb_n];
         for r in 0..self.tb_m {
             for c in 0..self.tb_n {
@@ -160,6 +164,7 @@ impl<T: Scalar> WuBlockState<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gpu_sim::counters::Counters;
     use gpu_sim::matrix::gemm_abt_reference;
     use gpu_sim::Matrix;
 

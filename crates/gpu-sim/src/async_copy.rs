@@ -14,7 +14,7 @@
 //! discipline: reading a stage that has not been waited on is a bug (a data
 //! race on real hardware) and panics in the simulator.
 
-use crate::counters::Counters;
+use crate::counters::EventSink;
 use crate::error::SimError;
 use crate::scalar::Scalar;
 use crate::shared::SharedTile;
@@ -88,11 +88,11 @@ impl<T: Scalar> AsyncPipeline<T> {
     /// `fill_a(tile)` / `fill_b(tile)` write the tile contents (the kernel
     /// decides addressing and zero-padding). The copy is counted as one
     /// `cp.async` burst per tile; global traffic is charged by the fill
-    /// closures through [`Counters`].
-    pub fn cp_async(
+    /// closures through the counter sink.
+    pub fn cp_async<C: EventSink + ?Sized>(
         &mut self,
         stage: usize,
-        counters: &Counters,
+        counters: &C,
         fill_a: impl FnOnce(&mut SharedTile<T>),
         fill_b: impl FnOnce(&mut SharedTile<T>),
     ) {
@@ -110,10 +110,10 @@ impl<T: Scalar> AsyncPipeline<T> {
     /// Returns [`SimError::InvalidConfig`] on `AsyncBypass` devices: this is
     /// the precise failure mode that breaks Wu's register-reuse ABFT on
     /// Ampere (paper §I).
-    pub fn cp_staged_observed(
+    pub fn cp_staged_observed<C: EventSink + ?Sized>(
         &mut self,
         stage: usize,
-        counters: &Counters,
+        counters: &C,
         fill_a: impl FnOnce(&mut SharedTile<T>),
         fill_b: impl FnOnce(&mut SharedTile<T>),
         observe: impl FnMut(Operand, usize, usize, T),
@@ -202,6 +202,7 @@ fn iter_tile<T: Scalar>(tile: &SharedTile<T>) -> impl Iterator<Item = (usize, us
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::counters::Counters;
 
     fn fill_seq(tile: &mut SharedTile<f32>) {
         for r in 0..tile.rows() {

@@ -6,7 +6,7 @@
 //! operation", §III-A4). [`ArgminStore`] models that structure: one slot per
 //! sample row holding the best (distance, centroid) pair seen so far.
 
-use crate::counters::Counters;
+use crate::counters::EventSink;
 use crate::scalar::Scalar;
 use parking_lot::Mutex;
 
@@ -36,7 +36,7 @@ impl<T: Scalar> ArgminStore<T> {
     /// Merge a candidate (distance, index) for `row`. Equal distances keep
     /// the smaller index so results are deterministic regardless of block
     /// execution order.
-    pub fn merge(&self, row: usize, dist: T, idx: u32, counters: &Counters) {
+    pub fn merge<C: EventSink + ?Sized>(&self, row: usize, dist: T, idx: u32, counters: &C) {
         counters.add_atomic(1);
         let mut slot = self.slots[row].lock();
         if dist < slot.0 || (dist == slot.0 && idx < slot.1) {
@@ -72,6 +72,7 @@ impl<T: Scalar> ArgminStore<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::counters::Counters;
 
     #[test]
     fn merge_keeps_minimum() {

@@ -5,52 +5,203 @@
 //! barriers. Tests use them to assert structural properties of kernels (e.g.
 //! "the fused variant does not write the distance matrix back to global
 //! memory", paper §III-A3).
+//!
+//! Two charging paths exist, unified by the [`EventSink`] trait:
+//!
+//! * [`Counters`] — the shared, atomic accumulator a launch is charged to.
+//!   Host-side code (uploads, unit tests) charges it directly.
+//! * [`CounterSink`] — a worker-local, non-atomic shard used inside kernel
+//!   execution. Every counted primitive inside a threadblock charges plain
+//!   [`Cell`]s; the execution engine merges the shard into the shared
+//!   [`Counters`] exactly once per block, eliminating the shared-cache-line
+//!   ping-pong of per-element `fetch_add`s while keeping totals bit-identical
+//!   (u64 addition is exact and commutative, so serial and parallel launches
+//!   produce the same [`CounterSnapshot`]).
+//!
+//! The event list lives in one place — the `counter_events!` invocation —
+//! which generates the structs, the snapshot/flush plumbing and both
+//! [`EventSink`] impls, so adding an event kind cannot leave a path out of
+//! sync.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Shared atomic event counters. Cheap to increment from parallel
-/// threadblocks; snapshot with [`Counters::snapshot`].
-#[derive(Debug, Default)]
-pub struct Counters {
-    /// Bytes read from global memory.
-    pub bytes_loaded: AtomicU64,
-    /// Bytes written to global memory.
-    pub bytes_stored: AtomicU64,
-    /// Warp-level tensor-core MMA instructions issued.
-    pub mma_ops: AtomicU64,
-    /// Scalar fused-multiply-add operations on CUDA cores.
-    pub fma_ops: AtomicU64,
-    /// Atomic read-modify-write operations on global memory.
-    pub atomic_ops: AtomicU64,
-    /// `__syncthreads()` barriers executed (per threadblock).
-    pub barriers: AtomicU64,
-    /// `cp.async` copy instructions issued.
-    pub cp_async_ops: AtomicU64,
-    /// Extra global reads forced on a fault-tolerance scheme when the
-    /// register-staged path is unavailable (Wu's scheme on Ampere).
-    pub ft_extra_loads: AtomicU64,
-    /// Checksum-related arithmetic performed on CUDA cores.
-    pub ft_cuda_ops: AtomicU64,
-    /// Checksum-related MMA instructions on tensor cores.
-    pub ft_mma_ops: AtomicU64,
-    /// Kernel launches performed.
-    pub kernel_launches: AtomicU64,
+/// Defines every counter-carrying type from one event list.
+///
+/// `counted` events expose `fn add(&self, n: u64)`; `unit` events expose
+/// `fn add(&self)` (increment by one). Generates [`Counters`],
+/// [`CounterSnapshot`], [`CounterSink`], the [`EventSink`] trait and its two
+/// impls, plus the snapshot/reset/flush/since plumbing.
+macro_rules! counter_events {
+    (
+        counted { $($(#[doc = $cdoc:literal])* $cfield:ident => $cadd:ident),+ $(,)? }
+        unit { $($(#[doc = $udoc:literal])* $ufield:ident => $uadd:ident),+ $(,)? }
+    ) => {
+        /// Shared atomic event counters. Cheap to increment from parallel
+        /// threadblocks; snapshot with [`Counters::snapshot`].
+        #[derive(Debug, Default)]
+        pub struct Counters {
+            $($(#[doc = $cdoc])* pub $cfield: AtomicU64,)+
+            $($(#[doc = $udoc])* pub $ufield: AtomicU64,)+
+        }
+
+        /// A plain-value copy of [`Counters`] at a point in time.
+        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+        pub struct CounterSnapshot {
+            $($(#[doc = $cdoc])* pub $cfield: u64,)+
+            $($(#[doc = $udoc])* pub $ufield: u64,)+
+        }
+
+        /// Anything hardware events can be charged to: the shared
+        /// [`Counters`] (atomic, host-side) or a worker-local
+        /// [`CounterSink`] (non-atomic, inside kernels). Counted primitives
+        /// are generic over this trait so the same kernel code runs against
+        /// either.
+        pub trait EventSink {
+            $($(#[doc = $cdoc])* fn $cadd(&self, n: u64);)+
+            $($(#[doc = $udoc])* fn $uadd(&self);)+
+        }
+
+        impl Counters {
+            $(
+                $(#[doc = $cdoc])*
+                #[inline]
+                pub fn $cadd(&self, n: u64) {
+                    self.$cfield.fetch_add(n, Ordering::Relaxed);
+                }
+            )+
+            $(
+                $(#[doc = $udoc])*
+                #[inline]
+                pub fn $uadd(&self) {
+                    self.$ufield.fetch_add(1, Ordering::Relaxed);
+                }
+            )+
+
+            /// Capture current values.
+            pub fn snapshot(&self) -> CounterSnapshot {
+                CounterSnapshot {
+                    $($cfield: self.$cfield.load(Ordering::Relaxed),)+
+                    $($ufield: self.$ufield.load(Ordering::Relaxed),)+
+                }
+            }
+
+            /// Reset every counter to zero.
+            pub fn reset(&self) {
+                $(self.$cfield.store(0, Ordering::Relaxed);)+
+                $(self.$ufield.store(0, Ordering::Relaxed);)+
+            }
+        }
+
+        impl EventSink for Counters {
+            $(fn $cadd(&self, n: u64) { Counters::$cadd(self, n); })+
+            $(fn $uadd(&self) { Counters::$uadd(self); })+
+        }
+
+        /// A worker-local counter shard. Accumulates events in plain
+        /// [`Cell`]s (no atomics, no sharing — the type is deliberately
+        /// `!Sync`) and merges them into the shared [`Counters`] on
+        /// [`CounterSink::flush`] or drop.
+        ///
+        /// The execution engine creates one per worker and flushes once per
+        /// threadblock, so the shared cache line is touched O(blocks) times
+        /// instead of O(memory accesses).
+        #[derive(Debug)]
+        pub struct CounterSink<'a> {
+            shared: &'a Counters,
+            $($cfield: Cell<u64>,)+
+            $($ufield: Cell<u64>,)+
+        }
+
+        impl<'a> CounterSink<'a> {
+            /// A zeroed sink draining into `shared`.
+            pub fn new(shared: &'a Counters) -> Self {
+                CounterSink {
+                    shared,
+                    $($cfield: Cell::new(0),)+
+                    $($ufield: Cell::new(0),)+
+                }
+            }
+
+            /// The shared counters this sink drains into.
+            pub fn shared(&self) -> &'a Counters {
+                self.shared
+            }
+
+            $(
+                $(#[doc = $cdoc])*
+                #[inline]
+                pub fn $cadd(&self, n: u64) {
+                    self.$cfield.set(self.$cfield.get().wrapping_add(n));
+                }
+            )+
+            $(
+                $(#[doc = $udoc])*
+                #[inline]
+                pub fn $uadd(&self) {
+                    self.$ufield.set(self.$ufield.get().wrapping_add(1));
+                }
+            )+
+
+            /// Merge the local tallies into the shared [`Counters`] and
+            /// reset them. Zero fields cost nothing (no atomic issued).
+            pub fn flush(&self) {
+                fn drain(cell: &Cell<u64>, target: &AtomicU64) {
+                    let v = cell.replace(0);
+                    if v != 0 {
+                        target.fetch_add(v, Ordering::Relaxed);
+                    }
+                }
+                $(drain(&self.$cfield, &self.shared.$cfield);)+
+                $(drain(&self.$ufield, &self.shared.$ufield);)+
+            }
+        }
+
+        impl EventSink for CounterSink<'_> {
+            $(fn $cadd(&self, n: u64) { CounterSink::$cadd(self, n); })+
+            $(fn $uadd(&self) { CounterSink::$uadd(self); })+
+        }
+
+        impl CounterSnapshot {
+            /// Difference `self - earlier`, elementwise (saturating).
+            pub fn since(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+                CounterSnapshot {
+                    $($cfield: self.$cfield.saturating_sub(earlier.$cfield),)+
+                    $($ufield: self.$ufield.saturating_sub(earlier.$ufield),)+
+                }
+            }
+        }
+    };
 }
 
-/// A plain-value copy of [`Counters`] at a point in time.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct CounterSnapshot {
-    pub bytes_loaded: u64,
-    pub bytes_stored: u64,
-    pub mma_ops: u64,
-    pub fma_ops: u64,
-    pub atomic_ops: u64,
-    pub barriers: u64,
-    pub cp_async_ops: u64,
-    pub ft_extra_loads: u64,
-    pub ft_cuda_ops: u64,
-    pub ft_mma_ops: u64,
-    pub kernel_launches: u64,
+counter_events! {
+    counted {
+        /// Bytes read from global memory.
+        bytes_loaded => add_loaded,
+        /// Bytes written to global memory.
+        bytes_stored => add_stored,
+        /// Warp-level tensor-core MMA instructions issued.
+        mma_ops => add_mma,
+        /// Scalar fused-multiply-add operations on CUDA cores.
+        fma_ops => add_fma,
+        /// Atomic read-modify-write operations on global memory.
+        atomic_ops => add_atomic,
+        /// `cp.async` copy instructions issued.
+        cp_async_ops => add_cp_async,
+        /// Extra global reads forced on a fault-tolerance scheme when the
+        /// register-staged path is unavailable (Wu's scheme on Ampere).
+        ft_extra_loads => add_ft_extra_loads,
+        /// Checksum-related arithmetic performed on CUDA cores.
+        ft_cuda_ops => add_ft_cuda,
+        /// Checksum-related MMA instructions on tensor cores.
+        ft_mma_ops => add_ft_mma,
+    }
+    unit {
+        /// `__syncthreads()` barriers executed (per threadblock).
+        barriers => add_barrier,
+        /// Kernel launches performed.
+        kernel_launches => add_launch,
+    }
 }
 
 impl Counters {
@@ -59,112 +210,20 @@ impl Counters {
         Self::default()
     }
 
-    #[inline]
-    pub fn add_loaded(&self, bytes: u64) {
-        self.bytes_loaded.fetch_add(bytes, Ordering::Relaxed);
+    /// A fresh local shard draining into these counters (see
+    /// [`CounterSink`]).
+    pub fn sink(&self) -> CounterSink<'_> {
+        CounterSink::new(self)
     }
+}
 
-    #[inline]
-    pub fn add_stored(&self, bytes: u64) {
-        self.bytes_stored.fetch_add(bytes, Ordering::Relaxed);
-    }
-
-    #[inline]
-    pub fn add_mma(&self, n: u64) {
-        self.mma_ops.fetch_add(n, Ordering::Relaxed);
-    }
-
-    #[inline]
-    pub fn add_fma(&self, n: u64) {
-        self.fma_ops.fetch_add(n, Ordering::Relaxed);
-    }
-
-    #[inline]
-    pub fn add_atomic(&self, n: u64) {
-        self.atomic_ops.fetch_add(n, Ordering::Relaxed);
-    }
-
-    #[inline]
-    pub fn add_barrier(&self) {
-        self.barriers.fetch_add(1, Ordering::Relaxed);
-    }
-
-    #[inline]
-    pub fn add_cp_async(&self, n: u64) {
-        self.cp_async_ops.fetch_add(n, Ordering::Relaxed);
-    }
-
-    #[inline]
-    pub fn add_ft_extra_loads(&self, bytes: u64) {
-        self.ft_extra_loads.fetch_add(bytes, Ordering::Relaxed);
-    }
-
-    #[inline]
-    pub fn add_ft_cuda(&self, n: u64) {
-        self.ft_cuda_ops.fetch_add(n, Ordering::Relaxed);
-    }
-
-    #[inline]
-    pub fn add_ft_mma(&self, n: u64) {
-        self.ft_mma_ops.fetch_add(n, Ordering::Relaxed);
-    }
-
-    #[inline]
-    pub fn add_launch(&self) {
-        self.kernel_launches.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Capture current values.
-    pub fn snapshot(&self) -> CounterSnapshot {
-        CounterSnapshot {
-            bytes_loaded: self.bytes_loaded.load(Ordering::Relaxed),
-            bytes_stored: self.bytes_stored.load(Ordering::Relaxed),
-            mma_ops: self.mma_ops.load(Ordering::Relaxed),
-            fma_ops: self.fma_ops.load(Ordering::Relaxed),
-            atomic_ops: self.atomic_ops.load(Ordering::Relaxed),
-            barriers: self.barriers.load(Ordering::Relaxed),
-            cp_async_ops: self.cp_async_ops.load(Ordering::Relaxed),
-            ft_extra_loads: self.ft_extra_loads.load(Ordering::Relaxed),
-            ft_cuda_ops: self.ft_cuda_ops.load(Ordering::Relaxed),
-            ft_mma_ops: self.ft_mma_ops.load(Ordering::Relaxed),
-            kernel_launches: self.kernel_launches.load(Ordering::Relaxed),
-        }
-    }
-
-    /// Reset every counter to zero.
-    pub fn reset(&self) {
-        self.bytes_loaded.store(0, Ordering::Relaxed);
-        self.bytes_stored.store(0, Ordering::Relaxed);
-        self.mma_ops.store(0, Ordering::Relaxed);
-        self.fma_ops.store(0, Ordering::Relaxed);
-        self.atomic_ops.store(0, Ordering::Relaxed);
-        self.barriers.store(0, Ordering::Relaxed);
-        self.cp_async_ops.store(0, Ordering::Relaxed);
-        self.ft_extra_loads.store(0, Ordering::Relaxed);
-        self.ft_cuda_ops.store(0, Ordering::Relaxed);
-        self.ft_mma_ops.store(0, Ordering::Relaxed);
-        self.kernel_launches.store(0, Ordering::Relaxed);
+impl Drop for CounterSink<'_> {
+    fn drop(&mut self) {
+        self.flush();
     }
 }
 
 impl CounterSnapshot {
-    /// Difference `self - earlier`, elementwise (saturating).
-    pub fn since(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
-        CounterSnapshot {
-            bytes_loaded: self.bytes_loaded.saturating_sub(earlier.bytes_loaded),
-            bytes_stored: self.bytes_stored.saturating_sub(earlier.bytes_stored),
-            mma_ops: self.mma_ops.saturating_sub(earlier.mma_ops),
-            fma_ops: self.fma_ops.saturating_sub(earlier.fma_ops),
-            atomic_ops: self.atomic_ops.saturating_sub(earlier.atomic_ops),
-            barriers: self.barriers.saturating_sub(earlier.barriers),
-            cp_async_ops: self.cp_async_ops.saturating_sub(earlier.cp_async_ops),
-            ft_extra_loads: self.ft_extra_loads.saturating_sub(earlier.ft_extra_loads),
-            ft_cuda_ops: self.ft_cuda_ops.saturating_sub(earlier.ft_cuda_ops),
-            ft_mma_ops: self.ft_mma_ops.saturating_sub(earlier.ft_mma_ops),
-            kernel_launches: self.kernel_launches.saturating_sub(earlier.kernel_launches),
-        }
-    }
-
     /// Total global traffic in bytes.
     pub fn total_bytes(&self) -> u64 {
         self.bytes_loaded + self.bytes_stored
@@ -212,6 +271,80 @@ mod tests {
         c.add_launch();
         c.reset();
         assert_eq!(c.snapshot(), CounterSnapshot::default());
+    }
+
+    #[test]
+    fn sink_merges_on_flush_and_drop() {
+        let c = Counters::new();
+        let sink = c.sink();
+        sink.add_loaded(64);
+        sink.add_mma(3);
+        sink.add_barrier();
+        // nothing visible until the sink flushes
+        assert_eq!(c.snapshot(), CounterSnapshot::default());
+        sink.flush();
+        let s = c.snapshot();
+        assert_eq!(s.bytes_loaded, 64);
+        assert_eq!(s.mma_ops, 3);
+        assert_eq!(s.barriers, 1);
+        // flush reset the locals: a second flush adds nothing
+        sink.flush();
+        assert_eq!(c.snapshot(), s);
+        sink.add_fma(7);
+        drop(sink); // drop flushes the remainder
+        assert_eq!(c.snapshot().fma_ops, 7);
+    }
+
+    #[test]
+    fn sink_totals_match_direct_charging() {
+        let direct = Counters::new();
+        let sharded = Counters::new();
+        for i in 0..100u64 {
+            direct.add_loaded(i);
+            direct.add_atomic(1);
+            let sink = sharded.sink();
+            sink.add_loaded(i);
+            sink.add_atomic(1);
+        }
+        assert_eq!(direct.snapshot(), sharded.snapshot());
+    }
+
+    #[test]
+    fn every_event_kind_survives_the_sink_round_trip() {
+        // One charge per event kind through a sink must land in the shared
+        // counters — guards the macro-generated flush list.
+        let c = Counters::new();
+        {
+            let sink = c.sink();
+            sink.add_loaded(1);
+            sink.add_stored(2);
+            sink.add_mma(3);
+            sink.add_fma(4);
+            sink.add_atomic(5);
+            sink.add_cp_async(6);
+            sink.add_ft_extra_loads(7);
+            sink.add_ft_cuda(8);
+            sink.add_ft_mma(9);
+            sink.add_barrier();
+            sink.add_launch();
+        }
+        let s = c.snapshot();
+        assert_eq!(
+            (
+                s.bytes_loaded,
+                s.bytes_stored,
+                s.mma_ops,
+                s.fma_ops,
+                s.atomic_ops,
+                s.cp_async_ops,
+                s.ft_extra_loads,
+                s.ft_cuda_ops,
+                s.ft_mma_ops,
+                s.barriers,
+                s.kernel_launches
+            ),
+            (1, 2, 3, 4, 5, 6, 7, 8, 9, 1, 1)
+        );
     }
 
     #[test]

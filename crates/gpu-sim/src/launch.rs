@@ -1,19 +1,19 @@
 //! Kernel launch: validate resources, then execute one closure per
-//! threadblock, in parallel across host threads.
+//! threadblock on the execution engine ([`crate::exec`]).
 //!
 //! Threadblocks on a GPU execute independently (no inter-block ordering);
-//! the simulator reproduces that by distributing blocks over a crossbeam
-//! worker pool with a shared atomic work index. Kernels that need
-//! cross-block coordination must use the atomic primitives
-//! ([`crate::memory::GlobalBuffer::atomic_add`],
+//! the simulator reproduces that by distributing blocks over a persistent
+//! worker pool with chunked work stealing (see [`crate::exec::Executor`]).
+//! Kernels that need cross-block coordination must use the atomic
+//! primitives ([`crate::memory::GlobalBuffer::atomic_add`],
 //! [`crate::atomics::ArgminStore`]) — plain stores to overlapping locations
 //! are a bug, as on hardware.
 
-use crate::counters::Counters;
+use crate::counters::{CounterSink, Counters};
 use crate::device::DeviceProfile;
 use crate::dim::Dim3;
 use crate::error::SimError;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crate::exec;
 
 /// Launch geometry and declared resource usage of a kernel.
 #[derive(Debug, Clone, Copy)]
@@ -36,8 +36,9 @@ pub struct BlockCtx<'a> {
     pub by: usize,
     /// Block z coordinate.
     pub bz: usize,
-    /// Event counters shared across the launch.
-    pub counters: &'a Counters,
+    /// Worker-local event-counter shard; merged into the launch's shared
+    /// [`Counters`] once per block by the execution engine.
+    pub counters: &'a CounterSink<'a>,
     /// Profile of the device the kernel runs on.
     pub device: &'a DeviceProfile,
 }
@@ -50,7 +51,7 @@ impl BlockCtx<'_> {
     }
 }
 
-fn validate(device: &DeviceProfile, cfg: &LaunchConfig) -> Result<(), SimError> {
+pub(crate) fn validate(device: &DeviceProfile, cfg: &LaunchConfig) -> Result<(), SimError> {
     if cfg.threads_per_block > device.max_threads_per_block {
         return Err(SimError::ThreadLimitExceeded {
             requested: cfg.threads_per_block,
@@ -72,7 +73,9 @@ fn validate(device: &DeviceProfile, cfg: &LaunchConfig) -> Result<(), SimError> 
     Ok(())
 }
 
-/// Launch `kernel` over the grid, running threadblocks in parallel.
+/// Launch `kernel` over the grid on the current executor (the thread-local
+/// override installed by [`exec::with_executor`], else the global pool —
+/// which honors the `FTK_EXEC=serial` / `FTK_WORKERS=N` environment knobs).
 ///
 /// The closure is invoked once per block with a fresh [`BlockCtx`]; any
 /// per-block state (pipelines, fragments) should be created inside it.
@@ -85,66 +88,23 @@ pub fn launch_grid<F>(
 where
     F: Fn(&BlockCtx) + Sync,
 {
-    validate(device, &cfg)?;
-    counters.add_launch();
-    let total = cfg.grid.volume();
-    if total == 0 {
-        return Ok(());
-    }
-    let workers = std::thread::available_parallelism()
-        .map_or(4, |n| n.get())
-        .min(total)
-        .max(1);
-    let next = AtomicUsize::new(0);
-    crossbeam::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|_| loop {
-                let idx = next.fetch_add(1, Ordering::Relaxed);
-                if idx >= total {
-                    break;
-                }
-                let (bx, by, bz) = cfg.grid.unlinear(idx);
-                let ctx = BlockCtx {
-                    bx,
-                    by,
-                    bz,
-                    counters,
-                    device,
-                };
-                kernel(&ctx);
-            });
-        }
-    })
-    .expect("threadblock worker panicked");
-    Ok(())
+    exec::with_current(|e| e.launch(device, cfg, counters, &kernel))
 }
 
 /// Serial variant of [`launch_grid`] with a deterministic block order —
 /// useful for debugging kernels and for tests that want reproducible
-/// interleavings.
+/// interleavings. Always runs on the calling thread regardless of the
+/// executor policy, and accepts `FnMut` kernels.
 pub fn launch_grid_serial<F>(
     device: &DeviceProfile,
     cfg: LaunchConfig,
     counters: &Counters,
-    mut kernel: F,
+    kernel: F,
 ) -> Result<(), SimError>
 where
     F: FnMut(&BlockCtx),
 {
-    validate(device, &cfg)?;
-    counters.add_launch();
-    for idx in 0..cfg.grid.volume() {
-        let (bx, by, bz) = cfg.grid.unlinear(idx);
-        let ctx = BlockCtx {
-            bx,
-            by,
-            bz,
-            counters,
-            device,
-        };
-        kernel(&ctx);
-    }
-    Ok(())
+    exec::with_current(|e| e.launch_serial(device, cfg, counters, kernel))
 }
 
 #[cfg(test)]

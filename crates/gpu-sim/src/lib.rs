@@ -12,8 +12,9 @@
 //!   path and the Ampere *bypass* path that breaks register-reuse ABFT,
 //! * [`mma`] — warp-level tensor-core fragment multiply-accumulate with a
 //!   fault-injection interception point,
-//! * [`launch`] — grid/threadblock execution (threadblocks run in parallel
-//!   on host threads via crossbeam),
+//! * [`launch`] / [`exec`] — grid/threadblock execution on a persistent
+//!   worker pool with chunked block scheduling, per-worker counter shards
+//!   and a deterministic serial policy (`FTK_EXEC=serial`),
 //! * [`timing`] — an analytic performance model (occupancy, tile and wave
 //!   quantization, compute/memory overlap, ABFT overhead terms) calibrated
 //!   against the paper's published A100/T4 anchors.
@@ -37,6 +38,7 @@ pub mod counters;
 pub mod device;
 pub mod dim;
 pub mod error;
+pub mod exec;
 pub mod launch;
 pub mod matrix;
 pub mod memory;
@@ -48,10 +50,11 @@ pub mod timing;
 pub mod warp;
 
 pub use async_copy::{AsyncPipeline, CopyPath};
-pub use counters::Counters;
+pub use counters::{CounterSink, CounterSnapshot, Counters, EventSink};
 pub use device::{DeviceProfile, Precision};
 pub use dim::Dim3;
 pub use error::SimError;
+pub use exec::{ExecPolicy, Executor};
 pub use launch::{launch_grid, launch_grid_serial, BlockCtx, LaunchConfig};
 pub use matrix::Matrix;
 pub use memory::GlobalBuffer;

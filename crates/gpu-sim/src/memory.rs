@@ -6,11 +6,12 @@
 //! `atomicAdd` is a compare-and-swap loop, which is literally how CUDA
 //! implements floating-point atomics on older hardware.
 //!
-//! Traffic accounting is explicit: kernels charge a [`Counters`] instance
+//! Traffic accounting is explicit: kernels charge a [`crate::counters::EventSink`]
+//! (the launch's shared counters, or a worker-local sink inside kernels)
 //! when they touch global memory, mirroring the transactions a profiler
 //! would report.
 
-use crate::counters::Counters;
+use crate::counters::EventSink;
 use crate::matrix::Matrix;
 use crate::scalar::Scalar;
 use std::marker::PhantomData;
@@ -85,7 +86,7 @@ impl<T: Scalar> GlobalBuffer<T> {
 
     /// Load charging `counters` for the transaction.
     #[inline]
-    pub fn load_counted(&self, idx: usize, counters: &Counters) -> T {
+    pub fn load_counted<C: EventSink + ?Sized>(&self, idx: usize, counters: &C) -> T {
         counters.add_loaded(std::mem::size_of::<T>() as u64);
         self.load(idx)
     }
@@ -98,14 +99,14 @@ impl<T: Scalar> GlobalBuffer<T> {
 
     /// Store charging `counters`.
     #[inline]
-    pub fn store_counted(&self, idx: usize, v: T, counters: &Counters) {
+    pub fn store_counted<C: EventSink + ?Sized>(&self, idx: usize, v: T, counters: &C) {
         counters.add_stored(std::mem::size_of::<T>() as u64);
         self.store(idx, v);
     }
 
     /// Atomic floating-point add via a CAS loop (CUDA `atomicAdd` semantics).
     /// Returns the previous value.
-    pub fn atomic_add(&self, idx: usize, v: T, counters: &Counters) -> T {
+    pub fn atomic_add<C: EventSink + ?Sized>(&self, idx: usize, v: T, counters: &C) -> T {
         counters.add_atomic(1);
         let cell = &self.bits[idx];
         let mut cur = cell.load(Ordering::Relaxed);
@@ -191,7 +192,7 @@ impl GlobalIndexBuffer {
     }
 
     /// Atomic `+1`, returning the previous value.
-    pub fn atomic_inc(&self, idx: usize, counters: &Counters) -> u32 {
+    pub fn atomic_inc<C: EventSink + ?Sized>(&self, idx: usize, counters: &C) -> u32 {
         counters.add_atomic(1);
         self.data[idx].fetch_add(1, Ordering::AcqRel)
     }
@@ -213,6 +214,7 @@ impl GlobalIndexBuffer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::counters::Counters;
 
     #[test]
     fn roundtrip_f32_and_f64() {

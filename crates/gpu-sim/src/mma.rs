@@ -11,7 +11,7 @@
 //! outputs — errors born *inside the compute units*, exactly the paper's
 //! fail-continue fault model (§II-A).
 
-use crate::counters::Counters;
+use crate::counters::EventSink;
 use crate::scalar::Scalar;
 
 /// Hardware MMA tile shapes per precision (M, N, K of one `mma.sync`).
@@ -106,7 +106,7 @@ impl FragmentMma {
     /// * `b` — `wn*kk` row-major B fragment (rows of Y),
     /// * `kk` — slab depth.
     #[allow(clippy::too_many_arguments)]
-    pub fn mma<T: Scalar, H: FaultHook<T> + ?Sized>(
+    pub fn mma<T: Scalar, H: FaultHook<T> + ?Sized, C: EventSink + ?Sized>(
         &self,
         acc: &mut [T],
         a: &[T],
@@ -114,7 +114,7 @@ impl FragmentMma {
         kk: usize,
         site: MmaSite,
         hook: &H,
-        counters: &Counters,
+        counters: &C,
     ) {
         debug_assert_eq!(acc.len(), self.wm * self.wn);
         debug_assert_eq!(a.len(), self.wm * kk);
@@ -144,13 +144,13 @@ impl FragmentMma {
 /// A scalar checksum MMA: `acc += a * b` on a tensor core (the paper uses a
 /// single `mma.sync` for each of the three checksum products, Fig. 6 lines
 /// 22–24). Counted as one checksum MMA.
-pub fn checksum_mma<T: Scalar, H: FaultHook<T> + ?Sized>(
+pub fn checksum_mma<T: Scalar, H: FaultHook<T> + ?Sized, C: EventSink + ?Sized>(
     acc: &mut T,
     a: T,
     b: T,
     site: MmaSite,
     hook: &H,
-    counters: &Counters,
+    counters: &C,
 ) {
     let mut tile = [*acc];
     tile[0] += a.to_tf32() * b.to_tf32();
@@ -162,13 +162,13 @@ pub fn checksum_mma<T: Scalar, H: FaultHook<T> + ?Sized>(
 /// SIMT fused multiply-add with fault-hook interception (CUDA-core path of
 /// the naive/V1/V2/V3 kernels).
 #[inline]
-pub fn simt_fma<T: Scalar, H: FaultHook<T> + ?Sized>(
+pub fn simt_fma<T: Scalar, H: FaultHook<T> + ?Sized, C: EventSink + ?Sized>(
     acc: T,
     a: T,
     b: T,
     site: &MmaSite,
     hook: &H,
-    counters: &Counters,
+    counters: &C,
 ) -> T {
     counters.add_fma(1);
     hook.post_fma(site, acc + a * b)
@@ -177,6 +177,7 @@ pub fn simt_fma<T: Scalar, H: FaultHook<T> + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::counters::Counters;
 
     struct FlipFirst;
     impl FaultHook<f64> for FlipFirst {

@@ -156,6 +156,11 @@ impl KMeans {
                 &counters,
             )?;
             dmr_total.merge(&update.dmr);
+            if update.oob_labels > 0 {
+                // Corrupted (out-of-range) labels caught by the update
+                // phase count as detected faults in the campaign ledger.
+                stats.lock().detected += update.oob_labels;
+            }
             centroids = update.centroids;
 
             let empty_clusters = update.counts.iter().filter(|&&c| c == 0).count();

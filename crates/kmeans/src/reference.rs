@@ -1,19 +1,31 @@
 //! Plain CPU Lloyd iteration — the ground truth every kernel variant is
 //! validated against.
+//!
+//! The assignment scan is embarrassingly parallel over samples, so it rides
+//! the same persistent worker pool as the simulated kernels
+//! ([`gpu_sim::exec`]); results are bitwise identical to the serial scan
+//! because every row is computed independently in the same order of
+//! operations. This keeps cuML-style baseline comparisons apples-to-apples
+//! with the parallel device variants.
 
-use gpu_sim::{Matrix, Scalar};
+use gpu_sim::{exec, Matrix, Scalar};
 
-/// Assign each sample to its nearest centroid (squared Euclidean), ties to
-/// the lower index. Returns (assignments, squared distances).
-pub fn assign_reference<T: Scalar>(
+/// Below this many scalar multiply-accumulates (`m · k · dim`) the
+/// parallel fan-out costs more than the scan itself; stay on the calling
+/// thread.
+const PAR_THRESHOLD: usize = 1 << 14;
+
+/// Rows per work chunk in the parallel scan.
+const ROWS_PER_CHUNK: usize = 256;
+
+fn assign_rows<T: Scalar>(
     samples: &Matrix<T>,
     centroids: &Matrix<T>,
-) -> (Vec<u32>, Vec<T>) {
-    assert_eq!(samples.cols(), centroids.cols(), "dimension mismatch");
-    let mut labels = Vec::with_capacity(samples.rows());
-    let mut dists = Vec::with_capacity(samples.rows());
-    for i in 0..samples.rows() {
-        let x = samples.row(i);
+    row0: usize,
+    out: &mut [(u32, T)],
+) {
+    for (offset, slot) in out.iter_mut().enumerate() {
+        let x = samples.row(row0 + offset);
         let mut best = T::INFINITY;
         let mut best_j = u32::MAX;
         for j in 0..centroids.rows() {
@@ -28,10 +40,30 @@ pub fn assign_reference<T: Scalar>(
                 best_j = j as u32;
             }
         }
-        labels.push(best_j);
-        dists.push(best);
+        *slot = (best_j, best);
     }
-    (labels, dists)
+}
+
+/// Assign each sample to its nearest centroid (squared Euclidean), ties to
+/// the lower index. Returns (assignments, squared distances).
+pub fn assign_reference<T: Scalar>(
+    samples: &Matrix<T>,
+    centroids: &Matrix<T>,
+) -> (Vec<u32>, Vec<T>) {
+    assert_eq!(samples.cols(), centroids.cols(), "dimension mismatch");
+    let m = samples.rows();
+    let mut out = vec![(u32::MAX, T::INFINITY); m];
+    let work = m * centroids.rows() * samples.cols().max(1);
+    if work < PAR_THRESHOLD {
+        assign_rows(samples, centroids, 0, &mut out);
+    } else {
+        exec::with_current(|e| {
+            e.par_chunks_mut(&mut out, ROWS_PER_CHUNK, |row0, chunk| {
+                assign_rows(samples, centroids, row0, chunk);
+            });
+        });
+    }
+    out.into_iter().unzip()
 }
 
 /// Recompute centroids as the mean of their members. Empty clusters keep
@@ -133,6 +165,22 @@ mod tests {
         assert_eq!(counts, vec![2, 0]);
         assert_eq!(c.get(1, 0), 99.0);
         assert!((c.get(0, 0) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_assignment_is_bitwise_identical_to_serial() {
+        // Big enough to cross PAR_THRESHOLD and fan out over the pool.
+        let samples = Matrix::<f64>::from_fn(3000, 8, |r, c| ((r * 31 + c * 7) % 97) as f64 * 0.1);
+        let cents = Matrix::<f64>::from_fn(25, 8, |r, c| ((r * 13 + c * 3) % 89) as f64 * 0.1);
+        // Pin both policies explicitly so the comparison is meaningful even
+        // under the FTK_EXEC=serial CI leg (where the global pool is serial).
+        let parallel = gpu_sim::exec::with_executor(&gpu_sim::Executor::with_workers(4), || {
+            assign_reference(&samples, &cents)
+        });
+        let serial = gpu_sim::exec::with_executor(&gpu_sim::Executor::serial(), || {
+            assign_reference(&samples, &cents)
+        });
+        assert_eq!(parallel, serial);
     }
 
     #[test]

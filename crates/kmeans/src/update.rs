@@ -13,9 +13,13 @@ use gpu_sim::{
     SimError,
 };
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Samples per threadblock in the accumulation kernel.
 const SAMPLES_PER_BLOCK: usize = 256;
+
+/// Centroid-matrix elements per threadblock in the averaging kernel.
+const ELEMS_PER_BLOCK: usize = 256;
 
 /// Result of the update phase.
 #[derive(Debug, Clone)]
@@ -26,6 +30,10 @@ pub struct UpdateResult<T> {
     pub counts: Vec<u32>,
     /// DMR statistics (zeros when DMR was off).
     pub dmr: DmrStats,
+    /// Labels found out of range `[0, k)` and excluded from the
+    /// accumulation — a fault-injected bit flip in a label is *detected*
+    /// here instead of indexing the sums buffer out of bounds.
+    pub oob_labels: u64,
 }
 
 /// Run the centroid update.
@@ -51,6 +59,7 @@ pub fn update_centroids<T: Scalar>(
     let sums = GlobalBuffer::<T>::zeros(k * dim);
     let count_buf = GlobalIndexBuffer::zeros(k);
     let dmr_stats = Mutex::new(DmrStats::default());
+    let oob_labels = AtomicU64::new(0);
 
     // Kernel 1: fused accumulation — "each thread … uses atomic add to add
     // the values of this sample in every dimension to its assigned centroid
@@ -71,7 +80,13 @@ pub fn update_centroids<T: Scalar>(
             .skip(row0)
         {
             let c = label as usize;
-            debug_assert!(c < k, "label {c} out of range {k}");
+            if c >= k {
+                // A bit flip in a label (fail-continue fault model) must
+                // not index the sums buffer out of bounds: detect it and
+                // drop the sample from this update.
+                oob_labels.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
             for d in 0..dim {
                 let x = samples.load_counted(i * dim + d, ctx.counters);
                 let site = MmaSite {
@@ -97,39 +112,40 @@ pub fn update_centroids<T: Scalar>(
         }
     })?;
 
-    // Kernel 2: averaging — one thread per centroid.
+    // Kernel 2: averaging — one thread per centroid-matrix *element*, so
+    // the division work spreads over the worker pool even at small k
+    // (k x dim elements rather than k rows of serial dim-loops).
     let out = GlobalBuffer::<T>::zeros(k * dim);
     let cfg2 = LaunchConfig {
-        grid: Dim3::x(k.div_ceil(SAMPLES_PER_BLOCK).max(1)),
+        grid: Dim3::x((k * dim).div_ceil(ELEMS_PER_BLOCK).max(1)),
         threads_per_block: 256,
         smem_bytes: 0,
     };
     let old = GlobalBuffer::from_matrix(old_centroids);
     launch_grid(device, cfg2, counters, |ctx| {
-        let c0 = ctx.bx * SAMPLES_PER_BLOCK;
+        let e0 = ctx.bx * ELEMS_PER_BLOCK;
         let mut local_dmr = DmrStats::default();
-        for c in c0..(c0 + SAMPLES_PER_BLOCK).min(k) {
+        for e in e0..(e0 + ELEMS_PER_BLOCK).min(k * dim) {
+            let (c, d) = (e / dim, e % dim);
             let n = count_buf.load(c);
-            for d in 0..dim {
-                let v = if n == 0 {
-                    old.load_counted(c * dim + d, ctx.counters)
-                } else {
-                    let s = sums.load_counted(c * dim + d, ctx.counters);
-                    let site = MmaSite {
-                        block: (ctx.bx, 0),
-                        warp: 1,
-                        k_step: d,
-                        is_checksum: false,
-                    };
-                    let divide = |_: u32| hook.post_fma(&site, s / T::from_usize(n as usize));
-                    if dmr {
-                        protected(divide, 3, &mut local_dmr)
-                    } else {
-                        divide(0)
-                    }
+            let v = if n == 0 {
+                old.load_counted(e, ctx.counters)
+            } else {
+                let s = sums.load_counted(e, ctx.counters);
+                let site = MmaSite {
+                    block: (ctx.bx, 0),
+                    warp: 1,
+                    k_step: d,
+                    is_checksum: false,
                 };
-                out.store_counted(c * dim + d, v, ctx.counters);
-            }
+                let divide = |_: u32| hook.post_fma(&site, s / T::from_usize(n as usize));
+                if dmr {
+                    protected(divide, 3, &mut local_dmr)
+                } else {
+                    divide(0)
+                }
+            };
+            out.store_counted(e, v, ctx.counters);
         }
         if dmr {
             dmr_stats.lock().merge(&local_dmr);
@@ -141,6 +157,7 @@ pub fn update_centroids<T: Scalar>(
         centroids: out.to_matrix(k, dim),
         counts: count_buf.to_vec(),
         dmr,
+        oob_labels: oob_labels.into_inner(),
     })
 }
 
@@ -167,6 +184,10 @@ pub fn update_centroids_naive<T: Scalar>(
     let k = old_centroids.rows();
     let sums = GlobalBuffer::<T>::zeros(k * dim);
     let count_buf = GlobalIndexBuffer::zeros(k);
+    // The per-cluster equality scan below never matches an out-of-range
+    // label, so corrupted samples drop out implicitly; count them up front
+    // so detection accounting matches the fused path.
+    let oob = labels.iter().filter(|&&l| l as usize >= k).count() as u64;
 
     // One launch per centroid; every thread reads its sample even when the
     // sample belongs elsewhere — the idle-thread waste the paper calls out.
@@ -221,6 +242,7 @@ pub fn update_centroids_naive<T: Scalar>(
         centroids: out.to_matrix(k, dim),
         counts: count_buf.to_vec(),
         dmr: DmrStats::default(),
+        oob_labels: oob,
     })
 }
 
@@ -349,6 +371,43 @@ mod tests {
             sn.bytes_loaded,
             sf.bytes_loaded
         );
+    }
+
+    #[test]
+    fn out_of_range_label_is_detected_not_fatal() {
+        // A bit flip in a label can push it far past k; the update must
+        // survive (no OOB indexing, debug or release), report the fault,
+        // and exclude only the corrupted sample.
+        let dev = DeviceProfile::a100();
+        let c = Counters::new();
+        let (samples, mut labels, old) = setup(100, 5, 7);
+        labels[17] = 7 + (1 << 20); // corrupted label, way out of range
+        let buf = GlobalBuffer::from_matrix(&samples);
+        let out = update_centroids(&dev, &buf, 100, 5, &labels, &old, false, &NoFault, &c).unwrap();
+        assert_eq!(out.oob_labels, 1, "corruption counted as detected");
+        // Result equals the reference computed over the surviving samples.
+        let mut clean_labels = labels.clone();
+        clean_labels[17] = 0;
+        let keep: Vec<usize> = (0..100).filter(|&i| i != 17).collect();
+        let kept = Matrix::from_fn(keep.len(), 5, |r, cc| samples.get(keep[r], cc));
+        let kept_labels: Vec<u32> = keep.iter().map(|&i| clean_labels[i]).collect();
+        let (want, want_counts) = update_reference(&kept, &kept_labels, &old);
+        assert_eq!(out.counts, want_counts);
+        assert!(out.centroids.max_abs_diff(&want) < 1e-9);
+        // The naive baseline must account the corruption identically.
+        let naive = update_centroids_naive(&dev, &buf, 100, 5, &labels, &old, &c).unwrap();
+        assert_eq!(naive.oob_labels, 1);
+        assert_eq!(naive.counts, out.counts);
+    }
+
+    #[test]
+    fn in_range_labels_report_zero_oob() {
+        let dev = DeviceProfile::a100();
+        let c = Counters::new();
+        let (samples, labels, old) = setup(64, 3, 4);
+        let buf = GlobalBuffer::from_matrix(&samples);
+        let out = update_centroids(&dev, &buf, 64, 3, &labels, &old, false, &NoFault, &c).unwrap();
+        assert_eq!(out.oob_labels, 0);
     }
 
     #[test]

@@ -8,7 +8,7 @@ pub mod tensor;
 
 use gpu_sim::mma::{FaultHook, MmaSite};
 use gpu_sim::shared::SharedTile;
-use gpu_sim::{Counters, GlobalBuffer, Scalar};
+use gpu_sim::{EventSink, GlobalBuffer, Scalar};
 
 /// Fill a shared operand tile from global memory with zero-padding at the
 /// problem edge, charging only in-bounds loads (cp.async zero-fill
@@ -16,14 +16,14 @@ use gpu_sim::{Counters, GlobalBuffer, Scalar};
 ///
 /// `row0` is the first global row; `k0` the first global column of the
 /// K-slab; the backing matrix is `rows x cols` row-major in `global`.
-pub(crate) fn fill_tile_from_global<T: Scalar>(
+pub(crate) fn fill_tile_from_global<T: Scalar, C: EventSink + ?Sized>(
     tile: &mut SharedTile<T>,
     global: &GlobalBuffer<T>,
     row0: usize,
     k0: usize,
     rows: usize,
     cols: usize,
-    counters: &Counters,
+    counters: &C,
 ) {
     let mut loaded = 0u64;
     for r in 0..tile.rows() {
@@ -46,7 +46,7 @@ pub(crate) fn fill_tile_from_global<T: Scalar>(
 /// shared tiles' first `kk` columns. Fault hook applied at slab granularity;
 /// FMA count charged in bulk.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn simt_block_gemm<T: Scalar>(
+pub(crate) fn simt_block_gemm<T: Scalar, C: EventSink + ?Sized>(
     acc: &mut [T],
     a: &SharedTile<T>,
     b: &SharedTile<T>,
@@ -55,7 +55,7 @@ pub(crate) fn simt_block_gemm<T: Scalar>(
     kk: usize,
     site: MmaSite,
     hook: &dyn FaultHook<T>,
-    counters: &Counters,
+    counters: &C,
 ) {
     debug_assert_eq!(acc.len(), tm * tn);
     for i in 0..tm {
@@ -76,7 +76,7 @@ pub(crate) fn simt_block_gemm<T: Scalar>(
 /// `dist = ‖x‖² + ‖y‖² − 2·(x·y)` and return `(distance, global column)`
 /// pairs. Charges epilogue FMA work.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn block_row_min<T: Scalar>(
+pub(crate) fn block_row_min<T: Scalar, C: EventSink + ?Sized>(
     acc: &[T],
     tn: usize,
     row0: usize,
@@ -85,7 +85,7 @@ pub(crate) fn block_row_min<T: Scalar>(
     cols_valid: usize,
     sample_norms: &GlobalBuffer<T>,
     centroid_norms: &GlobalBuffer<T>,
-    counters: &Counters,
+    counters: &C,
 ) -> Vec<(T, u32)> {
     let two = T::ONE + T::ONE;
     let mut out = Vec::with_capacity(rows_valid);
@@ -111,6 +111,7 @@ pub(crate) fn block_row_min<T: Scalar>(
 mod tests {
     use super::*;
     use gpu_sim::mma::NoFault;
+    use gpu_sim::Counters;
 
     #[test]
     fn tile_fill_pads_with_zero_and_charges_inbounds_only() {

@@ -162,10 +162,10 @@ pub fn tensor_assign<T: Scalar>(
         let mut wu_state: Option<WuBlockState<T>> = (scheme == SchemeKind::Wu)
             .then(|| WuBlockState::new(tile.tb_m, tile.tb_n, T::PRECISION));
 
-        let fill_a = |dst: &mut gpu_sim::SharedTile<T>, k0: usize, c: &Counters| {
+        let fill_a = |dst: &mut gpu_sim::SharedTile<T>, k0: usize, c: &gpu_sim::CounterSink| {
             crate::variants::fill_tile_from_global(dst, &data.samples, row0, k0, m, dim, c);
         };
-        let fill_b = |dst: &mut gpu_sim::SharedTile<T>, k0: usize, c: &Counters| {
+        let fill_b = |dst: &mut gpu_sim::SharedTile<T>, k0: usize, c: &gpu_sim::CounterSink| {
             crate::variants::fill_tile_from_global(dst, &data.centroids, col0, k0, kc, dim, c);
         };
 
@@ -416,7 +416,7 @@ fn record_outcome(stats: &Mutex<CampaignStats>, outcome: CheckOutcome) {
 /// memory over `[0, k_end)` — the correction path of detection-only
 /// schemes. Charges the extra global loads it performs.
 #[allow(clippy::too_many_arguments)]
-fn recompute_warp<T: Scalar>(
+fn recompute_warp<T: Scalar, C: gpu_sim::EventSink + ?Sized>(
     data: &DeviceData<T>,
     grow0: usize,
     gcol0: usize,
@@ -426,7 +426,7 @@ fn recompute_warp<T: Scalar>(
     exec: &FragmentMma,
     block: (usize, usize),
     warp_id: usize,
-    counters: &Counters,
+    counters: &C,
     acc: &mut [T],
 ) {
     acc.fill(T::ZERO);
