@@ -5,121 +5,42 @@
 //!
 //! Hand-rolled harness (no criterion): each measurement is a full fit, so
 //! calibration loops would only add minutes; instead we run a fixed number
-//! of repetitions and report the median. Output is both human-readable
-//! lines and CSV rows; set `FTK_WRITE_BASELINE=1` to (over)write
-//! `baselines/fit_throughput.csv` with the CSV for regression comparison.
+//! of repetitions and report the median. The measurement machinery lives in
+//! [`bench_harness::fitbench`], shared with the `bench_check` regression
+//! gate. Output is both human-readable lines and CSV rows; set
+//! `FTK_WRITE_BASELINE=1` to (over)write `baselines/fit_throughput.csv`
+//! with the CSV for regression comparison.
 //!
 //! Knobs:
 //! * `FTK_BENCH_REPS` — repetitions per variant (default 3),
 //! * `FTK_BENCH_M`    — sample count (default 131072).
 
-use gpu_sim::{launch_grid, Counters, DeviceProfile, Dim3, LaunchConfig, Matrix};
-use kmeans::{KMeans, KMeansConfig, Variant};
-use std::time::Instant;
-
-const DIM: usize = 64;
-const K: usize = 16;
-const MAX_ITER: usize = 3;
-
-fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
-/// Deterministic pseudo-random blobs: K well-separated centers plus hash
-/// noise, no RNG dependency so every run measures identical work.
-fn blobs(m: usize) -> Matrix<f32> {
-    Matrix::from_fn(m, DIM, |r, c| {
-        let center = ((r % K) * 8) as f32;
-        let h = (r.wrapping_mul(2654435761) ^ c.wrapping_mul(40503)) % 1000;
-        center + (h as f32 / 1000.0 - 0.5) + c as f32 * 0.01
-    })
-}
-
-fn median(samples: &mut [f64]) -> f64 {
-    samples.sort_by(|a, b| a.total_cmp(b));
-    samples[samples.len() / 2]
-}
-
-fn bench_fit(m: usize, reps: usize, csv: &mut String) {
-    let data = blobs(m);
-    let variants: [(&str, Variant); 5] = [
-        ("naive", Variant::Naive),
-        ("gemm_v1", Variant::GemmV1),
-        ("fused_v2", Variant::FusedV2),
-        ("broadcast_v3", Variant::BroadcastV3),
-        ("tensor_v4", Variant::Tensor(None)),
-    ];
-    for (name, variant) in variants {
-        let km = KMeans::new(
-            DeviceProfile::a100(),
-            KMeansConfig {
-                k: K,
-                max_iter: MAX_ITER,
-                tol: 0.0, // run all iterations: fixed work per rep
-                seed: 42,
-                variant,
-                ..Default::default()
-            },
-        );
-        let mut samples = Vec::with_capacity(reps);
-        let mut checksum = 0.0f64;
-        for _ in 0..reps {
-            let start = Instant::now();
-            let r = km.fit(&data).expect("fit failed");
-            samples.push(start.elapsed().as_secs_f64());
-            checksum = r.inertia;
-        }
-        let med = median(&mut samples);
-        let rate = (m * MAX_ITER) as f64 / med;
-        println!(
-            "bench: fit_throughput/{name:<24} {med:>9.3} s/fit  {rate:>12.0} samples·iter/s  (inertia {checksum:.3e})"
-        );
-        csv.push_str(&format!(
-            "fit,{name},{m},{DIM},{K},{MAX_ITER},{med:.6},{rate:.1}\n"
-        ));
-    }
-}
-
-/// Many tiny launches of a near-empty kernel: isolates per-launch engine
-/// overhead (pre-refactor: thread spawn/join per launch; post-refactor:
-/// one enqueue on the persistent pool).
-fn bench_launch_overhead(csv: &mut String) {
-    let dev = DeviceProfile::a100();
-    let counters = Counters::new();
-    let cfg = LaunchConfig {
-        grid: Dim3::x(64),
-        threads_per_block: 128,
-        smem_bytes: 0,
-    };
-    let launches = 2000usize;
-    let mut samples = Vec::with_capacity(5);
-    for _ in 0..5 {
-        let start = Instant::now();
-        for _ in 0..launches {
-            launch_grid(&dev, cfg, &counters, |ctx| {
-                std::hint::black_box(ctx.bx);
-            })
-            .unwrap();
-        }
-        samples.push(start.elapsed().as_secs_f64() / launches as f64);
-    }
-    let med = median(&mut samples);
-    println!(
-        "bench: launch_overhead/64-block-noop           {:>9.2} µs/launch",
-        med * 1e6
-    );
-    csv.push_str(&format!("launch_overhead,noop64,64,0,0,1,{med:.9},0\n"));
-}
+use bench_harness::fitbench::{
+    env_usize, fit_csv_row, launch_overhead_csv_row, measure_launch_overhead, run_fit_bench,
+    CSV_HEADER,
+};
 
 fn main() {
     let m = env_usize("FTK_BENCH_M", 131072);
     let reps = env_usize("FTK_BENCH_REPS", 3).max(1);
-    let mut csv = String::from("bench,name,m,d,k,iters,median_s,rate\n");
-    bench_launch_overhead(&mut csv);
-    bench_fit(m, reps, &mut csv);
+    let mut csv = String::from(CSV_HEADER);
+
+    let overhead = measure_launch_overhead();
+    println!(
+        "bench: launch_overhead/64-block-noop           {:>9.2} µs/launch",
+        overhead * 1e6
+    );
+    csv.push_str(&launch_overhead_csv_row(overhead));
+
+    for meas in run_fit_bench(m, reps) {
+        let rate = meas.rate;
+        println!(
+            "bench: fit_throughput/{:<24} {:>9.3} s/fit  {rate:>12.0} samples·iter/s  (inertia {:.3e})",
+            meas.name, meas.median_s, meas.inertia
+        );
+        csv.push_str(&fit_csv_row(&meas));
+    }
+
     if std::env::var("FTK_WRITE_BASELINE").is_ok() {
         // crates/bench → workspace root → baselines/
         let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))

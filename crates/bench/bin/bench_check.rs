@@ -1,0 +1,68 @@
+//! `bench_check` — the automated fit-throughput regression gate.
+//!
+//! Runs a (by default reduced) `fit_throughput` configuration and compares
+//! each variant's throughput against the committed
+//! `baselines/fit_throughput.csv` with tolerance bands; exits non-zero when
+//! any variant regressed beyond the band. Intended for CI (bench-smoke leg)
+//! and local pre-merge checks.
+//!
+//! Knobs:
+//! * `FTK_BENCH_M`    — sample count for the fresh run (default 16384; the
+//!   committed baseline is 131072 — rates are compared, which is
+//!   approximately size-independent),
+//! * `FTK_BENCH_REPS` — repetitions per variant (default 1),
+//! * `FTK_BENCH_TOL`  — regression tolerance factor (default 2.5).
+
+use bench_harness::fitbench::{env_f64, env_usize, run_fit_bench};
+use bench_harness::regression::{check, parse_baseline, DEFAULT_TOLERANCE};
+
+fn main() {
+    let m = env_usize("FTK_BENCH_M", 16384);
+    let reps = env_usize("FTK_BENCH_REPS", 1);
+    let tol = env_f64("FTK_BENCH_TOL", DEFAULT_TOLERANCE);
+
+    // crates/bench → workspace root → baselines/
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("baselines/fit_throughput.csv");
+    let csv = match std::fs::read_to_string(&path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("bench_check: cannot read {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    };
+    let baseline = match parse_baseline(&csv) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench_check: malformed baseline: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    println!("bench_check: fresh run at m = {m} ({reps} rep(s)), tolerance {tol}x");
+    let fresh = run_fit_bench(m, reps);
+    let outcomes = check(&fresh, &baseline, tol);
+
+    let mut failed = false;
+    println!(
+        "{:<14} {:>14} {:>14} {:>8}  verdict",
+        "variant", "fresh rate", "baseline rate", "factor"
+    );
+    for o in &outcomes {
+        println!(
+            "{:<14} {:>14.0} {:>14.0} {:>7.2}x  {}",
+            o.name,
+            o.fresh_rate,
+            o.baseline_rate,
+            o.regression_factor,
+            if o.pass { "ok" } else { "REGRESSED" }
+        );
+        failed |= !o.pass;
+    }
+    if failed {
+        eprintln!("bench_check: throughput regression beyond {tol}x tolerance band");
+        std::process::exit(1);
+    }
+    println!("bench_check: all variants within the tolerance band");
+}

@@ -16,7 +16,9 @@
 //! write `results/figNN.csv` plus a printed summary per figure.
 
 pub mod figures;
+pub mod fitbench;
 pub mod paper;
+pub mod regression;
 pub mod report;
 
 pub use report::{FigureReport, ReportSink};

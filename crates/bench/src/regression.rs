@@ -1,0 +1,197 @@
+//! Automated bench-regression gate: compare a fresh (possibly reduced-size)
+//! `fit_throughput` run against the committed baseline CSV with tolerance
+//! bands.
+//!
+//! Comparison is on *rate* (samples x iterations per second), which is
+//! approximately size-independent, so a quick reduced-`m` run can be checked
+//! against the committed full-size baseline. Machines differ and small runs
+//! amortize fixed overhead worse, hence bands rather than equality: the
+//! check fails only when a variant's throughput regresses by more than the
+//! tolerance factor (default 2.5x).
+
+use crate::fitbench::FitMeasurement;
+
+/// Default regression tolerance: fail when fresh throughput is more than
+/// this factor below baseline.
+pub const DEFAULT_TOLERANCE: f64 = 2.5;
+
+/// One `fit` row parsed from the baseline CSV.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineRow {
+    /// Variant name.
+    pub name: String,
+    /// Sample count of the baseline run.
+    pub m: usize,
+    /// Median seconds per fit in the baseline run.
+    pub median_s: f64,
+    /// Baseline throughput (samples x iterations per second).
+    pub rate: f64,
+}
+
+/// Outcome of checking one variant against its baseline row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckOutcome {
+    /// Variant name.
+    pub name: String,
+    /// Fresh throughput.
+    pub fresh_rate: f64,
+    /// Baseline throughput.
+    pub baseline_rate: f64,
+    /// `baseline_rate / fresh_rate` — > 1 means slower than baseline.
+    pub regression_factor: f64,
+    /// True when the regression factor is within the tolerance band.
+    pub pass: bool,
+}
+
+/// Parse the committed `fit_throughput.csv`, keeping the `fit` rows.
+/// Returns an error string naming the first malformed line.
+pub fn parse_baseline(csv: &str) -> Result<Vec<BaselineRow>, String> {
+    let mut rows = Vec::new();
+    for (idx, line) in csv.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with("bench,") {
+            continue; // header
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 8 {
+            return Err(format!("line {}: expected 8 fields, got {line:?}", idx + 1));
+        }
+        if fields[0] != "fit" {
+            continue; // e.g. launch_overhead rows
+        }
+        let parse_num = |s: &str, what: &str| {
+            s.parse::<f64>()
+                .map_err(|_| format!("line {}: bad {what} {s:?}", idx + 1))
+        };
+        rows.push(BaselineRow {
+            name: fields[1].to_string(),
+            m: parse_num(fields[2], "m")? as usize,
+            median_s: parse_num(fields[6], "median_s")?,
+            rate: parse_num(fields[7], "rate")?,
+        });
+    }
+    if rows.is_empty() {
+        return Err("no fit rows found in baseline CSV".to_string());
+    }
+    Ok(rows)
+}
+
+/// Check fresh measurements against baseline rows with tolerance factor
+/// `tolerance`. The gate fails closed in both directions: a fresh variant
+/// missing from the baseline fails, and a baseline variant missing from the
+/// fresh run fails too (a silently unchecked variant is itself a regression
+/// of the gate).
+pub fn check(
+    fresh: &[FitMeasurement],
+    baseline: &[BaselineRow],
+    tolerance: f64,
+) -> Vec<CheckOutcome> {
+    let mut outcomes: Vec<CheckOutcome> = fresh
+        .iter()
+        .map(|f| match baseline.iter().find(|b| b.name == f.name) {
+            Some(b) if b.rate > 0.0 && f.rate > 0.0 => {
+                let factor = b.rate / f.rate;
+                CheckOutcome {
+                    name: f.name.clone(),
+                    fresh_rate: f.rate,
+                    baseline_rate: b.rate,
+                    regression_factor: factor,
+                    pass: factor <= tolerance,
+                }
+            }
+            _ => CheckOutcome {
+                name: f.name.clone(),
+                fresh_rate: f.rate,
+                baseline_rate: 0.0,
+                regression_factor: f64::INFINITY,
+                pass: false,
+            },
+        })
+        .collect();
+    for b in baseline {
+        if !fresh.iter().any(|f| f.name == b.name) {
+            outcomes.push(CheckOutcome {
+                name: b.name.clone(),
+                fresh_rate: 0.0,
+                baseline_rate: b.rate,
+                regression_factor: f64::INFINITY,
+                pass: false,
+            });
+        }
+    }
+    outcomes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meas(name: &str, rate: f64) -> FitMeasurement {
+        FitMeasurement {
+            name: name.into(),
+            m: 1024,
+            median_s: 1.0,
+            rate,
+            inertia: 0.0,
+        }
+    }
+
+    const CSV: &str = "bench,name,m,d,k,iters,median_s,rate\n\
+        launch_overhead,noop64,64,0,0,1,0.000001315,0\n\
+        fit,naive,131072,64,16,3,0.721496,545001.1\n\
+        fit,fused_v2,131072,64,16,3,1.431587,274671.4\n";
+
+    #[test]
+    fn parses_fit_rows_and_skips_others() {
+        let rows = parse_baseline(CSV).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name, "naive");
+        assert_eq!(rows[0].m, 131072);
+        assert!((rows[0].rate - 545001.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn malformed_line_is_an_error() {
+        assert!(parse_baseline("fit,naive,xx\n").is_err());
+        assert!(parse_baseline("").is_err());
+        assert!(parse_baseline("fit,naive,1,2,3,4,notafloat,9\n").is_err());
+    }
+
+    #[test]
+    fn within_band_passes_beyond_band_fails() {
+        let baseline = parse_baseline(CSV).unwrap();
+        // naive baseline rate 545001: 2x slower passes at tol 2.5 ...
+        let out = check(&[meas("naive", 545001.1 / 2.0)], &baseline, 2.5);
+        assert!(out[0].pass, "{out:?}");
+        assert!((out[0].regression_factor - 2.0).abs() < 1e-9);
+        // ... 3x slower fails
+        let out = check(&[meas("naive", 545001.1 / 3.0)], &baseline, 2.5);
+        assert!(!out[0].pass);
+        // faster than baseline is of course fine
+        let out = check(&[meas("naive", 545001.1 * 4.0)], &baseline, 2.5);
+        assert!(out[0].pass);
+    }
+
+    #[test]
+    fn missing_baseline_variant_fails_closed() {
+        let baseline = parse_baseline(CSV).unwrap();
+        let out = check(&[meas("tensor_v4", 1e6)], &baseline, 2.5);
+        assert!(!out[0].pass);
+        assert!(out[0].regression_factor.is_infinite());
+    }
+
+    #[test]
+    fn baseline_variant_absent_from_fresh_run_fails_closed() {
+        // A variant dropped (or renamed) in the fresh run must not pass
+        // silently: the gate emits a failing outcome for the orphaned
+        // baseline row.
+        let baseline = parse_baseline(CSV).unwrap();
+        let out = check(&[meas("naive", 1e6)], &baseline, 2.5);
+        assert_eq!(out.len(), 2);
+        assert!(out[0].pass, "naive itself is fine");
+        let orphan = &out[1];
+        assert_eq!(orphan.name, "fused_v2");
+        assert!(!orphan.pass);
+        assert!(orphan.regression_factor.is_infinite());
+    }
+}

@@ -5,7 +5,8 @@
 //! and T4 GPUs; here the same kernels are expressed against a *functional*
 //! model of the relevant GPU machinery:
 //!
-//! * [`GlobalBuffer`] — device global memory with transaction accounting,
+//! * [`GlobalBuffer`] — device global memory with transaction accounting at
+//!   per-element (uncoalesced) and per-run (coalesced) granularity,
 //! * [`SharedTile`] / [`AsyncPipeline`] — shared-memory staging with the
 //!   Ampere `cp.async` multi-stage pipeline semantics (commit/wait groups),
 //!   including the distinction between the pre-Ampere *register-staged* copy
@@ -44,6 +45,7 @@ pub mod matrix;
 pub mod memory;
 pub mod mma;
 pub mod scalar;
+pub mod scratch;
 pub mod shared;
 pub mod threadblock;
 pub mod timing;
@@ -60,5 +62,6 @@ pub use matrix::Matrix;
 pub use memory::GlobalBuffer;
 pub use mma::{FaultHook, FragmentMma, MmaSite, NoFault};
 pub use scalar::Scalar;
+pub use scratch::ScratchBuf;
 pub use shared::SharedTile;
 pub use timing::model::{KernelClass, KernelTiming, TimingInput};

@@ -10,6 +10,20 @@
 //! (the launch's shared counters, or a worker-local sink inside kernels)
 //! when they touch global memory, mirroring the transactions a profiler
 //! would report.
+//!
+//! Two charging granularities exist:
+//!
+//! * **Per element** — [`GlobalBuffer::load_counted`] /
+//!   [`GlobalBuffer::store_counted`], one sink charge per scalar. This is
+//!   the uncoalesced access pattern (strided or data-dependent addressing).
+//! * **Per run** — [`GlobalBuffer::load_run`] / [`GlobalBuffer::store_run`],
+//!   which move a contiguous run of elements with one sink charge for the
+//!   whole run, modeling the coalesced transactions a warp issues when
+//!   consecutive threads touch consecutive addresses. The charged *byte*
+//!   totals are identical to charging every element individually (u64 byte
+//!   addition is exact), so counter-based structural tests and the
+//!   serial-vs-parallel counter-identity invariant are agnostic to which
+//!   path a kernel uses.
 
 use crate::counters::EventSink;
 use crate::matrix::Matrix;
@@ -120,6 +134,25 @@ impl<T: Scalar> GlobalBuffer<T> {
         }
     }
 
+    /// Bulk load of a contiguous run into `out`, charging `counters` once
+    /// for the whole run (one coalesced transaction per run, not one per
+    /// element). Byte totals equal `out.len()` individual
+    /// [`GlobalBuffer::load_counted`] calls.
+    #[inline]
+    pub fn load_run<C: EventSink + ?Sized>(&self, start: usize, out: &mut [T], counters: &C) {
+        counters.add_loaded((out.len() * std::mem::size_of::<T>()) as u64);
+        self.read_range(start, out);
+    }
+
+    /// Bulk store of a contiguous run from `vals`, charging `counters` once
+    /// for the whole run. Byte totals equal `vals.len()` individual
+    /// [`GlobalBuffer::store_counted`] calls.
+    #[inline]
+    pub fn store_run<C: EventSink + ?Sized>(&self, start: usize, vals: &[T], counters: &C) {
+        counters.add_stored((vals.len() * std::mem::size_of::<T>()) as u64);
+        self.write_range(start, vals);
+    }
+
     /// Download a contiguous range into a vector.
     pub fn to_vec(&self) -> Vec<T> {
         (0..self.len).map(|i| self.load(i)).collect()
@@ -131,10 +164,22 @@ impl<T: Scalar> GlobalBuffer<T> {
         Matrix::from_vec(rows, cols, self.to_vec()).expect("shape checked above")
     }
 
-    /// Copy a contiguous range into `out` without counting (host access).
+    /// Copy a contiguous range into `out` without counting (host access, or
+    /// kernel reads that are deliberately uncounted — see the charging rules
+    /// at each call site). The relaxed per-element atomic loads compile to
+    /// plain loads on mainstream ISAs, so this is the cheap bulk path.
     pub fn read_range(&self, start: usize, out: &mut [T]) {
-        for (i, slot) in out.iter_mut().enumerate() {
-            *slot = self.load(start + i);
+        let cells = &self.bits[start..start + out.len()];
+        for (slot, cell) in out.iter_mut().zip(cells) {
+            *slot = T::from_raw_u64(cell.load(Ordering::Relaxed));
+        }
+    }
+
+    /// Overwrite a contiguous range from `vals` without counting.
+    pub fn write_range(&self, start: usize, vals: &[T]) {
+        let cells = &self.bits[start..start + vals.len()];
+        for (&v, cell) in vals.iter().zip(cells) {
+            cell.store(v.to_raw_u64(), Ordering::Relaxed);
         }
     }
 
@@ -195,6 +240,25 @@ impl GlobalIndexBuffer {
     pub fn atomic_inc<C: EventSink + ?Sized>(&self, idx: usize, counters: &C) -> u32 {
         counters.add_atomic(1);
         self.data[idx].fetch_add(1, Ordering::AcqRel)
+    }
+
+    /// Copy a contiguous range into `out` (bulk companion of
+    /// [`GlobalIndexBuffer::load`]; index traffic is not byte-counted,
+    /// matching the per-element accessors).
+    pub fn read_range(&self, start: usize, out: &mut [u32]) {
+        let cells = &self.data[start..start + out.len()];
+        for (slot, cell) in out.iter_mut().zip(cells) {
+            *slot = cell.load(Ordering::Relaxed);
+        }
+    }
+
+    /// Overwrite a contiguous range from `vals` (bulk companion of
+    /// [`GlobalIndexBuffer::store`]).
+    pub fn write_range(&self, start: usize, vals: &[u32]) {
+        let cells = &self.data[start..start + vals.len()];
+        for (&v, cell) in vals.iter().zip(cells) {
+            cell.store(v, Ordering::Relaxed);
+        }
     }
 
     pub fn to_vec(&self) -> Vec<u32> {
@@ -271,6 +335,58 @@ mod tests {
         })
         .unwrap();
         assert_eq!(b.load(0) + b.load(1), 2000.0);
+    }
+
+    #[test]
+    fn run_ops_charge_identically_to_element_ops() {
+        // The bulk-transaction invariant: load_run/store_run must charge the
+        // exact byte totals of the equivalent per-element counted accesses.
+        let per_elem = Counters::new();
+        let bulk = Counters::new();
+        let src: Vec<f32> = (0..37).map(|i| i as f32 * 0.5 - 3.0).collect();
+        let a = GlobalBuffer::<f32>::from_slice(&src);
+        let b = GlobalBuffer::<f32>::from_slice(&src);
+
+        let mut elems = vec![0.0f32; 21];
+        for (i, slot) in elems.iter_mut().enumerate() {
+            *slot = a.load_counted(5 + i, &per_elem);
+        }
+        for (i, &v) in elems.iter().enumerate() {
+            a.store_counted(i, v * 2.0, &per_elem);
+        }
+
+        let mut run = vec![0.0f32; 21];
+        b.load_run(5, &mut run, &bulk);
+        assert_eq!(run, elems, "bulk load reads the same values");
+        let doubled: Vec<f32> = run.iter().map(|v| v * 2.0).collect();
+        b.store_run(0, &doubled, &bulk);
+
+        assert_eq!(
+            per_elem.snapshot(),
+            bulk.snapshot(),
+            "bulk path totals must equal the per-element path"
+        );
+        assert_eq!(a.to_vec(), b.to_vec(), "stored contents identical");
+    }
+
+    #[test]
+    fn write_range_and_read_range_roundtrip() {
+        let b = GlobalBuffer::<f64>::zeros(8);
+        b.write_range(2, &[1.0, 2.0, 3.0]);
+        let mut out = [0.0f64; 3];
+        b.read_range(2, &mut out);
+        assert_eq!(out, [1.0, 2.0, 3.0]);
+        assert_eq!(b.load(1), 0.0);
+        assert_eq!(b.load(5), 0.0);
+    }
+
+    #[test]
+    fn index_buffer_range_roundtrip() {
+        let idx = GlobalIndexBuffer::zeros(6);
+        idx.write_range(1, &[7, 8, 9]);
+        let mut out = [0u32; 4];
+        idx.read_range(0, &mut out);
+        assert_eq!(out, [0, 7, 8, 9]);
     }
 
     #[test]

@@ -105,6 +105,12 @@ impl FragmentMma {
     /// * `a` — `wm*kk` row-major A fragment (rows of X),
     /// * `b` — `wn*kk` row-major B fragment (rows of Y),
     /// * `kk` — slab depth.
+    ///
+    /// The micro-kernel is register-blocked four output columns wide: the
+    /// four dot products run as independent accumulation chains over the
+    /// contiguous fragment rows. Every output still accumulates its `k`
+    /// terms in ascending order, so results are bitwise identical to the
+    /// scalar triple loop — only instruction-level parallelism changes.
     #[allow(clippy::too_many_arguments)]
     pub fn mma<T: Scalar, H: FaultHook<T> + ?Sized, C: EventSink + ?Sized>(
         &self,
@@ -119,16 +125,56 @@ impl FragmentMma {
         debug_assert_eq!(acc.len(), self.wm * self.wn);
         debug_assert_eq!(a.len(), self.wm * kk);
         debug_assert_eq!(b.len(), self.wn * kk);
-        for i in 0..self.wm {
-            let arow = &a[i * kk..(i + 1) * kk];
-            let crow = &mut acc[i * self.wn..(i + 1) * self.wn];
-            for (j, cj) in crow.iter_mut().enumerate() {
+        // Fast path: stage B transposed to k-major in registers/local
+        // scratch, TF32-converted exactly once per element. The inner loop
+        // then walks contiguous j-runs, which vectorizes across output
+        // columns; every output still accumulates its k terms in ascending
+        // order, so results stay bitwise identical to the scalar triple
+        // loop (TF32 conversion is elementwise and deterministic).
+        const AMAX: usize = 64;
+        const BT_MAX: usize = 512;
+        if kk <= AMAX && self.wn * kk <= BT_MAX {
+            let mut bt = [T::ZERO; BT_MAX];
+            for j in 0..self.wn {
                 let brow = &b[j * kk..(j + 1) * kk];
-                let mut sum = T::ZERO;
-                for k in 0..kk {
-                    sum += arow[k].to_tf32() * brow[k].to_tf32();
+                for (k, &v) in brow.iter().enumerate() {
+                    bt[k * self.wn + j] = v.to_tf32();
                 }
-                *cj += sum;
+            }
+            // One zero-init per slab, refilled (first kk slots) per row.
+            let mut at = [T::ZERO; AMAX];
+            for i in 0..self.wm {
+                for (d, s) in at[..kk].iter_mut().zip(&a[i * kk..(i + 1) * kk]) {
+                    *d = s.to_tf32();
+                }
+                let crow = &mut acc[i * self.wn..(i + 1) * self.wn];
+                let mut j = 0;
+                while j + 16 <= self.wn {
+                    dot_block::<T, 16>(crow, &at[..kk], &bt, self.wn, j);
+                    j += 16;
+                }
+                while j + 4 <= self.wn {
+                    dot_block::<T, 4>(crow, &at[..kk], &bt, self.wn, j);
+                    j += 4;
+                }
+                while j < self.wn {
+                    dot_block::<T, 1>(crow, &at[..kk], &bt, self.wn, j);
+                    j += 1;
+                }
+            }
+        } else {
+            // Fallback for oversized fragments: the scalar triple loop.
+            for i in 0..self.wm {
+                let arow = &a[i * kk..(i + 1) * kk];
+                let crow = &mut acc[i * self.wn..(i + 1) * self.wn];
+                for (j, cj) in crow.iter_mut().enumerate() {
+                    let brow = &b[j * kk..(j + 1) * kk];
+                    let mut sum = T::ZERO;
+                    for k in 0..kk {
+                        sum += arow[k].to_tf32() * brow[k].to_tf32();
+                    }
+                    *cj += sum;
+                }
             }
         }
         let n = self.hw_mma_count(kk);
@@ -138,6 +184,24 @@ impl FragmentMma {
             counters.add_mma(n);
         }
         hook.post_mma(&site, acc, self.wn);
+    }
+}
+
+/// `W` independent dot-product chains over a k-major transposed B panel:
+/// `crow[j+l] += Σ_k at[k] * bt[k*wn + j+l]` for `l in 0..W`. Each output's
+/// k terms accumulate in ascending order, preserving the bitwise-identity
+/// contract of [`FragmentMma::mma`] at every block width.
+#[inline]
+fn dot_block<T: Scalar, const W: usize>(crow: &mut [T], at: &[T], bt: &[T], wn: usize, j: usize) {
+    let mut s = [T::ZERO; W];
+    for (k, &av) in at.iter().enumerate() {
+        let brun = &bt[k * wn + j..k * wn + j + W];
+        for (sl, &bv) in s.iter_mut().zip(brun) {
+            *sl += av * bv;
+        }
+    }
+    for (cj, &sl) in crow[j..j + W].iter_mut().zip(&s) {
+        *cj += sl;
     }
 }
 
@@ -211,6 +275,33 @@ mod tests {
             }
         }
         assert!(c.snapshot().mma_ops > 0);
+    }
+
+    #[test]
+    fn register_blocked_path_matches_scalar_reference_bitwise() {
+        // wn = 9 exercises both the 4-wide blocked loop and the scalar tail;
+        // equality must be bitwise, not approximate — the register blocking
+        // may not change any output's accumulation order.
+        let (wm, wn, kk) = (5, 9, 7);
+        let exec = FragmentMma::new::<f32>(wm, wn);
+        let a: Vec<f32> = (0..wm * kk).map(|i| (i as f32).sin()).collect();
+        let b: Vec<f32> = (0..wn * kk).map(|i| (i as f32 * 0.37).cos()).collect();
+        let mut acc: Vec<f32> = (0..wm * wn).map(|i| i as f32 * 0.01).collect();
+        let mut want = acc.clone();
+        for i in 0..wm {
+            for j in 0..wn {
+                let mut sum = 0.0f32;
+                for k in 0..kk {
+                    sum += a[i * kk + k].to_tf32() * b[j * kk + k].to_tf32();
+                }
+                want[i * wn + j] += sum;
+            }
+        }
+        let c = Counters::new();
+        exec.mma(&mut acc, &a, &b, kk, site(), &NoFault, &c);
+        for (got, want) in acc.iter().zip(want.iter()) {
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
     }
 
     #[test]

@@ -1,0 +1,128 @@
+//! Reusable kernel-local scratch storage.
+//!
+//! Simulated threadblocks are closures invoked once per block; a naive
+//! translation of "registers / local arrays" into `vec![...]` puts a heap
+//! allocation on the per-block hot path (thousands of blocks per launch,
+//! thousands of launches per fit). [`ScratchBuf`] models a register file /
+//! local-memory array instead: a fixed-capacity stack buffer with a heap
+//! spill only for over-sized dynamic shapes, so the common case costs no
+//! allocation at all.
+
+/// A `len`-element buffer that lives on the stack when `len <= N` and
+/// spills to the heap otherwise.
+///
+/// `N` is the compile-time capacity in elements; pick it to cover the
+/// shapes a kernel is tuned for (the spill path keeps odd shapes correct,
+/// just not allocation-free).
+#[derive(Debug)]
+pub struct ScratchBuf<E, const N: usize> {
+    stack: [E; N],
+    heap: Vec<E>,
+    len: usize,
+}
+
+impl<E: Copy, const N: usize> ScratchBuf<E, N> {
+    /// A buffer of `len` elements, every element initialized to `fill`.
+    pub fn filled(len: usize, fill: E) -> Self {
+        if len <= N {
+            ScratchBuf {
+                stack: [fill; N],
+                heap: Vec::new(),
+                len,
+            }
+        } else {
+            ScratchBuf {
+                stack: [fill; N],
+                heap: vec![fill; len],
+                len,
+            }
+        }
+    }
+
+    /// Number of usable elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when `len() == 0`.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True when the buffer spilled to the heap (diagnostics/tests).
+    pub fn spilled(&self) -> bool {
+        self.len > N
+    }
+
+    /// The active elements.
+    #[inline]
+    pub fn as_slice(&self) -> &[E] {
+        if self.len <= N {
+            &self.stack[..self.len]
+        } else {
+            &self.heap[..self.len]
+        }
+    }
+
+    /// The active elements, mutably.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [E] {
+        if self.len <= N {
+            &mut self.stack[..self.len]
+        } else {
+            &mut self.heap[..self.len]
+        }
+    }
+}
+
+impl<E: Copy, const N: usize> std::ops::Deref for ScratchBuf<E, N> {
+    type Target = [E];
+    fn deref(&self) -> &[E] {
+        self.as_slice()
+    }
+}
+
+impl<E: Copy, const N: usize> std::ops::DerefMut for ScratchBuf<E, N> {
+    fn deref_mut(&mut self) -> &mut [E] {
+        self.as_mut_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_path_for_small_lengths() {
+        let mut b = ScratchBuf::<f32, 8>::filled(5, 1.5);
+        assert!(!b.spilled());
+        assert_eq!(b.len(), 5);
+        assert_eq!(b.as_slice(), &[1.5; 5]);
+        b.as_mut_slice()[4] = -2.0;
+        assert_eq!(b[4], -2.0);
+    }
+
+    #[test]
+    fn heap_spill_for_large_lengths() {
+        let mut b = ScratchBuf::<u32, 4>::filled(9, 7);
+        assert!(b.spilled());
+        assert_eq!(b.len(), 9);
+        assert_eq!(b.as_slice(), &[7; 9]);
+        b[8] = 0;
+        assert_eq!(b.as_slice()[8], 0);
+    }
+
+    #[test]
+    fn boundary_length_stays_on_stack() {
+        let b = ScratchBuf::<f64, 4>::filled(4, 0.0);
+        assert!(!b.spilled());
+        assert_eq!(b.len(), 4);
+    }
+
+    #[test]
+    fn zero_length_is_empty() {
+        let b = ScratchBuf::<f64, 4>::filled(0, 3.0);
+        assert!(b.is_empty());
+        assert_eq!(b.as_slice(), &[] as &[f64]);
+    }
+}

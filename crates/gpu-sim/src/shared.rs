@@ -57,6 +57,13 @@ impl<T: Scalar> SharedTile<T> {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Mutably borrow one row — the target of bulk row copies from global
+    /// memory ([`crate::memory::GlobalBuffer::load_run`]-style staging).
+    pub fn row_mut(&mut self, r: usize) -> &mut [T] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
     /// Whole tile as a flat slice.
     pub fn as_slice(&self) -> &[T] {
         &self.data
@@ -98,8 +105,11 @@ mod tests {
         assert_eq!(t.get(3, 7), 2.5);
         assert_eq!(t.row(3)[7], 2.5);
         assert_eq!(t.bytes(), 4 * 8 * 4);
+        t.row_mut(2).copy_from_slice(&[9.0; 8]);
+        assert_eq!(t.get(2, 5), 9.0);
         t.zero();
         assert_eq!(t.get(3, 7), 0.0);
+        assert_eq!(t.get(2, 5), 0.0);
     }
 
     #[test]

@@ -6,7 +6,8 @@ use crate::shared::SharedTile;
 
 /// Load a `wm x kk` A-fragment (rows `row0..row0+wm` of the shared A tile at
 /// columns `k0..k0+kk`) into `frag`, row-major. Rows beyond the tile are
-/// zero-filled (edge tiles).
+/// zero-filled (edge tiles). Each in-bounds row is one contiguous slice copy
+/// (`ldmatrix` moves whole rows, not scalars).
 pub fn load_a_fragment<T: Scalar>(
     tile: &SharedTile<T>,
     row0: usize,
@@ -16,15 +17,17 @@ pub fn load_a_fragment<T: Scalar>(
     frag: &mut [T],
 ) {
     debug_assert_eq!(frag.len(), wm * kk);
-    for i in 0..wm {
+    if kk == 0 {
+        return;
+    }
+    for (i, dst) in frag.chunks_exact_mut(kk).enumerate() {
         let r = row0 + i;
-        for k in 0..kk {
-            let c = k0 + k;
-            frag[i * kk + k] = if r < tile.rows() && c < tile.cols() {
-                tile.get(r, c)
-            } else {
-                T::ZERO
-            };
+        if r < tile.rows() && k0 < tile.cols() {
+            let run = kk.min(tile.cols() - k0);
+            dst[..run].copy_from_slice(&tile.row(r)[k0..k0 + run]);
+            dst[run..].fill(T::ZERO);
+        } else {
+            dst.fill(T::ZERO);
         }
     }
 }

@@ -1,0 +1,85 @@
+//! The bulk-transaction contract at launch granularity: a kernel written
+//! against the run-based APIs must produce the same outputs AND the same
+//! `CounterSnapshot` as the identical kernel written element-at-a-time.
+//! This is what lets kernels migrate to the coalesced data path without
+//! perturbing any counter-based structural test.
+
+use gpu_sim::{launch_grid, Counters, DeviceProfile, Dim3, GlobalBuffer, LaunchConfig, ScratchBuf};
+
+const ROWS: usize = 70; // not a multiple of the block size
+const COLS: usize = 9;
+const ROWS_PER_BLOCK: usize = 16;
+
+fn input() -> GlobalBuffer<f64> {
+    GlobalBuffer::from_slice(
+        &(0..ROWS * COLS)
+            .map(|i| (i as f64 * 0.37).sin())
+            .collect::<Vec<_>>(),
+    )
+}
+
+fn cfg() -> LaunchConfig {
+    LaunchConfig {
+        grid: Dim3::x(ROWS.div_ceil(ROWS_PER_BLOCK)),
+        threads_per_block: 128,
+        smem_bytes: 0,
+    }
+}
+
+/// Row-sum kernel, element-at-a-time path.
+fn row_sums_elementwise(dev: &DeviceProfile, data: &GlobalBuffer<f64>, c: &Counters) -> Vec<f64> {
+    let out = GlobalBuffer::<f64>::zeros(ROWS);
+    launch_grid(dev, cfg(), c, |ctx| {
+        let row0 = ctx.bx * ROWS_PER_BLOCK;
+        for r in row0..(row0 + ROWS_PER_BLOCK).min(ROWS) {
+            let mut acc = 0.0;
+            for col in 0..COLS {
+                acc += data.load_counted(r * COLS + col, ctx.counters);
+            }
+            out.store_counted(r, acc, ctx.counters);
+        }
+    })
+    .unwrap();
+    out.to_vec()
+}
+
+/// The same kernel on the bulk path: one run per row, one run per block of
+/// results.
+fn row_sums_bulk(dev: &DeviceProfile, data: &GlobalBuffer<f64>, c: &Counters) -> Vec<f64> {
+    let out = GlobalBuffer::<f64>::zeros(ROWS);
+    launch_grid(dev, cfg(), c, |ctx| {
+        let row0 = ctx.bx * ROWS_PER_BLOCK;
+        let rows = ROWS_PER_BLOCK.min(ROWS.saturating_sub(row0));
+        let mut row = ScratchBuf::<f64, 64>::filled(COLS, 0.0);
+        let mut sums = [0.0f64; ROWS_PER_BLOCK];
+        for (i, slot) in sums[..rows].iter_mut().enumerate() {
+            data.load_run((row0 + i) * COLS, &mut row, ctx.counters);
+            *slot = row.iter().sum();
+        }
+        out.store_run(row0, &sums[..rows], ctx.counters);
+    })
+    .unwrap();
+    out.to_vec()
+}
+
+#[test]
+fn bulk_kernel_matches_elementwise_kernel_in_outputs_and_counters() {
+    let dev = DeviceProfile::a100();
+    let data = input();
+
+    let c_elem = Counters::new();
+    let sums_elem = row_sums_elementwise(&dev, &data, &c_elem);
+    let c_bulk = Counters::new();
+    let sums_bulk = row_sums_bulk(&dev, &data, &c_bulk);
+
+    assert_eq!(sums_elem, sums_bulk, "outputs must be identical");
+    assert_eq!(
+        c_elem.snapshot(),
+        c_bulk.snapshot(),
+        "bulk-path CounterSnapshot must equal the per-element path"
+    );
+    // Sanity: the totals are the closed-form element counts.
+    let s = c_bulk.snapshot();
+    assert_eq!(s.bytes_loaded, (ROWS * COLS * 8) as u64);
+    assert_eq!(s.bytes_stored, (ROWS * 8) as u64);
+}

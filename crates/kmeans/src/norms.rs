@@ -5,7 +5,8 @@
 //! launching two simple kernels." — one thread per row, streaming reads.
 
 use gpu_sim::{
-    launch_grid, Counters, DeviceProfile, Dim3, GlobalBuffer, LaunchConfig, Scalar, SimError,
+    launch_grid, Counters, DeviceProfile, Dim3, GlobalBuffer, LaunchConfig, Scalar, ScratchBuf,
+    SimError,
 };
 
 /// Rows handled per threadblock.
@@ -34,15 +35,24 @@ pub fn row_sq_norms_kernel<T: Scalar>(
     };
     launch_grid(device, cfg, counters, |ctx| {
         let row0 = ctx.bx * ROWS_PER_BLOCK;
-        for r in row0..(row0 + ROWS_PER_BLOCK).min(rows) {
-            let mut acc = T::ZERO;
-            for c in 0..cols {
-                let v = data.load_counted(r * cols + c, ctx.counters);
-                acc += v * v;
-                ctx.counters.add_fma(1);
-            }
-            out.store_counted(r, acc, ctx.counters);
+        let nrows = ROWS_PER_BLOCK.min(rows.saturating_sub(row0));
+        if nrows == 0 {
+            return;
         }
+        // Stream one row at a time through block-local scratch (a contiguous
+        // run each) and write the block's results back as one run.
+        let mut row = ScratchBuf::<T, 256>::filled(cols, T::ZERO);
+        let mut norms = [T::ZERO; ROWS_PER_BLOCK];
+        for (i, slot) in norms[..nrows].iter_mut().enumerate() {
+            data.load_run((row0 + i) * cols, &mut row, ctx.counters);
+            let mut acc = T::ZERO;
+            for &v in row.iter() {
+                acc += v * v;
+            }
+            ctx.counters.add_fma(cols as u64);
+            *slot = acc;
+        }
+        out.store_run(row0, &norms[..nrows], ctx.counters);
     })?;
     Ok(out)
 }

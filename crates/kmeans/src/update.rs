@@ -10,7 +10,7 @@ use gpu_sim::memory::GlobalIndexBuffer;
 use gpu_sim::mma::{FaultHook, MmaSite};
 use gpu_sim::{
     launch_grid, Counters, DeviceProfile, Dim3, GlobalBuffer, LaunchConfig, Matrix, Scalar,
-    SimError,
+    ScratchBuf, SimError,
 };
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -73,6 +73,10 @@ pub fn update_centroids<T: Scalar>(
     launch_grid(device, cfg, counters, |ctx| {
         let row0 = ctx.bx * SAMPLES_PER_BLOCK;
         let mut local_dmr = DmrStats::default();
+        // Sample rows stream through block-local scratch as contiguous runs;
+        // the scattered atomicAdds stay per-element (they are data-dependent
+        // and uncoalescable by construction).
+        let mut xrow = ScratchBuf::<T, 256>::filled(dim, T::ZERO);
         for (i, &label) in labels
             .iter()
             .enumerate()
@@ -87,8 +91,8 @@ pub fn update_centroids<T: Scalar>(
                 oob_labels.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
-            for d in 0..dim {
-                let x = samples.load_counted(i * dim + d, ctx.counters);
+            samples.load_run(i * dim, &mut xrow, ctx.counters);
+            for (d, &x) in xrow.iter().enumerate() {
                 let site = MmaSite {
                     block: (ctx.bx, 0),
                     warp: 0,

@@ -7,8 +7,8 @@
 
 use crate::assign::AssignmentResult;
 use crate::device_data::DeviceData;
-use crate::variants::block_row_min;
-use crate::variants::gemm::{simt_gemm_driver, TB_N};
+use crate::variants::gemm::{simt_gemm_driver, TB_M};
+use crate::variants::staged_block_row_min;
 use gpu_sim::atomics::ArgminStore;
 use gpu_sim::mma::FaultHook;
 use gpu_sim::{Counters, DeviceProfile, Scalar, SimError};
@@ -27,18 +27,19 @@ pub fn broadcast_assign<T: Scalar>(
         hook,
         counters,
         |ctx, acc, row0, rows, col0, cols| {
-            let mins = block_row_min(
+            let mut mins = [(T::INFINITY, u32::MAX); TB_M];
+            staged_block_row_min(
                 acc,
-                TB_N,
+                &data.sample_norms,
+                &data.centroid_norms,
                 row0,
                 rows,
                 col0,
                 cols,
-                &data.sample_norms,
-                &data.centroid_norms,
+                &mut mins[..rows],
                 ctx.counters,
             );
-            for (i, (d, j)) in mins.into_iter().enumerate() {
+            for (i, &(d, j)) in mins[..rows].iter().enumerate() {
                 store.merge(row0 + i, d, j, ctx.counters);
             }
         },

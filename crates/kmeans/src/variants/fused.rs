@@ -7,12 +7,13 @@
 
 use crate::assign::AssignmentResult;
 use crate::device_data::DeviceData;
-use crate::variants::block_row_min;
-use crate::variants::gemm::{simt_gemm_driver, TB_N};
+use crate::variants::gemm::{simt_gemm_driver, TB_M, TB_N};
+use crate::variants::staged_block_row_min;
 use gpu_sim::memory::GlobalIndexBuffer;
 use gpu_sim::mma::FaultHook;
 use gpu_sim::{
-    launch_grid, Counters, DeviceProfile, Dim3, GlobalBuffer, LaunchConfig, Scalar, SimError,
+    launch_grid, Counters, DeviceProfile, Dim3, GlobalBuffer, LaunchConfig, Scalar, ScratchBuf,
+    SimError,
 };
 
 /// Rows per block in the partial-fold kernel.
@@ -39,19 +40,20 @@ pub fn fused_assign<T: Scalar>(
         hook,
         counters,
         |ctx, acc, row0, rows, col0, cols| {
-            let mins = block_row_min(
+            let mut mins = [(T::INFINITY, u32::MAX); TB_M];
+            staged_block_row_min(
                 acc,
-                TB_N,
+                &data.sample_norms,
+                &data.centroid_norms,
                 row0,
                 rows,
                 col0,
                 cols,
-                &data.sample_norms,
-                &data.centroid_norms,
+                &mut mins[..rows],
                 ctx.counters,
             );
             // thread 0 writes the block's partial answers (Fig. 2 step 2)
-            for (i, (d, j)) in mins.into_iter().enumerate() {
+            for (i, &(d, j)) in mins[..rows].iter().enumerate() {
                 let slot = (row0 + i) * bn + ctx.bx;
                 part_dist.store_counted(slot, d, ctx.counters);
                 part_idx.store(slot, j);
@@ -70,20 +72,31 @@ pub fn fused_assign<T: Scalar>(
     };
     launch_grid(device, cfg, counters, |ctx| {
         let row0 = ctx.bx * FOLD_ROWS_PER_BLOCK;
-        for i in row0..(row0 + FOLD_ROWS_PER_BLOCK).min(m) {
+        let rows = FOLD_ROWS_PER_BLOCK.min(m.saturating_sub(row0));
+        if rows == 0 {
+            return;
+        }
+        // Each row's bn partials are contiguous: stream them as runs.
+        let mut pd = ScratchBuf::<T, 64>::filled(bn, T::ZERO);
+        let mut pj = ScratchBuf::<u32, 64>::filled(bn, 0);
+        let mut best_d = [T::INFINITY; FOLD_ROWS_PER_BLOCK];
+        let mut best_j = [u32::MAX; FOLD_ROWS_PER_BLOCK];
+        for i in 0..rows {
+            part_dist.load_run((row0 + i) * bn, &mut pd, ctx.counters);
+            part_idx.read_range((row0 + i) * bn, &mut pj);
             let mut best = T::INFINITY;
-            let mut best_j = u32::MAX;
-            for b in 0..bn {
-                let d = part_dist.load_counted(i * bn + b, ctx.counters);
-                let j = part_idx.load(i * bn + b);
-                if d < best || (d == best && j < best_j) {
+            let mut best_idx = u32::MAX;
+            for (&d, &j) in pd.iter().zip(pj.iter()) {
+                if d < best || (d == best && j < best_idx) {
                     best = d;
-                    best_j = j;
+                    best_idx = j;
                 }
             }
-            labels.store(i, best_j);
-            dists.store_counted(i, best, ctx.counters);
+            best_d[i] = best;
+            best_j[i] = best_idx;
         }
+        labels.write_range(row0, &best_j[..rows]);
+        dists.store_run(row0, &best_d[..rows], ctx.counters);
     })?;
 
     Ok(AssignmentResult {

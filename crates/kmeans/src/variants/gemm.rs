@@ -12,7 +12,8 @@ use gpu_sim::memory::GlobalIndexBuffer;
 use gpu_sim::mma::{FaultHook, MmaSite};
 use gpu_sim::shared::SharedTile;
 use gpu_sim::{
-    launch_grid, Counters, DeviceProfile, Dim3, GlobalBuffer, LaunchConfig, Scalar, SimError,
+    launch_grid, Counters, DeviceProfile, Dim3, GlobalBuffer, LaunchConfig, Scalar, ScratchBuf,
+    SimError,
 };
 
 /// SIMT threadblock tile (fixed for the hand-written V1–V3 kernels).
@@ -54,7 +55,9 @@ pub(crate) fn simt_gemm_driver<T: Scalar>(
         }
         let mut a_tile = SharedTile::<T>::new(TB_M, TB_K);
         let mut b_tile = SharedTile::<T>::new(TB_N, TB_K);
-        let mut acc = vec![T::ZERO; TB_M * TB_N];
+        // Register/local accumulator: fixed-size (no per-block heap
+        // allocation), zeroed once and reused across every k-step.
+        let mut acc = [T::ZERO; TB_M * TB_N];
         let mut k0 = 0;
         while k0 < dim {
             let kk = TB_K.min(dim - k0);
@@ -67,11 +70,16 @@ pub(crate) fn simt_gemm_driver<T: Scalar>(
                 k_step: k0,
                 is_checksum: false,
             };
+            // Only the rows x cols sub-tile is valid output (the zero-padded
+            // remainder would accumulate exact zeros); restricting the
+            // micro-kernel to it skips the padding waste that made edge-heavy
+            // shapes (k << TB_N) pay the full-tile cost.
             simt_block_gemm(
                 &mut acc,
                 &a_tile,
                 &b_tile,
-                TB_M,
+                rows,
+                cols,
                 TB_N,
                 kk,
                 site,
@@ -93,7 +101,8 @@ pub fn gemm_assign<T: Scalar>(
     counters: &Counters,
 ) -> Result<AssignmentResult<T>, SimError> {
     let (m, k) = (data.m, data.k);
-    // Kernel 1: GEMM, product matrix stored to global (the V1 tax).
+    // Kernel 1: GEMM, product matrix stored to global (the V1 tax). Each
+    // accumulator row writes back as one contiguous run.
     let product = GlobalBuffer::<T>::zeros(m * k);
     simt_gemm_driver(
         device,
@@ -102,18 +111,17 @@ pub fn gemm_assign<T: Scalar>(
         counters,
         |ctx, acc, row0, rows, col0, cols| {
             for i in 0..rows {
-                for j in 0..cols {
-                    product.store_counted(
-                        (row0 + i) * k + col0 + j,
-                        acc[i * TB_N + j],
-                        ctx.counters,
-                    );
-                }
+                product.store_run(
+                    (row0 + i) * k + col0,
+                    &acc[i * TB_N..i * TB_N + cols],
+                    ctx.counters,
+                );
             }
         },
     )?;
 
-    // Kernel 2: row-wise reduction over the product matrix.
+    // Kernel 2: row-wise reduction over the product matrix, streaming one
+    // product row per step through block-local scratch.
     let labels = GlobalIndexBuffer::zeros(m);
     let dists = GlobalBuffer::<T>::filled(m, T::INFINITY);
     let grid = Dim3::x(m.div_ceil(REDUCE_ROWS_PER_BLOCK).max(1));
@@ -125,23 +133,37 @@ pub fn gemm_assign<T: Scalar>(
     let two = T::ONE + T::ONE;
     launch_grid(device, cfg, counters, |ctx| {
         let row0 = ctx.bx * REDUCE_ROWS_PER_BLOCK;
-        for i in row0..(row0 + REDUCE_ROWS_PER_BLOCK).min(m) {
-            let xn = data.sample_norms.load_counted(i, ctx.counters);
+        let rows = REDUCE_ROWS_PER_BLOCK.min(m.saturating_sub(row0));
+        if rows == 0 {
+            return;
+        }
+        // Centroid norms are broadcast to every block (uncounted, as on the
+        // per-element path); the product row streams through scratch.
+        let mut yn = ScratchBuf::<T, 256>::filled(k, T::ZERO);
+        data.centroid_norms.read_range(0, &mut yn);
+        let mut prod = ScratchBuf::<T, 256>::filled(k, T::ZERO);
+        let mut best_d = [T::INFINITY; REDUCE_ROWS_PER_BLOCK];
+        let mut best_j = [u32::MAX; REDUCE_ROWS_PER_BLOCK];
+        let mut xn = [T::ZERO; REDUCE_ROWS_PER_BLOCK];
+        data.sample_norms
+            .load_run(row0, &mut xn[..rows], ctx.counters);
+        for i in 0..rows {
+            product.load_run((row0 + i) * k, &mut prod, ctx.counters);
             let mut best = T::INFINITY;
-            let mut best_j = u32::MAX;
-            for j in 0..k {
-                let xy = product.load_counted(i * k + j, ctx.counters);
-                let yn = data.centroid_norms.load(j);
-                let d = xn + yn - two * xy;
-                if d < best || (d == best && (j as u32) < best_j) {
+            let mut best_idx = u32::MAX;
+            for (j, (&xy, &y)) in prod.iter().zip(yn.iter()).enumerate() {
+                let d = xn[i] + y - two * xy;
+                if d < best || (d == best && (j as u32) < best_idx) {
                     best = d;
-                    best_j = j as u32;
+                    best_idx = j as u32;
                 }
             }
             ctx.counters.add_fma((2 * k) as u64);
-            labels.store(i, best_j);
-            dists.store_counted(i, best, ctx.counters);
+            best_d[i] = best;
+            best_j[i] = best_idx;
         }
+        labels.write_range(row0, &best_j[..rows]);
+        dists.store_run(row0, &best_d[..rows], ctx.counters);
     })?;
 
     Ok(AssignmentResult {

@@ -11,7 +11,8 @@ use crate::device_data::DeviceData;
 use gpu_sim::memory::GlobalIndexBuffer;
 use gpu_sim::mma::{FaultHook, MmaSite};
 use gpu_sim::{
-    launch_grid, Counters, DeviceProfile, Dim3, GlobalBuffer, LaunchConfig, Scalar, SimError,
+    launch_grid, Counters, DeviceProfile, Dim3, GlobalBuffer, LaunchConfig, Scalar, ScratchBuf,
+    SimError,
 };
 
 /// Samples per threadblock.
@@ -36,18 +37,28 @@ pub fn naive_assign<T: Scalar>(
 
     launch_grid(device, cfg, counters, |ctx| {
         let row0 = ctx.bx * SAMPLES_PER_BLOCK;
-        let mut x = vec![T::ZERO; dim];
-        for i in row0..(row0 + SAMPLES_PER_BLOCK).min(m) {
-            for (d, slot) in x.iter_mut().enumerate() {
-                *slot = data.samples.load_counted(i * dim + d, ctx.counters);
-            }
+        let rows = SAMPLES_PER_BLOCK.min(m.saturating_sub(row0));
+        if rows == 0 {
+            return;
+        }
+        // Row scratch lives on the stack for typical dimensions — no
+        // per-block heap allocation on the hot path.
+        let mut x = ScratchBuf::<T, 256>::filled(dim, T::ZERO);
+        let mut y = ScratchBuf::<T, 256>::filled(dim, T::ZERO);
+        let mut best_d = [T::INFINITY; SAMPLES_PER_BLOCK];
+        let mut best_j = [u32::MAX; SAMPLES_PER_BLOCK];
+        for i in 0..rows {
+            data.samples
+                .load_run((row0 + i) * dim, &mut x, ctx.counters);
             let mut best = T::INFINITY;
-            let mut best_j = u32::MAX;
+            let mut best_idx = u32::MAX;
             for j in 0..k {
+                // every thread re-reads the centroid row from global — the
+                // per-sample re-read is the variant's defining cost; it now
+                // moves as one contiguous run per centroid row
+                data.centroids.load_run(j * dim, &mut y, ctx.counters);
                 let mut acc = T::ZERO;
-                for (d, &xv) in x.iter().enumerate() {
-                    // every thread re-reads the centroid row from global
-                    let yv = data.centroids.load_counted(j * dim + d, ctx.counters);
+                for (&xv, &yv) in x.iter().zip(y.iter()) {
                     let diff = xv - yv;
                     acc += diff * diff;
                 }
@@ -59,14 +70,16 @@ pub fn naive_assign<T: Scalar>(
                     is_checksum: false,
                 };
                 let acc = hook.post_fma(&site, acc);
-                if acc < best || (acc == best && (j as u32) < best_j) {
+                if acc < best || (acc == best && (j as u32) < best_idx) {
                     best = acc;
-                    best_j = j as u32;
+                    best_idx = j as u32;
                 }
             }
-            labels.store(i, best_j);
-            dists.store_counted(i, best, ctx.counters);
+            best_d[i] = best;
+            best_j[i] = best_idx;
         }
+        labels.write_range(row0, &best_j[..rows]);
+        dists.store_run(row0, &best_d[..rows], ctx.counters);
     })?;
 
     Ok(AssignmentResult {

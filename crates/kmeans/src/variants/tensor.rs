@@ -37,7 +37,7 @@ use gpu_sim::timing::TileConfig;
 use gpu_sim::warp::{load_a_fragment, load_b_fragment};
 use gpu_sim::{
     launch_grid, AsyncPipeline, CopyPath, Counters, DeviceProfile, Dim3, LaunchConfig, Precision,
-    Scalar, SimError,
+    Scalar, ScratchBuf, SimError,
 };
 use parking_lot::Mutex;
 
@@ -137,9 +137,11 @@ pub fn tensor_assign<T: Scalar>(
 
         let mut pipeline =
             AsyncPipeline::<T>::new(tile.k_stages, tile.tb_m, tile.tb_n, tile.tb_k, path);
-        let mut accs: Vec<Vec<T>> = (0..n_warps)
-            .map(|_| vec![T::ZERO; tile.wm * tile.wn])
-            .collect();
+        // All warp accumulators in one flat buffer (one allocation per
+        // block, reused across every k-step); warp `w` owns
+        // `accs[w*wsize..(w+1)*wsize]`.
+        let wsize = tile.wm * tile.wn;
+        let mut accs: Vec<T> = vec![T::ZERO; n_warps * wsize];
         let mut warp_states: Option<Vec<WarpOnlineState<T>>> = match scheme {
             SchemeKind::FtKMeans => {
                 let s = FtKMeansScheme::new(T::PRECISION);
@@ -183,8 +185,8 @@ pub fn tensor_assign<T: Scalar>(
         }
         let mut committed = prologue;
 
-        let mut a_frag = vec![T::ZERO; tile.wm * mma_k];
-        let mut b_frag = vec![T::ZERO; tile.wn * mma_k];
+        let mut a_frag = ScratchBuf::<T, 1024>::filled(tile.wm * mma_k, T::ZERO);
+        let mut b_frag = ScratchBuf::<T, 1024>::filled(tile.wn * mma_k, T::ZERO);
 
         for kt in 0..n_ktiles {
             // Prefetch the tile k_stages-1 ahead (Fig. 4 lines 13-14).
@@ -224,18 +226,20 @@ pub fn tensor_assign<T: Scalar>(
 
             // Warp MMA main loop (Fig. 4 lines 15-17).
             for wi in 0..warps_m {
-                for wj in 0..warps_n {
-                    let warp_id = wi * warps_n + wj;
-                    let acc = &mut accs[warp_id];
-                    for kk0 in (0..tile.tb_k).step_by(mma_k) {
-                        load_a_fragment(
-                            pipeline.a(stage),
-                            wi * tile.wm,
-                            kk0,
-                            tile.wm,
-                            mma_k,
-                            &mut a_frag,
-                        );
+                for kk0 in (0..tile.tb_k).step_by(mma_k) {
+                    // The A fragment depends only on (wi, kk0): load it once
+                    // and share it across this warp row's column warps.
+                    load_a_fragment(
+                        pipeline.a(stage),
+                        wi * tile.wm,
+                        kk0,
+                        tile.wm,
+                        mma_k,
+                        &mut a_frag,
+                    );
+                    for wj in 0..warps_n {
+                        let warp_id = wi * warps_n + wj;
+                        let acc = &mut accs[warp_id * wsize..(warp_id + 1) * wsize];
                         load_b_fragment(
                             pipeline.b(stage),
                             wj * tile.wn,
@@ -274,8 +278,8 @@ pub fn tensor_assign<T: Scalar>(
                     for wi in 0..warps_m {
                         for wj in 0..warps_n {
                             let warp_id = wi * warps_n + wj;
-                            let outcome =
-                                states[warp_id].check(&mut accs[warp_id], k_end, ctx.counters);
+                            let acc = &mut accs[warp_id * wsize..(warp_id + 1) * wsize];
+                            let outcome = states[warp_id].check(acc, k_end, ctx.counters);
                             record_outcome(stats, outcome);
                             if let CheckOutcome::RecomputeRequired { .. } = outcome {
                                 // Detection-only scheme: time-redundant
@@ -292,29 +296,30 @@ pub fn tensor_assign<T: Scalar>(
                                     block,
                                     warp_id,
                                     ctx.counters,
-                                    &mut accs[warp_id],
+                                    acc,
                                 );
-                                states[warp_id].rebaseline(&accs[warp_id], ctx.counters);
+                                states[warp_id].rebaseline(acc, ctx.counters);
                             }
                         }
                     }
                 }
                 if let Some(wu) = wu_state.as_mut() {
                     let (wm, wn) = (tile.wm, tile.wn);
+                    let warp_elem = |r: usize, c: usize| {
+                        ((r / wm) * warps_n + (c / wn)) * wsize + (r % wm) * wn + (c % wn)
+                    };
                     // Assemble a block-level view of the distributed warp
                     // accumulators, verify it, and write corrections back.
                     let mut tile_copy = vec![T::ZERO; tile.tb_m * tile.tb_n];
                     for r in 0..tile.tb_m {
                         for c in 0..tile.tb_n {
-                            let warp_id = (r / wm) * warps_n + (c / wn);
-                            tile_copy[r * tile.tb_n + c] = accs[warp_id][(r % wm) * wn + (c % wn)];
+                            tile_copy[r * tile.tb_n + c] = accs[warp_elem(r, c)];
                         }
                     }
                     let outcome = wu.check_and_correct(
                         |r, c| tile_copy[r * tile.tb_n + c],
                         |r, c, v| {
-                            let warp_id = (r / wm) * warps_n + (c / wn);
-                            accs[warp_id][(r % wm) * wn + (c % wn)] = v;
+                            accs[warp_elem(r, c)] = v;
                         },
                         ctx.counters,
                     );
@@ -335,27 +340,26 @@ pub fn tensor_assign<T: Scalar>(
                                     block,
                                     warp_id,
                                     ctx.counters,
-                                    &mut accs[warp_id],
+                                    &mut accs[warp_id * wsize..(warp_id + 1) * wsize],
                                 );
                             }
                         }
                         let accs_ref = &accs;
-                        wu.rebaseline_from(
-                            |r, c| {
-                                let warp_id = (r / wm) * warps_n + (c / wn);
-                                accs_ref[warp_id][(r % wm) * wn + (c % wn)]
-                            },
-                            ctx.counters,
-                        );
+                        wu.rebaseline_from(|r, c| accs_ref[warp_elem(r, c)], ctx.counters);
                     }
                 }
             }
         }
 
         // Fused epilogue: row-minimum with the norm identity, then the
-        // threadblock broadcast merge.
+        // threadblock broadcast merge. Norm vectors are staged once per
+        // block as contiguous runs (uncounted, matching the element path).
         let two = T::ONE + T::ONE;
-        let mut best = vec![(T::INFINITY, u32::MAX); rows_valid];
+        let mut xn = ScratchBuf::<T, 256>::filled(rows_valid, T::ZERO);
+        data.sample_norms.read_range(row0, &mut xn);
+        let mut yn = ScratchBuf::<T, 256>::filled(cols_valid, T::ZERO);
+        data.centroid_norms.read_range(col0, &mut yn);
+        let mut best = ScratchBuf::<(T, u32), 256>::filled(rows_valid, (T::INFINITY, u32::MAX));
         for wi in 0..warps_m {
             let r_base = wi * tile.wm;
             if r_base >= rows_valid {
@@ -366,15 +370,16 @@ pub fn tensor_assign<T: Scalar>(
                 if c_base >= cols_valid {
                     continue;
                 }
-                let acc = &accs[wi * warps_n + wj];
+                let acc = &accs[(wi * warps_n + wj) * wsize..(wi * warps_n + wj + 1) * wsize];
                 for i in 0..tile.wm.min(rows_valid - r_base) {
                     let row = r_base + i;
-                    let xn = data.sample_norms.load(row0 + row);
+                    let x = xn[row];
                     let slot = &mut best[row];
-                    for j in 0..tile.wn.min(cols_valid - c_base) {
+                    let cols_here = tile.wn.min(cols_valid - c_base);
+                    let arow = &acc[i * tile.wn..i * tile.wn + cols_here];
+                    for (j, &xy) in arow.iter().enumerate() {
                         let col_g = (col0 + c_base + j) as u32;
-                        let yn = data.centroid_norms.load(col0 + c_base + j);
-                        let d = xn + yn - two * acc[i * tile.wn + j];
+                        let d = x + yn[c_base + j] - two * xy;
                         if d < slot.0 || (d == slot.0 && col_g < slot.1) {
                             *slot = (d, col_g);
                         }
@@ -384,7 +389,7 @@ pub fn tensor_assign<T: Scalar>(
         }
         ctx.counters.add_fma((rows_valid * cols_valid * 2) as u64);
         ctx.barrier();
-        for (i, (d, j)) in best.into_iter().enumerate() {
+        for (i, &(d, j)) in best.iter().enumerate() {
             store.merge(row0 + i, d, j, ctx.counters);
         }
     })?;
@@ -430,31 +435,33 @@ fn recompute_warp<T: Scalar, C: gpu_sim::EventSink + ?Sized>(
     acc: &mut [T],
 ) {
     acc.fill(T::ZERO);
-    let mut a_frag = vec![T::ZERO; tile.wm * mma_k];
-    let mut b_frag = vec![T::ZERO; tile.wn * mma_k];
+    let mut a_frag = ScratchBuf::<T, 1024>::filled(tile.wm * mma_k, T::ZERO);
+    let mut b_frag = ScratchBuf::<T, 1024>::filled(tile.wn * mma_k, T::ZERO);
     let elem = std::mem::size_of::<T>() as u64;
+    // Stage each fragment row as a contiguous run (zero-padded at the
+    // problem edge), charging in-bounds elements in bulk.
     for k0 in (0..k_end.min(data.dim.next_multiple_of(mma_k))).step_by(mma_k) {
         let mut loaded = 0u64;
-        for i in 0..tile.wm {
-            for kk in 0..mma_k {
-                let (r, c) = (grow0 + i, k0 + kk);
-                a_frag[i * mma_k + kk] = if r < data.m && c < data.dim {
-                    loaded += 1;
-                    data.samples.load(r * data.dim + c)
-                } else {
-                    T::ZERO
-                };
+        let run = mma_k.min(data.dim.saturating_sub(k0));
+        for (i, dst) in a_frag.chunks_exact_mut(mma_k).enumerate() {
+            let r = grow0 + i;
+            if r < data.m && run > 0 {
+                data.samples.read_range(r * data.dim + k0, &mut dst[..run]);
+                dst[run..].fill(T::ZERO);
+                loaded += run as u64;
+            } else {
+                dst.fill(T::ZERO);
             }
         }
-        for j in 0..tile.wn {
-            for kk in 0..mma_k {
-                let (r, c) = (gcol0 + j, k0 + kk);
-                b_frag[j * mma_k + kk] = if r < data.k && c < data.dim {
-                    loaded += 1;
-                    data.centroids.load(r * data.dim + c)
-                } else {
-                    T::ZERO
-                };
+        for (j, dst) in b_frag.chunks_exact_mut(mma_k).enumerate() {
+            let r = gcol0 + j;
+            if r < data.k && run > 0 {
+                data.centroids
+                    .read_range(r * data.dim + k0, &mut dst[..run]);
+                dst[run..].fill(T::ZERO);
+                loaded += run as u64;
+            } else {
+                dst.fill(T::ZERO);
             }
         }
         counters.add_loaded(loaded * elem);

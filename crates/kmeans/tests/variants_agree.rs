@@ -1,0 +1,61 @@
+//! Cross-variant agreement: all five assignment kernels must produce
+//! identical labels on a shared fixture (fault hooks disabled).
+//!
+//! The fixture is integer-valued in f64, where both distance formulas —
+//! the reference's `Σ(x−y)²` and the kernels' `‖x‖²+‖y‖²−2·x·y` — are
+//! exact (every intermediate is an integer far below 2⁵³), so agreement is
+//! required bit-for-bit, not approximately: any divergence is a real
+//! indexing/reduction bug, not roundoff.
+
+use abft::SchemeKind;
+use fault::CampaignStats;
+use gpu_sim::mma::NoFault;
+use gpu_sim::timing::TileConfig;
+use gpu_sim::{Counters, DeviceProfile, Matrix};
+use kmeans::assign::run_assignment;
+use kmeans::config::Variant;
+use kmeans::device_data::DeviceData;
+use kmeans::reference::assign_reference;
+use parking_lot::Mutex;
+
+/// Integer-valued fixture with odd (non-tile-multiple) shapes.
+fn fixture() -> (Matrix<f64>, Matrix<f64>) {
+    let samples = Matrix::<f64>::from_fn(193, 17, |r, c| ((r * 31 + c * 7) % 17) as f64 - 8.0);
+    let cents = Matrix::<f64>::from_fn(37, 17, |r, c| ((r * 13 + c * 5) % 15) as f64 - 7.0);
+    (samples, cents)
+}
+
+#[test]
+fn all_five_variants_produce_identical_labels() {
+    let (samples, cents) = fixture();
+    let (want_labels, want_dists) = assign_reference(&samples, &cents);
+
+    let tile = TileConfig {
+        tb_m: 16,
+        tb_n: 16,
+        tb_k: 8,
+        wm: 8,
+        wn: 8,
+        k_stages: 2,
+    };
+    let variants: [(&str, Variant); 5] = [
+        ("naive", Variant::Naive),
+        ("gemm_v1", Variant::GemmV1),
+        ("fused_v2", Variant::FusedV2),
+        ("broadcast_v3", Variant::BroadcastV3),
+        ("tensor_v4", Variant::Tensor(Some(tile))),
+    ];
+    let dev = DeviceProfile::a100();
+    for (name, variant) in variants {
+        let c = Counters::new();
+        let stats = Mutex::new(CampaignStats::default());
+        let data = DeviceData::upload(&dev, &samples, &cents, &c).unwrap();
+        let out =
+            run_assignment(&dev, &data, variant, SchemeKind::None, &NoFault, &c, &stats).unwrap();
+        assert_eq!(out.labels, want_labels, "{name}: labels diverge");
+        // Integer-exact fixture: distances must also match exactly.
+        for (i, (got, want)) in out.distances.iter().zip(want_dists.iter()).enumerate() {
+            assert_eq!(got, want, "{name}: distance {i}");
+        }
+    }
+}
