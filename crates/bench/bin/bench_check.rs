@@ -6,25 +6,50 @@
 //! any variant regressed beyond the band. Intended for CI (bench-smoke leg)
 //! and local pre-merge checks.
 //!
+//! Three stages, each against a committed artifact under `baselines/`:
+//!
+//! 1. **Throughput** — fresh fit rates vs `baselines/fit_throughput.csv`
+//!    with tolerance bands.
+//! 2. **Figure schemas** — a fresh `figures --fig all --quick` run must
+//!    match the column headers and row counts of `baselines/figures/*.csv`
+//!    (contents are calibration-dependent; the shape is not).
+//! 3. **Campaign table** — a fresh quick campaign must reproduce
+//!    `baselines/campaign/campaign.csv` byte for byte (the campaign is
+//!    deterministic by construction).
+//!
 //! Knobs:
 //! * `FTK_BENCH_M`    — sample count for the fresh run (default 16384; the
 //!   committed baseline is 131072 — rates are compared, which is
 //!   approximately size-independent),
 //! * `FTK_BENCH_REPS` — repetitions per variant (default 1),
-//! * `FTK_BENCH_TOL`  — regression tolerance factor (default 2.5).
+//! * `FTK_BENCH_TOL`  — regression tolerance factor (default 2.5),
+//! * `FTK_CHECK_FIGURES=0` / `FTK_CHECK_CAMPAIGN=0` — skip stage 2 / 3
+//!   (e.g. for a fast local throughput-only check).
 
+use bench_harness::campaign::{campaign_table, run_campaign, CampaignGrid};
+use bench_harness::drift::{check_campaign_exact, check_figure_schemas};
+use bench_harness::figures::run_figure;
 use bench_harness::fitbench::{env_f64, env_usize, run_fit_bench};
 use bench_harness::regression::{check, parse_baseline, DEFAULT_TOLERANCE};
+use std::path::{Path, PathBuf};
 
-fn main() {
+fn baselines_root() -> PathBuf {
+    // crates/bench → workspace root → baselines/
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("baselines")
+}
+
+fn env_enabled(key: &str) -> bool {
+    std::env::var(key).map_or(true, |v| v != "0")
+}
+
+fn check_throughput() -> bool {
     let m = env_usize("FTK_BENCH_M", 16384);
     let reps = env_usize("FTK_BENCH_REPS", 1);
     let tol = env_f64("FTK_BENCH_TOL", DEFAULT_TOLERANCE);
 
-    // crates/bench → workspace root → baselines/
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("baselines/fit_throughput.csv");
+    let path = baselines_root().join("fit_throughput.csv");
     let csv = match std::fs::read_to_string(&path) {
         Ok(c) => c,
         Err(e) => {
@@ -62,7 +87,70 @@ fn main() {
     }
     if failed {
         eprintln!("bench_check: throughput regression beyond {tol}x tolerance band");
+    } else {
+        println!("bench_check: all variants within the tolerance band");
+    }
+    !failed
+}
+
+fn check_figures() -> bool {
+    let dir = baselines_root().join("figures");
+    println!(
+        "bench_check: regenerating all figures (--quick) for schema drift vs {}",
+        dir.display()
+    );
+    let fresh = run_figure("all", true).expect("'all' is a valid figure id");
+    let outcomes = check_figure_schemas(&fresh, &dir);
+    let mut failed = false;
+    for o in &outcomes {
+        println!(
+            "{:<10} {}  {}",
+            o.id,
+            if o.pass { "ok      " } else { "DRIFTED " },
+            o.detail
+        );
+        failed |= !o.pass;
+    }
+    if failed {
+        eprintln!(
+            "bench_check: figure schema drift — update baselines/figures/ deliberately with: \
+             figures --fig all --quick --out baselines/figures"
+        );
+    }
+    !failed
+}
+
+fn check_campaign() -> bool {
+    let path = baselines_root().join("campaign").join("campaign.csv");
+    println!(
+        "bench_check: running the quick campaign grid for exact-match vs {}",
+        path.display()
+    );
+    let outcomes = run_campaign(&CampaignGrid::quick());
+    let fresh_csv = campaign_table(&outcomes).to_csv();
+    let o = check_campaign_exact(&fresh_csv, &path);
+    println!(
+        "{:<10} {}  {}",
+        o.id,
+        if o.pass { "ok      " } else { "DRIFTED " },
+        o.detail
+    );
+    if !o.pass {
+        eprintln!("bench_check: campaign table drift");
+    }
+    o.pass
+}
+
+fn main() {
+    let mut ok = check_throughput();
+    if env_enabled("FTK_CHECK_FIGURES") {
+        ok &= check_figures();
+    }
+    if env_enabled("FTK_CHECK_CAMPAIGN") {
+        ok &= check_campaign();
+    }
+    if !ok {
         std::process::exit(1);
     }
-    println!("bench_check: all variants within the tolerance band");
+    println!("bench_check: all gates green");
 }

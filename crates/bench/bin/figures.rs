@@ -4,48 +4,22 @@
 //! cargo run -p bench_harness --release --bin figures -- [--fig all|7|8|...|21|table1] [--quick] [--out DIR]
 //! ```
 
-use bench_harness::figures;
+use bench_harness::figures::run_figure;
 use bench_harness::report::{FigureReport, ReportSink};
 use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures [--fig all|7|8|9|10|11|12|13|14|15|16|17|18|19|20|21|table1] [--quick] [--out DIR]"
+        "usage: figures [--fig all|7|8|9|10|11|12|13|14|15|16|17|18|19|20|21|table1|ablation] [--quick] [--out DIR]"
     );
     std::process::exit(2)
 }
 
 fn run_one(id: &str, quick: bool) -> Vec<FigureReport> {
-    match id {
-        "7" | "fig07" => vec![figures::fig07::run(quick)],
-        "8" | "fig08" => vec![figures::sweeps::fig08(quick)],
-        "9" | "fig09" => vec![figures::sweeps::fig09(quick)],
-        "10" | "fig10" => vec![figures::sweeps::fig10(quick)],
-        "11" | "fig11" => vec![figures::sweeps::fig11(quick)],
-        "12" | "fig12" => vec![figures::heatmap::fig12(quick)],
-        "13" | "fig13" => vec![figures::heatmap::fig13(quick)],
-        "14" | "fig14" => vec![figures::heatmap::fig14(quick)],
-        "table1" => vec![figures::heatmap::table1(quick)],
-        "15" | "fig15" => vec![figures::overhead::fig15(quick)],
-        "16" | "fig16" => vec![figures::overhead::fig16(quick)],
-        "17" | "fig17" => vec![figures::injection::fig17(quick)],
-        "18" | "fig18" => vec![figures::injection::fig18(quick)],
-        "19" | "fig19" => vec![figures::sweeps::fig19(quick)],
-        "20" | "fig20" => vec![figures::sweeps::fig20(quick)],
-        "21" | "fig21" => vec![figures::injection::fig21(quick)],
-        "ablation" => vec![figures::ablation::run(quick)],
-        "all" => {
-            let ids = [
-                "7", "8", "9", "10", "11", "12", "13", "14", "table1", "15", "16", "17", "18",
-                "19", "20", "21", "ablation",
-            ];
-            ids.iter().flat_map(|i| run_one(i, quick)).collect()
-        }
-        other => {
-            eprintln!("unknown figure id: {other}");
-            usage()
-        }
-    }
+    run_figure(id, quick).unwrap_or_else(|| {
+        eprintln!("unknown figure id: {id}");
+        usage()
+    })
 }
 
 fn main() {

@@ -200,6 +200,7 @@ pub fn functional_campaign<T: Scalar>(
                 probability: per_block_probability,
             },
             injection_seed: seed.wrapping_mul(31) + 7,
+            ..Default::default()
         },
         ..base_cfg
     };

@@ -7,6 +7,7 @@ pub mod injection;
 pub mod overhead;
 pub mod sweeps;
 
+use crate::report::FigureReport;
 use codegen::feasibility::{feasible_set, stages_for};
 use codegen::{enumerate_params, KernelParams};
 use gpu_sim::timing::{estimate, FtMode, GemmShape, KernelClass, TimingInput};
@@ -14,6 +15,45 @@ use gpu_sim::{DeviceProfile, Precision};
 
 /// Sample count used throughout the paper's evaluation.
 pub const M: usize = 131_072;
+
+/// Every figure/table id, in paper order — the expansion of `--fig all`.
+pub const ALL_IDS: [&str; 17] = [
+    "7", "8", "9", "10", "11", "12", "13", "14", "table1", "15", "16", "17", "18", "19", "20",
+    "21", "ablation",
+];
+
+/// Regenerate the figure(s) named by `id` (a number, `figNN`, `table1`,
+/// `ablation` or `all`). `None` for an unknown id — the CLI turns that
+/// into a usage error, the drift gate into a failure.
+pub fn run_figure(id: &str, quick: bool) -> Option<Vec<FigureReport>> {
+    let one = |r: FigureReport| Some(vec![r]);
+    match id {
+        "7" | "fig07" => one(fig07::run(quick)),
+        "8" | "fig08" => one(sweeps::fig08(quick)),
+        "9" | "fig09" => one(sweeps::fig09(quick)),
+        "10" | "fig10" => one(sweeps::fig10(quick)),
+        "11" | "fig11" => one(sweeps::fig11(quick)),
+        "12" | "fig12" => one(heatmap::fig12(quick)),
+        "13" | "fig13" => one(heatmap::fig13(quick)),
+        "14" | "fig14" => one(heatmap::fig14(quick)),
+        "table1" => one(heatmap::table1(quick)),
+        "15" | "fig15" => one(overhead::fig15(quick)),
+        "16" | "fig16" => one(overhead::fig16(quick)),
+        "17" | "fig17" => one(injection::fig17(quick)),
+        "18" | "fig18" => one(injection::fig18(quick)),
+        "19" | "fig19" => one(sweeps::fig19(quick)),
+        "20" | "fig20" => one(sweeps::fig20(quick)),
+        "21" | "fig21" => one(injection::fig21(quick)),
+        "ablation" => one(ablation::run(quick)),
+        "all" => Some(
+            ALL_IDS
+                .iter()
+                .flat_map(|i| run_figure(i, quick).expect("ALL_IDS entries are valid"))
+                .collect(),
+        ),
+        _ => None,
+    }
+}
 
 /// Timing-model throughput of one parameter group at one shape.
 #[allow(clippy::too_many_arguments)]

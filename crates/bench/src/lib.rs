@@ -12,9 +12,19 @@
 //! campaigns at reduced scale where real bit flips are injected, detected
 //! and corrected, so the correctness claims are exercised, not asserted.
 //!
+//! The [`campaign`] subsystem generalizes those functional campaigns into
+//! a declarative sweep over injection rates × schemes × precisions ×
+//! variants × shapes with SDC classification against fault-free twin fits
+//! (§V-C tables; `campaign` bin), and [`drift`] gates generated tables
+//! against committed baselines (`bench_check` bin).
+//!
 //! Run `cargo run -p bench_harness --release --bin figures -- --fig all` to
-//! write `results/figNN.csv` plus a printed summary per figure.
+//! write `results/figNN.csv` plus a printed summary per figure, and
+//! `cargo run -p bench_harness --release --bin campaign -- --quick` for
+//! the fault-injection campaign table.
 
+pub mod campaign;
+pub mod drift;
 pub mod figures;
 pub mod fitbench;
 pub mod paper;

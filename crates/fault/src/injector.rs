@@ -11,7 +11,7 @@
 //!   sites for reproducible unit tests.
 
 use crate::model::SeuModel;
-use crate::schedule::InjectionSchedule;
+use crate::schedule::{InjectionSchedule, RateRealization};
 use crate::stats::InjectionRecord;
 use gpu_sim::mma::{FaultHook, MmaSite};
 use gpu_sim::Scalar;
@@ -139,7 +139,23 @@ impl Injector {
         self.p_event
     }
 
-    fn corrupt_slice<T: Scalar>(&self, site: &MmaSite, acc: &mut [T]) {
+    /// Requested vs. achievable injection rate under this injector's
+    /// schedule and launch-shape hints. When a [`InjectionSchedule::Rate`]
+    /// saturates the per-block probability clamp, `achieved_hz` falls
+    /// short of `requested_hz` — campaigns report that shortfall instead
+    /// of silently under-injecting.
+    pub fn realization(&self) -> RateRealization {
+        self.cfg
+            .schedule
+            .realization(self.cfg.kernel_time_hint_s, self.cfg.blocks_hint.max(1))
+    }
+
+    /// `mma_event` distinguishes tensor-core MMA slabs (`post_mma`) from
+    /// scalar SIMT FMA results (`post_fma`) so the [`FaultTarget`] can
+    /// restrict a campaign to one stream — e.g. `PayloadMma` covers exactly
+    /// the distance accumulators, leaving the DMR-protected update phase
+    /// unstruck, per the paper's §V-C protocol.
+    fn corrupt_slice<T: Scalar>(&self, site: &MmaSite, acc: &mut [T], mma_event: bool) {
         if acc.is_empty() {
             return;
         }
@@ -176,10 +192,14 @@ impl Injector {
         if self.p_event <= 0.0 {
             return;
         }
-        if site.is_checksum && !self.cfg.model.target.allows_checksum() {
-            return;
-        }
-        if !site.is_checksum && !self.cfg.model.target.allows_payload() {
+        let eligible = if site.is_checksum {
+            self.cfg.model.target.allows_checksum()
+        } else if mma_event {
+            self.cfg.model.target.allows_payload_mma()
+        } else {
+            self.cfg.model.target.allows_fma()
+        };
+        if !eligible {
             return;
         }
         let hits = st
@@ -214,12 +234,12 @@ impl Injector {
 
 impl<T: Scalar> FaultHook<T> for Injector {
     fn post_mma(&self, site: &MmaSite, acc: &mut [T], _wn: usize) {
-        self.corrupt_slice(site, acc);
+        self.corrupt_slice(site, acc, true);
     }
 
     fn post_fma(&self, site: &MmaSite, value: T) -> T {
         let mut one = [value];
-        self.corrupt_slice(site, &mut one);
+        self.corrupt_slice(site, &mut one, false);
         one[0]
     }
 }
@@ -330,6 +350,52 @@ mod tests {
             <Injector as FaultHook<f32>>::post_mma(&inj, &site((0, 0), 0, k, true), &mut acc, 2);
         }
         assert_eq!(inj.injected_count(), 0);
+    }
+
+    #[test]
+    fn payload_mma_target_skips_scalar_fma_stream() {
+        let inj = Injector::new(InjectorConfig {
+            schedule: InjectionSchedule::PerBlock { probability: 1.0 },
+            model: SeuModel {
+                target: FaultTarget::PayloadMma,
+                max_per_block: 100,
+            },
+            seed: 2,
+            kernel_time_hint_s: 1.0,
+            blocks_hint: 1,
+            events_per_block_hint: 1,
+        });
+        for k in 0..50 {
+            let v = <Injector as FaultHook<f32>>::post_fma(&inj, &site((0, 0), 0, k, false), 3.25);
+            assert_eq!(v, 3.25, "FMA results are outside the MMA stream");
+        }
+        assert_eq!(inj.injected_count(), 0);
+        // ... while the MMA stream is eligible.
+        let mut acc = vec![1.0f32; 4];
+        <Injector as FaultHook<f32>>::post_mma(&inj, &site((0, 0), 0, 0, false), &mut acc, 2);
+        assert_eq!(inj.injected_count(), 1);
+    }
+
+    #[test]
+    fn simt_fma_target_skips_mma_stream() {
+        let inj = Injector::new(InjectorConfig {
+            schedule: InjectionSchedule::PerBlock { probability: 1.0 },
+            model: SeuModel {
+                target: FaultTarget::SimtFma,
+                max_per_block: 100,
+            },
+            seed: 2,
+            kernel_time_hint_s: 1.0,
+            blocks_hint: 1,
+            events_per_block_hint: 1,
+        });
+        let mut acc = vec![1.0f64; 4];
+        for k in 0..20 {
+            <Injector as FaultHook<f64>>::post_mma(&inj, &site((0, 0), 0, k, false), &mut acc, 2);
+        }
+        assert_eq!(inj.injected_count(), 0);
+        let _ = <Injector as FaultHook<f64>>::post_fma(&inj, &site((0, 0), 0, 0, false), 1.5);
+        assert_eq!(inj.injected_count(), 1);
     }
 
     #[test]

@@ -10,10 +10,12 @@
 //! * [`bitflip`] — single-bit flips with IEEE-754 field classification,
 //! * [`model`] — which execution sites are eligible for corruption,
 //! * [`schedule`] — when faults arrive (per-launch probability or a rate in
-//!   errors/second, as in the paper's "tens of errors per second"),
+//!   errors/second, as in the paper's "tens of errors per second"), with
+//!   requested-vs-achieved rate accounting when the per-block probability
+//!   clamp saturates,
 //! * [`injector`] — a seeded [`gpu_sim::FaultHook`] implementation,
 //! * [`stats`] — campaign statistics (injected / detected / corrected /
-//!   silent).
+//!   benign / SDC).
 
 pub mod bitflip;
 pub mod injector;
@@ -24,5 +26,5 @@ pub mod stats;
 pub use bitflip::{classify_bit, BitField};
 pub use injector::{Injector, InjectorConfig, PlannedInjection};
 pub use model::{FaultTarget, SeuModel};
-pub use schedule::InjectionSchedule;
+pub use schedule::{InjectionSchedule, RateRealization};
 pub use stats::{CampaignStats, InjectionRecord};

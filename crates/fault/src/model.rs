@@ -21,12 +21,23 @@ impl FaultTarget {
         matches!(self, FaultTarget::ChecksumMma | FaultTarget::Any)
     }
 
-    /// Whether a payload site is eligible.
+    /// Whether a payload site is eligible (either event kind).
     pub fn allows_payload(self) -> bool {
-        matches!(
-            self,
-            FaultTarget::PayloadMma | FaultTarget::SimtFma | FaultTarget::Any
-        )
+        self.allows_payload_mma() || self.allows_fma()
+    }
+
+    /// Whether a payload tensor-core MMA slab is eligible. `PayloadMma`
+    /// means exactly the distance accumulators of the MMA stream — the
+    /// paper's §V-C protocol — so scalar-FMA phases (the centroid update,
+    /// the SIMT kernels) are *not* covered by it.
+    pub fn allows_payload_mma(self) -> bool {
+        matches!(self, FaultTarget::PayloadMma | FaultTarget::Any)
+    }
+
+    /// Whether a scalar SIMT FMA result is eligible (naive/V1–V3 kernels
+    /// and the update phase).
+    pub fn allows_fma(self) -> bool {
+        matches!(self, FaultTarget::SimtFma | FaultTarget::Any)
     }
 }
 
@@ -62,6 +73,22 @@ mod tests {
         assert!(!FaultTarget::PayloadMma.allows_checksum());
         assert!(FaultTarget::ChecksumMma.allows_checksum());
         assert!(!FaultTarget::ChecksumMma.allows_payload());
+    }
+
+    #[test]
+    fn eligibility_distinguishes_event_kinds() {
+        // PayloadMma is exactly the distance-kernel MMA stream.
+        assert!(FaultTarget::PayloadMma.allows_payload_mma());
+        assert!(!FaultTarget::PayloadMma.allows_fma());
+        // SimtFma is exactly the scalar stream (SIMT kernels, update).
+        assert!(FaultTarget::SimtFma.allows_fma());
+        assert!(!FaultTarget::SimtFma.allows_payload_mma());
+        // Any covers both.
+        assert!(FaultTarget::Any.allows_payload_mma());
+        assert!(FaultTarget::Any.allows_fma());
+        // Checksum-only covers neither payload stream.
+        assert!(!FaultTarget::ChecksumMma.allows_payload_mma());
+        assert!(!FaultTarget::ChecksumMma.allows_fma());
     }
 
     #[test]

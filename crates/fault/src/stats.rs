@@ -49,6 +49,20 @@ pub struct CampaignStats {
     pub dmr_mismatches: u64,
     /// Verification sweeps that ran clean.
     pub clean_sweeps: u64,
+    /// Unhandled faults classified as harmless (the final result matched a
+    /// fault-free twin run). Filled by
+    /// [`classify_unhandled`](Self::classify_unhandled);
+    /// `benign + sdc <= unhandled()`.
+    pub benign: u64,
+    /// Unhandled faults classified as silent data corruption (the final
+    /// result diverged from the fault-free twin beyond tolerance).
+    pub sdc: u64,
+    /// Kernel launches that ran with an active injection schedule.
+    pub injection_launches: u64,
+    /// Of those, launches whose requested rate saturated the per-block
+    /// probability clamp at 1.0 (the schedule under-injected; see
+    /// [`crate::schedule::RateRealization`]).
+    pub saturated_launches: u64,
 }
 
 impl CampaignStats {
@@ -59,12 +73,38 @@ impl CampaignStats {
 
     /// Injected faults with no visible detection — either harmless
     /// (below-threshold mantissa flips) or silent corruption; callers
-    /// distinguish the two by comparing final results.
+    /// split the two with [`classify_unhandled`](Self::classify_unhandled)
+    /// by comparing final results against a fault-free twin.
     pub fn unhandled(&self) -> u64 {
         self.injected.saturating_sub(self.handled())
     }
 
-    /// Merge another campaign's counts.
+    /// Split [`unhandled`](Self::unhandled) into `benign` vs `sdc` after
+    /// comparing the run's final result against its fault-free twin: when
+    /// the outcome was corrupted every unhandled fault is (conservatively)
+    /// charged as SDC, otherwise all of them were benign.
+    pub fn classify_unhandled(&mut self, outcome_corrupted: bool) {
+        let u = self.unhandled();
+        if outcome_corrupted {
+            self.sdc = u;
+            self.benign = 0;
+        } else {
+            self.benign = u;
+            self.sdc = 0;
+        }
+    }
+
+    /// Record one kernel launch performed under an active injection
+    /// schedule, noting whether its rate request was clamp-saturated.
+    pub fn note_injection_launch(&mut self, saturated: bool) {
+        self.injection_launches += 1;
+        if saturated {
+            self.saturated_launches += 1;
+        }
+    }
+
+    /// Merge another campaign's counts (elementwise sum — commutative and
+    /// associative, so shards can be folded in any order).
     pub fn merge(&mut self, o: &CampaignStats) {
         self.injected += o.injected;
         self.detected += o.detected;
@@ -73,6 +113,10 @@ impl CampaignStats {
         self.recomputed += o.recomputed;
         self.dmr_mismatches += o.dmr_mismatches;
         self.clean_sweeps += o.clean_sweeps;
+        self.benign += o.benign;
+        self.sdc += o.sdc;
+        self.injection_launches += o.injection_launches;
+        self.saturated_launches += o.saturated_launches;
     }
 }
 
@@ -103,11 +147,34 @@ mod tests {
             corrected: 6,
             rebaselined: 1,
             recomputed: 1,
-            dmr_mismatches: 0,
             clean_sweeps: 100,
+            ..Default::default()
         };
         assert_eq!(s.handled(), 8);
         assert_eq!(s.unhandled(), 2);
+    }
+
+    #[test]
+    fn classify_splits_unhandled() {
+        let mut s = CampaignStats {
+            injected: 10,
+            corrected: 7,
+            ..Default::default()
+        };
+        s.classify_unhandled(false);
+        assert_eq!((s.benign, s.sdc), (3, 0));
+        s.classify_unhandled(true);
+        assert_eq!((s.benign, s.sdc), (0, 3));
+    }
+
+    #[test]
+    fn launch_accounting() {
+        let mut s = CampaignStats::default();
+        s.note_injection_launch(false);
+        s.note_injection_launch(true);
+        s.note_injection_launch(true);
+        assert_eq!(s.injection_launches, 3);
+        assert_eq!(s.saturated_launches, 2);
     }
 
     #[test]

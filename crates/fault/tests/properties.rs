@@ -1,6 +1,9 @@
-//! Property-based tests of the fault injector.
+//! Property-based tests of the fault injector and campaign statistics.
 
-use fault::{FaultTarget, InjectionSchedule, Injector, InjectorConfig, PlannedInjection, SeuModel};
+use fault::{
+    CampaignStats, FaultTarget, InjectionSchedule, Injector, InjectorConfig, PlannedInjection,
+    SeuModel,
+};
 use gpu_sim::mma::{FaultHook, MmaSite};
 use proptest::prelude::*;
 
@@ -112,4 +115,78 @@ proptest! {
         };
         prop_assert_eq!(run(&mk(seed)), run(&mk(seed)));
     }
+
+    /// `CampaignStats::merge` is commutative and associative, so per-shard
+    /// stats can be folded in any order (the parallel campaign runner
+    /// depends on this for byte-identical serial-vs-parallel tables).
+    #[test]
+    fn stats_merge_commutative_associative(
+        a in arb_stats(),
+        b in arb_stats(),
+        c in arb_stats(),
+    ) {
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+
+        // (a + b) + c == a + (b + c)
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// `unhandled()` never underflows, even on inconsistent ledgers where
+    /// the handled counts exceed the injected count.
+    #[test]
+    fn unhandled_never_underflows(s in arb_stats()) {
+        let u = s.unhandled();
+        prop_assert!(u <= s.injected);
+        // classification partitions whatever unhandled() reports
+        let mut sdc = s;
+        sdc.classify_unhandled(true);
+        let mut benign = s;
+        benign.classify_unhandled(false);
+        prop_assert_eq!(sdc.sdc, u);
+        prop_assert_eq!(sdc.benign, 0);
+        prop_assert_eq!(benign.benign, u);
+        prop_assert_eq!(benign.sdc, 0);
+    }
+}
+
+/// Arbitrary `CampaignStats`, including inconsistent ones (handled counts
+/// larger than `injected`) — the accessors must stay total anyway. Bounded
+/// well below `u64::MAX / 3` so triple-merges cannot overflow.
+fn arb_stats() -> impl Strategy<Value = CampaignStats> {
+    let f = 0u64..1_000_000;
+    (
+        (f.clone(), f.clone(), f.clone(), f.clone()),
+        (f.clone(), f.clone(), f.clone(), f.clone()),
+        (f.clone(), f.clone(), f),
+    )
+        .prop_map(
+            |(
+                (injected, detected, corrected, rebaselined),
+                (recomputed, dmr_mismatches, clean_sweeps, benign),
+                (sdc, injection_launches, saturated_launches),
+            )| CampaignStats {
+                injected,
+                detected,
+                corrected,
+                rebaselined,
+                recomputed,
+                dmr_mismatches,
+                clean_sweeps,
+                benign,
+                sdc,
+                injection_launches,
+                saturated_launches,
+            },
+        )
 }

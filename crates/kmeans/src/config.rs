@@ -1,7 +1,7 @@
 //! Estimator configuration.
 
 use abft::SchemeKind;
-use fault::InjectionSchedule;
+use fault::{FaultTarget, InjectionSchedule};
 use gpu_sim::timing::TileConfig;
 use serde::{Deserialize, Serialize};
 
@@ -59,6 +59,28 @@ pub struct FtConfig {
     pub injection: InjectionSchedule,
     /// Injection RNG seed.
     pub injection_seed: u64,
+    /// Which execution sites the injector may corrupt. [`FaultTarget::Any`]
+    /// (the default) storms the whole pipeline — MMA accumulators, ABFT
+    /// checksums, and the scalar FMA stream of the update phase.
+    /// Campaigns reproducing the paper's §V-C protocol restrict to
+    /// [`FaultTarget::PayloadMma`], the distance-kernel MMA stream.
+    pub fault_target: FaultTarget,
+    /// Modeled distance-kernel residency of one fit, in seconds, used to
+    /// convert a [`InjectionSchedule::Rate`] into per-launch probabilities.
+    ///
+    /// `0.0` (the default) derives a per-launch kernel time from the
+    /// calibrated timing model — physically faithful, but at simulator
+    /// scale a kernel lasts microseconds, so a paper-rate schedule ("tens
+    /// of errors per second") almost never fires within a single fit.
+    /// Setting this positive instead spreads `residency × rate` expected
+    /// errors uniformly over the fit's `max_iter` assignment-kernel
+    /// launches, modeling a distance kernel that occupies the GPU for that
+    /// many wall seconds — the way the paper's §V-C campaigns sustain
+    /// their arrival rates over seconds of execution. Campaign sweeps set
+    /// `1.0` so a 50 err/s cell sees ≈50 MMA-stream injections per fit
+    /// (under [`FaultTarget::PayloadMma`]; broader targets add arrivals in
+    /// the other streams on top).
+    pub modeled_residency_s: f64,
 }
 
 impl Default for FtConfig {
@@ -68,6 +90,8 @@ impl Default for FtConfig {
             dmr_update: false,
             injection: InjectionSchedule::Off,
             injection_seed: 0,
+            fault_target: FaultTarget::Any,
+            modeled_residency_s: 0.0,
         }
     }
 }
@@ -79,6 +103,16 @@ impl FtConfig {
             scheme: SchemeKind::FtKMeans,
             dmr_update: true,
             ..Default::default()
+        }
+    }
+
+    /// This configuration with injection disabled — the fault-free twin of
+    /// a campaign cell (same scheme and DMR setting, so the numerics are
+    /// identical; only the fault stream is removed).
+    pub fn without_injection(self) -> Self {
+        FtConfig {
+            injection: InjectionSchedule::Off,
+            ..self
         }
     }
 }

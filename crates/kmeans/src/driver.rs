@@ -5,7 +5,7 @@ use crate::config::{InitMethod, KMeansConfig, Variant};
 use crate::device_data::DeviceData;
 use crate::update::update_centroids;
 use abft::dmr::DmrStats;
-use fault::{CampaignStats, Injector, InjectorConfig};
+use fault::{CampaignStats, InjectionRecord, Injector, InjectorConfig, RateRealization};
 use gpu_sim::counters::CounterSnapshot;
 use gpu_sim::mma::{FaultHook, NoFault};
 use gpu_sim::timing::{estimate, GemmShape, KernelClass, TimingInput};
@@ -48,8 +48,29 @@ pub struct FitResult<T> {
     pub counters: CounterSnapshot,
     /// Faults injected during the fit (0 without an injection campaign).
     pub injected: u64,
+    /// Every fault injected during the fit, in injection order (empty
+    /// without an injection campaign). Campaign harnesses log these as
+    /// per-injection JSONL records.
+    pub injection_records: Vec<InjectionRecord>,
+    /// Requested vs. achievable injection rate of the campaign schedule
+    /// (`None` without an injection campaign). When the requested rate
+    /// saturates the per-block probability clamp the achieved rate falls
+    /// short — see [`fault::RateRealization`].
+    pub injection_realization: Option<RateRealization>,
     /// Per-iteration trace (inertia, reassignments, empty clusters).
     pub history: Vec<IterationEvent>,
+}
+
+/// An injected fit paired with its fault-free twin (identical data, seed,
+/// scheme and numerics — only the fault stream differs), as produced by
+/// [`KMeans::fit_with_twin`]. Comparing the two is how campaigns classify
+/// unhandled faults into benign vs. silent data corruption.
+#[derive(Debug, Clone)]
+pub struct TwinFit<T> {
+    /// The fit run under the configured injection schedule.
+    pub injected: FitResult<T>,
+    /// The fault-free twin: same configuration with injection off.
+    pub clean: FitResult<T>,
 }
 
 /// The FT K-means estimator.
@@ -103,6 +124,8 @@ impl KMeans {
             Some(i) => i,
             None => &NoFault,
         };
+        let realization = injector.as_ref().map(|i| i.realization());
+        let rate_saturated = realization.is_some_and(|r| r.saturated());
 
         let mut prev_inertia = f64::INFINITY;
         let mut labels = vec![0u32; m];
@@ -115,6 +138,7 @@ impl KMeans {
             iterations = it + 1;
             if let Some(i) = injector.as_ref() {
                 i.begin_launch();
+                stats.lock().note_injection_launch(rate_saturated);
             }
             let assignment: AssignmentResult<T> = run_assignment(
                 &self.device,
@@ -143,6 +167,7 @@ impl KMeans {
 
             if let Some(i) = injector.as_ref() {
                 i.begin_launch();
+                stats.lock().note_injection_launch(rate_saturated);
             }
             let update = update_centroids(
                 &self.device,
@@ -203,7 +228,11 @@ impl KMeans {
         // `lloyd_reference`.)
         let inertia = crate::metrics::inertia(samples, &centroids, &labels);
 
-        let ft_stats = *stats.lock();
+        let mut ft_stats = *stats.lock();
+        // The injector owns the authoritative injection count; fold it into
+        // the campaign ledger so `unhandled()` is meaningful directly off a
+        // FitResult.
+        ft_stats.injected = injector.as_ref().map_or(0, |i| i.injected_count());
         Ok(FitResult {
             centroids,
             labels,
@@ -213,9 +242,30 @@ impl KMeans {
             ft_stats,
             dmr: dmr_total,
             counters: counters.snapshot(),
-            injected: injector.as_ref().map_or(0, |i| i.injected_count()),
+            injected: ft_stats.injected,
+            injection_records: injector.as_ref().map_or_else(Vec::new, |i| i.records()),
+            injection_realization: realization,
             history,
         })
+    }
+
+    /// Fit under the configured injection schedule AND once more with
+    /// injection disabled — the fault-free twin. Both runs share data,
+    /// seeding, scheme and numerics, so any divergence between them is
+    /// attributable to unhandled faults; campaign classification compares
+    /// the pair to split [`CampaignStats::unhandled`] into benign flips
+    /// vs. silent data corruption.
+    ///
+    /// The twin's result is independent of the execution policy; the
+    /// injected fit's fault *sites* are not (parallel block order
+    /// interleaves the RNG stream), so deterministic campaigns run this
+    /// under a serial executor scope ([`gpu_sim::exec::with_executor`]).
+    pub fn fit_with_twin<T: Scalar>(&self, samples: &Matrix<T>) -> Result<TwinFit<T>, SimError> {
+        let injected = self.fit(samples)?;
+        let mut clean_est = self.clone();
+        clean_est.config.ft = clean_est.config.ft.without_injection();
+        let clean = clean_est.fit(samples)?;
+        Ok(TwinFit { injected, clean })
     }
 
     /// Predict nearest centroids for new samples given a fitted result.
@@ -249,11 +299,22 @@ impl KMeans {
             _ => default_tile(T::PRECISION),
         };
         let shape = GemmShape::new(m, cfg.k, dim);
-        let t = estimate(&TimingInput {
-            ft: cfg.ft.scheme.ft_mode(),
-            ..TimingInput::plain(&self.device, T::PRECISION, KernelClass::Tensor(tile), shape)
-        });
         let blocks = m.div_ceil(tile.tb_m) * cfg.k.div_ceil(tile.tb_n);
+        // Per-launch kernel time converting a rate schedule into per-block
+        // probability: either the calibrated timing model's estimate for
+        // this shape (physical, default), or the configured distance-kernel
+        // residency budget spread uniformly over the fit's `max_iter`
+        // assignment launches (campaign mode — see
+        // `FtConfig::modeled_residency_s`).
+        let kernel_s = if cfg.ft.modeled_residency_s > 0.0 {
+            cfg.ft.modeled_residency_s / cfg.max_iter.max(1) as f64
+        } else {
+            let t = estimate(&TimingInput {
+                ft: cfg.ft.scheme.ft_mode(),
+                ..TimingInput::plain(&self.device, T::PRECISION, KernelClass::Tensor(tile), shape)
+            });
+            t.time_s.max(1e-9)
+        };
         let mma_k = match T::PRECISION {
             Precision::Fp32 => 8,
             Precision::Fp64 => 4,
@@ -261,9 +322,12 @@ impl KMeans {
         let events = (tile.warps() * dim.div_ceil(tile.tb_k).max(1) * (tile.tb_k / mma_k)) as u64;
         Some(Injector::new(InjectorConfig {
             schedule: cfg.ft.injection,
-            model: fault::SeuModel::default(),
+            model: fault::SeuModel {
+                target: cfg.ft.fault_target,
+                ..fault::SeuModel::default()
+            },
             seed: cfg.ft.injection_seed,
-            kernel_time_hint_s: t.time_s.max(1e-9),
+            kernel_time_hint_s: kernel_s,
             blocks_hint: blocks,
             events_per_block_hint: events.max(1),
         }))
@@ -534,6 +598,7 @@ mod tests {
                 dmr_update: true,
                 injection: fault::InjectionSchedule::Off,
                 injection_seed: 0,
+                ..Default::default()
             }),
         )
         .fit(&data)
@@ -545,6 +610,7 @@ mod tests {
                 dmr_update: true,
                 injection: fault::InjectionSchedule::PerBlock { probability: 0.8 },
                 injection_seed: 99,
+                ..Default::default()
             }),
         )
         .fit(&data)
@@ -552,6 +618,82 @@ mod tests {
         assert!(injected.injected > 0, "campaign must actually inject");
         assert_eq!(injected.labels, clean.labels, "FT must absorb every fault");
         assert!(injected.ft_stats.handled() + injected.dmr.mismatches > 0);
+    }
+
+    #[test]
+    fn twin_fit_pairs_injected_with_fault_free() {
+        let data = blobs(256, 4, 4, 12);
+        let km = KMeans::new(
+            DeviceProfile::a100(),
+            KMeansConfig::new(4).with_seed(3).with_ft(FtConfig {
+                scheme: abft::SchemeKind::FtKMeans,
+                dmr_update: true,
+                injection: fault::InjectionSchedule::PerBlock { probability: 0.9 },
+                injection_seed: 5,
+                ..Default::default()
+            }),
+        );
+        let twin = km.fit_with_twin(&data).unwrap();
+        assert!(twin.injected.injected > 0, "injected leg must inject");
+        assert_eq!(twin.clean.injected, 0, "twin must be fault-free");
+        assert_eq!(
+            twin.injected.injection_records.len() as u64,
+            twin.injected.injected,
+            "records mirror the count"
+        );
+        assert!(twin.clean.injection_records.is_empty());
+        assert!(twin.clean.injection_realization.is_none());
+        // FP64 + FtKMeans absorbs the barrage, so the pair agrees.
+        assert_eq!(twin.injected.labels, twin.clean.labels);
+    }
+
+    #[test]
+    fn residency_rate_schedule_injects_and_reports_realization() {
+        let data = blobs(512, 8, 4, 14);
+        let fit = |rate: f64| {
+            KMeans::new(
+                DeviceProfile::a100(),
+                KMeansConfig {
+                    k: 4,
+                    max_iter: 6,
+                    tol: 0.0,
+                    seed: 4,
+                    ft: FtConfig {
+                        scheme: abft::SchemeKind::FtKMeans,
+                        dmr_update: true,
+                        injection: fault::InjectionSchedule::Rate {
+                            errors_per_second: rate,
+                        },
+                        injection_seed: 9,
+                        modeled_residency_s: 1.0,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+            )
+            .fit(&data)
+            .unwrap()
+        };
+        // 50 err/s over one modeled second ≈ 50 expected injections; demand
+        // at least a loose statistical floor.
+        let r = fit(50.0);
+        assert!(
+            r.injected >= 20,
+            "expected tens of injections, got {}",
+            r.injected
+        );
+        let real = r.injection_realization.expect("campaign must report");
+        assert!((real.requested_hz - 50.0).abs() < 1e-6);
+        assert_eq!(r.ft_stats.injection_launches, 2 * r.iterations as u64);
+        if !real.saturated() {
+            assert_eq!(r.ft_stats.saturated_launches, 0);
+        }
+        // An absurd rate must saturate the per-block clamp and say so.
+        let r = fit(1e7);
+        let real = r.injection_realization.unwrap();
+        assert!(real.saturated(), "1e7 err/s must saturate: {real:?}");
+        assert!(real.achieved_hz < real.requested_hz);
+        assert_eq!(r.ft_stats.saturated_launches, r.ft_stats.injection_launches);
     }
 
     #[test]

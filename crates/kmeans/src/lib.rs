@@ -55,5 +55,5 @@ pub mod variants;
 pub use assign::AssignmentResult;
 pub use config::{FtConfig, InitMethod, KMeansConfig, Variant};
 pub use device_data::DeviceData;
-pub use driver::{FitResult, KMeans};
+pub use driver::{FitResult, KMeans, TwinFit};
 pub use metrics::{adjusted_rand_index, inertia};

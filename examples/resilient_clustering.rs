@@ -43,6 +43,7 @@ fn main() {
             dmr_update: false,
             injection: storm,
             injection_seed: 1234,
+            ..Default::default()
         },
         ..base.clone()
     };
@@ -57,6 +58,7 @@ fn main() {
             dmr_update: true,
             injection: storm,
             injection_seed: 1234,
+            ..Default::default()
         },
         ..base
     };

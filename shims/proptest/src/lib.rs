@@ -3,8 +3,9 @@
 //! Supports the subset this workspace's property tests use: the
 //! `proptest!` macro with `#![proptest_config(..)]`, range strategies
 //! (`1usize..20`, `-1e30f32..1e30f32`), `prop::collection::vec`,
-//! `prop::sample::select`, `prop::num::{f32,f64}::ANY`, `bool::ANY`, and
-//! the `prop_assert*` macros.
+//! `prop::sample::select`, `prop::num::{f32,f64}::ANY`, `bool::ANY`, tuple
+//! strategies (arity 2–6), `Strategy::prop_map`, and the `prop_assert*`
+//! macros.
 //!
 //! Differences from the real crate, deliberately accepted:
 //!
@@ -57,7 +58,52 @@ impl ProptestConfig {
 pub trait Strategy {
     type Value: Debug;
     fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Mirrors `Strategy::prop_map`: transform sampled values with `f`.
+    fn prop_map<T: Debug, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
 }
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Debug, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        (self.f)(self.source.sample(rng))
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Debug),+
+        {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                ($($s.sample(rng),)+)
+            }
+        }
+        impl_tuple_strategy!(@pop $($s/$v),+);
+    };
+    (@pop $head:ident/$hv:ident) => {};
+    (@pop $head:ident/$hv:ident, $($rest:ident/$rv:ident),+) => {
+        impl_tuple_strategy!($($rest/$rv),+);
+    };
+}
+
+impl_tuple_strategy!(SA / a, SB / b, SC / c, SD / d, SE / e, SF / f);
 
 macro_rules! impl_int_range_strategy {
     ($($t:ty),*) => {$(

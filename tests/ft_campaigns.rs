@@ -39,6 +39,7 @@ fn run<T: Scalar>(
             dmr_update: true,
             injection,
             injection_seed: seed * 13 + 1,
+            ..Default::default()
         },
         ..Default::default()
     };
@@ -158,6 +159,7 @@ fn unprotected_runs_are_actually_damaged_fp64() {
                 dmr_update: false,
                 injection: InjectionSchedule::PerBlock { probability: 0.9 },
                 injection_seed: seed * 101,
+                ..Default::default()
             },
             ..Default::default()
         };
