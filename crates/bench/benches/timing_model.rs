@@ -52,7 +52,7 @@ fn bench_selector(c: &mut Criterion) {
     let dev = DeviceProfile::a100();
     let selector = KernelSelector::build(&dev, Precision::Fp32);
     c.bench_function("selector_query", |b| {
-        b.iter(|| black_box(selector.select(black_box(131_072), black_box(77), black_box(33))))
+        b.iter(|| black_box(selector.select(black_box(77), black_box(33))))
     });
     let text = selector.to_text();
     c.bench_function("selector_parse", |b| {

@@ -17,7 +17,7 @@ use data::{make_blobs, BlobSpec};
 use fault::{CampaignStats, FaultTarget, InjectionRecord, InjectionSchedule, RateRealization};
 use gpu_sim::exec::{self, Executor};
 use gpu_sim::{DeviceProfile, Precision, Scalar};
-use kmeans::{FtConfig, KMeans, KMeansConfig};
+use kmeans::{FtConfig, KMeansConfig, Session};
 
 /// Everything recorded about one executed cell.
 #[derive(Debug, Clone)]
@@ -110,7 +110,8 @@ fn run_cell_typed<T: Scalar>(grid: &CampaignGrid, cell: &CampaignCell) -> CellOu
         },
         ..Default::default()
     };
-    let twin = KMeans::new(DeviceProfile::a100(), cfg)
+    let twin = Session::new(DeviceProfile::a100())
+        .kmeans(cfg)
         .fit_with_twin(&data)
         .expect("campaign cell fit");
 

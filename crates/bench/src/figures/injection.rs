@@ -18,7 +18,7 @@ use abft::SchemeKind;
 use codegen::KernelParams;
 use gpu_sim::timing::FtMode;
 use gpu_sim::{DeviceProfile, Matrix, Precision, Scalar};
-use kmeans::{FtConfig, KMeans, KMeansConfig, Variant};
+use kmeans::{FtConfig, KMeansConfig, Session, Variant};
 
 /// Injection rate used by the throughput series — "tens of errors injected
 /// per second".
@@ -204,11 +204,15 @@ pub fn functional_campaign<T: Scalar>(
         },
         ..base_cfg
     };
-    let clean = KMeans::new(device.clone(), clean_cfg)
-        .fit(&data)
+    // One session serves both fits (the estimator-lifecycle path).
+    let session = Session::new(device.clone());
+    let clean = session
+        .kmeans(clean_cfg)
+        .fit_model(&data)
         .expect("clean fit");
-    let injected = KMeans::new(device.clone(), inj_cfg)
-        .fit(&data)
+    let injected = session
+        .kmeans(inj_cfg)
+        .fit_model(&data)
         .expect("injected fit");
     let agree = clean
         .labels

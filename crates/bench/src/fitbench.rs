@@ -7,7 +7,7 @@
 //! repetitions (no calibration loops: each rep is already a macro-scale run).
 
 use gpu_sim::{launch_grid, Counters, DeviceProfile, Dim3, LaunchConfig, Matrix};
-use kmeans::{KMeans, KMeansConfig, Variant};
+use kmeans::{KMeansConfig, Session, Variant};
 use std::time::Instant;
 
 /// Feature dimension of the benchmark problem (paper headline shape).
@@ -81,28 +81,28 @@ fn variant_by_name(name: &str) -> Variant {
 }
 
 /// Measure every variant at sample count `m` with `reps` repetitions each.
+/// One [`Session`] is shared across every variant and repetition — the
+/// estimator-lifecycle shape production callers are expected to use.
 pub fn run_fit_bench(m: usize, reps: usize) -> Vec<FitMeasurement> {
     let reps = reps.max(1);
     let data = blobs(m);
+    let session = Session::new(DeviceProfile::a100());
     VARIANT_NAMES
         .iter()
         .map(|&name| {
-            let km = KMeans::new(
-                DeviceProfile::a100(),
-                KMeansConfig {
-                    k: K,
-                    max_iter: MAX_ITER,
-                    tol: 0.0, // run all iterations: fixed work per rep
-                    seed: 42,
-                    variant: variant_by_name(name),
-                    ..Default::default()
-                },
-            );
+            let km = session.kmeans(KMeansConfig {
+                k: K,
+                max_iter: MAX_ITER,
+                tol: 0.0, // run all iterations: fixed work per rep
+                seed: 42,
+                variant: variant_by_name(name),
+                ..Default::default()
+            });
             let mut samples = Vec::with_capacity(reps);
             let mut inertia = 0.0f64;
             for _ in 0..reps {
                 let start = Instant::now();
-                let r = km.fit(&data).expect("fit failed");
+                let r = km.fit_model(&data).expect("fit failed");
                 samples.push(start.elapsed().as_secs_f64());
                 inertia = r.inertia;
             }

@@ -40,9 +40,15 @@ impl KernelSelector {
         &self.registry
     }
 
-    /// Select the kernel parameters for a problem (`m` samples, `clusters`
+    /// Select the kernel parameters for a problem shape (`clusters`
     /// centroids, `dim` features).
-    pub fn select(&self, _m: usize, clusters: usize, dim: usize) -> KernelParams {
+    ///
+    /// The table is tuned at one fixed sample count (`table.m`, the paper's
+    /// M = 131072) and the winner depends only on the (clusters, dim)
+    /// plane, so selection keys on those two axes. An earlier signature
+    /// also took the query's sample count and silently ignored it; the
+    /// parameter was dropped rather than pretending to discriminate on it.
+    pub fn select(&self, clusters: usize, dim: usize) -> KernelParams {
         let e = self.nearest_entry(clusters, dim);
         *self
             .registry
@@ -157,8 +163,25 @@ mod tests {
     #[test]
     fn select_returns_registered_params() {
         let s = small_selector();
-        let p = s.select(131_072, 128, 64);
+        let p = s.select(128, 64);
         assert!(s.registry().id_of(&p).is_some());
+    }
+
+    #[test]
+    fn select_resolves_through_the_nearest_entry() {
+        // The documented contract of the (clusters, dim)-keyed signature:
+        // `select` returns exactly the registry params of `nearest_entry`,
+        // on- and off-grid.
+        let s = small_selector();
+        for &(clusters, dim) in &[(128usize, 64usize), (100, 60), (1, 1), (4096, 1024)] {
+            let e = s.nearest_entry(clusters, dim);
+            let p = s.select(clusters, dim);
+            assert_eq!(
+                s.registry().id_of(&p),
+                Some(e.param_id),
+                "K={clusters} N={dim}"
+            );
+        }
     }
 
     #[test]
@@ -216,5 +239,7 @@ mod tests {
         );
         let e = s.nearest_entry(8, 64);
         assert!(e.speedup() > 1.5, "speedup {:.2}", e.speedup());
+        // and `select` hands back that winner's parameters
+        assert_eq!(s.registry().id_of(&s.select(8, 64)), Some(e.param_id));
     }
 }

@@ -170,6 +170,16 @@ macro_rules! counter_events {
                     $($ufield: self.$ufield.saturating_sub(earlier.$ufield),)+
                 }
             }
+
+            /// Sum `self + other`, elementwise (saturating): folds a
+            /// per-step snapshot into a running total (e.g. per-batch
+            /// counters of a streaming fit).
+            pub fn merged(&self, other: &CounterSnapshot) -> CounterSnapshot {
+                CounterSnapshot {
+                    $($cfield: self.$cfield.saturating_add(other.$cfield),)+
+                    $($ufield: self.$ufield.saturating_add(other.$ufield),)+
+                }
+            }
         }
     };
 }
@@ -261,6 +271,20 @@ mod tests {
         let delta = c.snapshot().since(&before);
         assert_eq!(delta.bytes_loaded, 25);
         assert_eq!(delta.fma_ops, 7);
+    }
+
+    #[test]
+    fn merged_sums_elementwise_and_inverts_since() {
+        let c = Counters::new();
+        c.add_loaded(10);
+        c.add_launch();
+        let a = c.snapshot();
+        c.add_loaded(25);
+        c.add_fma(7);
+        let total = c.snapshot();
+        let delta = total.since(&a);
+        assert_eq!(a.merged(&delta), total);
+        assert_eq!(a.merged(&CounterSnapshot::default()), a);
     }
 
     #[test]

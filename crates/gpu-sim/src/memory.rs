@@ -30,22 +30,39 @@ use crate::matrix::Matrix;
 use crate::scalar::Scalar;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A device-global buffer of `T` with atomic element access.
+///
+/// Storage is shared: [`Clone`] is a device-pointer copy (both handles
+/// alias the same memory), not a deep copy — exactly how passing a device
+/// pointer to a second kernel behaves. `Arc<[AtomicU64]>` is a fat pointer
+/// straight to the element array, so element access costs the same as
+/// through an owning `Vec`.
 pub struct GlobalBuffer<T: Scalar> {
-    bits: Vec<AtomicU64>,
+    bits: Arc<[AtomicU64]>,
     len: usize,
     _marker: PhantomData<T>,
+}
+
+impl<T: Scalar> Clone for GlobalBuffer<T> {
+    /// Alias the same device memory (a device-pointer copy): writes through
+    /// either handle are visible through both.
+    fn clone(&self) -> Self {
+        GlobalBuffer {
+            bits: Arc::clone(&self.bits),
+            len: self.len,
+            _marker: PhantomData,
+        }
+    }
 }
 
 impl<T: Scalar> GlobalBuffer<T> {
     /// Zero-initialized buffer of `len` elements.
     pub fn zeros(len: usize) -> Self {
-        let mut bits = Vec::with_capacity(len);
         let zero = T::ZERO.to_raw_u64();
-        bits.resize_with(len, || AtomicU64::new(zero));
         GlobalBuffer {
-            bits,
+            bits: (0..len).map(|_| AtomicU64::new(zero)).collect(),
             len,
             _marker: PhantomData,
         }
@@ -54,10 +71,8 @@ impl<T: Scalar> GlobalBuffer<T> {
     /// Buffer filled with `v`.
     pub fn filled(len: usize, v: T) -> Self {
         let raw = v.to_raw_u64();
-        let mut bits = Vec::with_capacity(len);
-        bits.resize_with(len, || AtomicU64::new(raw));
         GlobalBuffer {
-            bits,
+            bits: (0..len).map(|_| AtomicU64::new(raw)).collect(),
             len,
             _marker: PhantomData,
         }
@@ -186,7 +201,7 @@ impl<T: Scalar> GlobalBuffer<T> {
     /// Overwrite every element with `v` (host-side reset between iterations).
     pub fn fill(&self, v: T) {
         let raw = v.to_raw_u64();
-        for cell in &self.bits {
+        for cell in self.bits.iter() {
             cell.store(raw, Ordering::Relaxed);
         }
     }
@@ -394,6 +409,17 @@ mod tests {
         let m = Matrix::<f32>::from_fn(3, 4, |r, c| (r * 4 + c) as f32);
         let b = GlobalBuffer::from_matrix(&m);
         assert_eq!(b.to_matrix(3, 4), m);
+    }
+
+    #[test]
+    fn clone_aliases_the_same_device_memory() {
+        let b = GlobalBuffer::<f64>::from_slice(&[1.0, 2.0, 3.0]);
+        let alias = b.clone();
+        b.store(1, 42.0);
+        assert_eq!(alias.load(1), 42.0, "writes visible through both handles");
+        alias.store(2, -1.0);
+        assert_eq!(b.load(2), -1.0);
+        assert_eq!(alias.len(), 3);
     }
 
     #[test]

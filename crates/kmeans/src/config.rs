@@ -1,5 +1,6 @@
 //! Estimator configuration.
 
+use crate::error::KMeansError;
 use abft::SchemeKind;
 use fault::{FaultTarget, InjectionSchedule};
 use gpu_sim::timing::TileConfig;
@@ -176,6 +177,50 @@ impl KMeansConfig {
         self.seed = seed;
         self
     }
+
+    /// Builder-style initialization method (callers previously had to poke
+    /// the public `init` field).
+    pub fn with_init(mut self, init: InitMethod) -> Self {
+        self.init = init;
+        self
+    }
+
+    /// Check this configuration against a problem of `samples` rows and
+    /// `dim` features. Every estimator entry point calls this before
+    /// touching the device; errors name the offending field.
+    pub fn validate(&self, samples: usize, dim: usize) -> Result<(), KMeansError> {
+        if self.k == 0 {
+            return Err(KMeansError::InvalidConfig {
+                field: "k",
+                reason: "must be at least 1".into(),
+            });
+        }
+        if self.k > samples {
+            return Err(KMeansError::InvalidConfig {
+                field: "k",
+                reason: format!("k = {} exceeds the {samples} available samples", self.k),
+            });
+        }
+        if dim == 0 {
+            return Err(KMeansError::InvalidConfig {
+                field: "samples",
+                reason: "feature dimension must be positive".into(),
+            });
+        }
+        if self.max_iter == 0 {
+            return Err(KMeansError::InvalidConfig {
+                field: "max_iter",
+                reason: "must be at least 1".into(),
+            });
+        }
+        if !self.tol.is_finite() || self.tol < 0.0 {
+            return Err(KMeansError::InvalidConfig {
+                field: "tol",
+                reason: format!("must be finite and non-negative, got {}", self.tol),
+            });
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -202,6 +247,31 @@ mod tests {
         assert_eq!(c.ft.scheme, SchemeKind::FtKMeans);
         assert!(c.ft.dmr_update);
         assert_eq!(c.seed, 7);
+    }
+
+    #[test]
+    fn with_init_selects_the_method() {
+        let c = KMeansConfig::new(4).with_init(InitMethod::KMeansPlusPlus);
+        assert_eq!(c.init, InitMethod::KMeansPlusPlus);
+    }
+
+    #[test]
+    fn validate_names_the_offending_field() {
+        let field = |cfg: KMeansConfig, m: usize, d: usize| match cfg.validate(m, d) {
+            Err(KMeansError::InvalidConfig { field, .. }) => Some(field),
+            Ok(()) => None,
+            other => panic!("unexpected: {other:?}"),
+        };
+        assert_eq!(field(KMeansConfig::new(0), 10, 2), Some("k"));
+        assert_eq!(field(KMeansConfig::new(11), 10, 2), Some("k"));
+        assert_eq!(field(KMeansConfig::new(2), 10, 0), Some("samples"));
+        let mut c = KMeansConfig::new(2);
+        c.max_iter = 0;
+        assert_eq!(field(c, 10, 2), Some("max_iter"));
+        let mut c = KMeansConfig::new(2);
+        c.tol = f64::NAN;
+        assert_eq!(field(c, 10, 2), Some("tol"));
+        assert_eq!(field(KMeansConfig::new(2), 10, 2), None);
     }
 
     #[test]

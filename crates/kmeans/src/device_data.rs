@@ -54,6 +54,54 @@ impl<T: Scalar> DeviceData<T> {
         })
     }
 
+    /// Upload new samples against this data's already-resident centroids:
+    /// the centroid and centroid-norm buffers are *shared* (a
+    /// device-pointer copy — no re-upload, no norm kernel re-run); only the
+    /// query samples and their norms are new. This is the predict/score
+    /// path of a fitted model.
+    pub fn upload_samples_sharing_centroids(
+        &self,
+        device: &DeviceProfile,
+        samples: &Matrix<T>,
+        counters: &Counters,
+    ) -> Result<Self, SimError> {
+        if samples.cols() != self.dim {
+            return Err(SimError::ShapeMismatch(format!(
+                "samples dim {} != resident centroids dim {}",
+                samples.cols(),
+                self.dim
+            )));
+        }
+        let s = GlobalBuffer::from_matrix(samples);
+        let sn = row_sq_norms_kernel(device, &s, samples.rows(), samples.cols(), counters)?;
+        Ok(DeviceData {
+            samples: s,
+            centroids: self.centroids.clone(),
+            sample_norms: sn,
+            centroid_norms: self.centroid_norms.clone(),
+            m: samples.rows(),
+            k: self.k,
+            dim: self.dim,
+        })
+    }
+
+    /// A zero-sample view sharing only this data's centroid and
+    /// centroid-norm buffers (device-pointer copies). This is what a
+    /// fitted model keeps resident: the training samples are never read
+    /// again after a fit, so retaining them would pin `O(m x dim)` device
+    /// memory per model for nothing.
+    pub fn centroids_only(&self) -> Self {
+        DeviceData {
+            samples: GlobalBuffer::zeros(0),
+            sample_norms: GlobalBuffer::zeros(0),
+            centroids: self.centroids.clone(),
+            centroid_norms: self.centroid_norms.clone(),
+            m: 0,
+            k: self.k,
+            dim: self.dim,
+        }
+    }
+
     /// Replace the centroids (between Lloyd iterations) and refresh their
     /// norms.
     pub fn refresh_centroids(
@@ -101,6 +149,32 @@ mod tests {
         let samples = Matrix::<f64>::zeros(4, 3);
         let cents = Matrix::<f64>::zeros(2, 5);
         assert!(DeviceData::upload(&dev, &samples, &cents, &c).is_err());
+    }
+
+    #[test]
+    fn sharing_upload_reuses_centroid_buffers() {
+        let dev = DeviceProfile::a100();
+        let c = Counters::new();
+        let samples = Matrix::from_vec(2, 2, vec![3.0f64, 4.0, 1.0, 0.0]).unwrap();
+        let cents = Matrix::from_vec(2, 2, vec![0.0f64, 2.0, 1.0, 1.0]).unwrap();
+        let d = DeviceData::upload(&dev, &samples, &cents, &c).unwrap();
+
+        let queries = Matrix::from_vec(3, 2, vec![0.0f64, 0.0, 5.0, 5.0, 1.0, 1.0]).unwrap();
+        let before = c.snapshot();
+        let p = d
+            .upload_samples_sharing_centroids(&dev, &queries, &c)
+            .unwrap();
+        assert_eq!(p.sample_norms.to_vec(), vec![0.0, 50.0, 2.0]);
+        assert_eq!((p.m, p.k, p.dim), (3, 2, 2));
+        // the centroid buffers are the same device memory, not copies:
+        // a write through the original is visible through the share
+        d.centroids.store(0, 7.0);
+        assert_eq!(p.centroids.load(0), 7.0);
+        // only the query-norm kernel launched (no centroid norm re-run)
+        assert_eq!(c.snapshot().since(&before).kernel_launches, 1);
+        // dimension mismatch rejected
+        let bad = Matrix::<f64>::zeros(2, 5);
+        assert!(d.upload_samples_sharing_centroids(&dev, &bad, &c).is_err());
     }
 
     #[test]

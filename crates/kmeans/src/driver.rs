@@ -1,8 +1,20 @@
 //! The Lloyd-iteration driver: init → (assign → update)* → converge.
+//!
+//! [`KMeans`] is an estimator handle bound to a [`Session`]. The session
+//! path ([`KMeans::fit_model`], [`KMeans::partial_fit`],
+//! [`KMeans::fit_from`]) returns a [`crate::FittedModel`] that owns the
+//! device-resident state; [`KMeans::fit`] remains as a thin compatibility
+//! wrapper returning the bare [`FitResult`] with the legacy
+//! [`SimError`]-typed failure channel.
 
 use crate::assign::{default_tile, run_assignment, AssignmentResult};
-use crate::config::{InitMethod, KMeansConfig, Variant};
+use crate::config::{KMeansConfig, Variant};
 use crate::device_data::DeviceData;
+use crate::error::KMeansError;
+use crate::init::{init_centroids, reseed_empty_clusters};
+use crate::minibatch;
+use crate::model::FittedModel;
+use crate::session::Session;
 use crate::update::update_centroids;
 use abft::dmr::DmrStats;
 use fault::{CampaignStats, InjectionRecord, Injector, InjectorConfig, RateRealization};
@@ -11,13 +23,12 @@ use gpu_sim::mma::{FaultHook, NoFault};
 use gpu_sim::timing::{estimate, GemmShape, KernelClass, TimingInput};
 use gpu_sim::{Counters, DeviceProfile, Matrix, Precision, Scalar, SimError};
 use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Per-iteration progress record (populated when history tracking is on).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IterationEvent {
-    /// Lloyd iteration index (0-based).
+    /// Lloyd iteration index (0-based). For a streaming fit, the batch
+    /// index.
     pub iteration: usize,
     /// Inertia after the assignment step.
     pub inertia: f64,
@@ -32,15 +43,22 @@ pub struct IterationEvent {
 pub struct FitResult<T> {
     /// Final centroids, `k x dim`.
     pub centroids: Matrix<T>,
-    /// Final assignment per sample.
+    /// Final assignment per sample (for a streaming fit: the most recent
+    /// batch).
     pub labels: Vec<u32>,
-    /// Final within-cluster sum of squares.
+    /// Final within-cluster sum of squares (for a streaming fit: of the
+    /// most recent batch under the post-update centroids).
     pub inertia: f64,
-    /// Lloyd iterations executed.
+    /// Lloyd iterations executed. Streaming fits count one per batch, and
+    /// a full fit continued via `partial_fit` keeps counting forward
+    /// (Lloyd iterations + batches).
     pub iterations: usize,
-    /// Whether the tolerance criterion fired before `max_iter`.
+    /// Whether the tolerance criterion fired before `max_iter`. Always
+    /// `false` after a `partial_fit` step: a stream has no convergence
+    /// criterion (every batch moves the centroids).
     pub converged: bool,
-    /// Fault-tolerance campaign statistics.
+    /// Fault-tolerance campaign statistics (accumulated across batches for
+    /// a streaming fit).
     pub ft_stats: CampaignStats,
     /// DMR statistics from the update phase.
     pub dmr: DmrStats,
@@ -55,7 +73,9 @@ pub struct FitResult<T> {
     /// Requested vs. achievable injection rate of the campaign schedule
     /// (`None` without an injection campaign). When the requested rate
     /// saturates the per-block probability clamp the achieved rate falls
-    /// short — see [`fault::RateRealization`].
+    /// short — see [`fault::RateRealization`]. For a streaming fit this is
+    /// the *worst* (lowest achieved/requested) realization over all
+    /// batches, so saturation anywhere in the stream stays visible.
     pub injection_realization: Option<RateRealization>,
     /// Per-iteration trace (inertia, reassignments, empty clusters).
     pub history: Vec<IterationEvent>,
@@ -73,17 +93,24 @@ pub struct TwinFit<T> {
     pub clean: FitResult<T>,
 }
 
-/// The FT K-means estimator.
+/// The FT K-means estimator, bound to a [`Session`].
 #[derive(Debug, Clone)]
 pub struct KMeans {
-    device: DeviceProfile,
+    session: Session,
     config: KMeansConfig,
 }
 
 impl KMeans {
-    /// Build an estimator for a device.
+    /// Build an estimator for a device (a fresh single-use [`Session`] is
+    /// created under the hood; to amortize session state across estimators
+    /// use [`Session::kmeans`] / [`KMeans::with_session`]).
     pub fn new(device: DeviceProfile, config: KMeansConfig) -> Self {
-        KMeans { device, config }
+        KMeans::with_session(Session::new(device), config)
+    }
+
+    /// Build an estimator sharing an existing session.
+    pub fn with_session(session: Session, config: KMeansConfig) -> Self {
+        KMeans { session, config }
     }
 
     /// Convenience: A100 with the given cluster count, everything default.
@@ -96,157 +123,84 @@ impl KMeans {
         &self.config
     }
 
+    /// The session this estimator runs in.
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
     /// Fit the estimator on `samples` (row-major `m x dim`).
+    ///
+    /// Compatibility wrapper over [`KMeans::fit_model`]: returns the bare
+    /// [`FitResult`] (dropping the device-resident model state) and
+    /// collapses [`KMeansError`] back into the legacy [`SimError`] channel.
     pub fn fit<T: Scalar>(&self, samples: &Matrix<T>) -> Result<FitResult<T>, SimError> {
-        let cfg = &self.config;
-        let (m, dim) = (samples.rows(), samples.cols());
-        if cfg.k == 0 || cfg.k > m {
-            return Err(SimError::InvalidConfig(format!(
-                "k = {} must be in [1, {m}]",
-                cfg.k
-            )));
-        }
-        if dim == 0 {
-            return Err(SimError::InvalidConfig(
-                "feature dimension must be positive".into(),
-            ));
-        }
+        self.fit_model(samples)
+            .map(FittedModel::into_result)
+            .map_err(SimError::from)
+    }
 
-        let counters = Counters::new();
-        let stats = Mutex::new(CampaignStats::default());
-        let mut dmr_total = DmrStats::default();
+    /// Fit the estimator on `samples`, returning a [`FittedModel`] that
+    /// owns the device-resident final centroids — the session-path API
+    /// enabling re-upload-free [`FittedModel::predict`] /
+    /// [`FittedModel::score`] and [`KMeans::fit_from`] warm starts.
+    pub fn fit_model<T: Scalar>(&self, samples: &Matrix<T>) -> Result<FittedModel<T>, KMeansError> {
+        let (result, data) = self
+            .session
+            .run(|| lloyd_core(&self.session, &self.config, samples, None))?;
+        Ok(finish_model(
+            self.session.clone(),
+            self.config.clone(),
+            result,
+            data,
+        ))
+    }
 
-        let mut centroids = init_centroids(samples, cfg.k, cfg.seed, cfg.init);
-        let mut data = DeviceData::upload(&self.device, samples, &centroids, &counters)?;
-
-        let injector = self.build_injector::<T>(m, dim);
-        let hook: &dyn FaultHook<T> = match injector.as_ref() {
-            Some(i) => i,
-            None => &NoFault,
-        };
-        let realization = injector.as_ref().map(|i| i.realization());
-        let rate_saturated = realization.is_some_and(|r| r.saturated());
-
-        let mut prev_inertia = f64::INFINITY;
-        let mut labels = vec![0u32; m];
-        let mut inertia;
-        let mut converged = false;
-        let mut iterations = 0;
-        let mut history = Vec::with_capacity(cfg.max_iter);
-
-        for it in 0..cfg.max_iter {
-            iterations = it + 1;
-            if let Some(i) = injector.as_ref() {
-                i.begin_launch();
-                stats.lock().note_injection_launch(rate_saturated);
-            }
-            let assignment: AssignmentResult<T> = run_assignment(
-                &self.device,
-                &data,
-                cfg.variant,
-                cfg.ft.scheme,
-                hook,
-                &counters,
-                &stats,
-            )?;
-            let reassigned = if it == 0 {
-                m
-            } else {
-                labels
-                    .iter()
-                    .zip(&assignment.labels)
-                    .filter(|(a, b)| a != b)
-                    .count()
-            };
-            labels = assignment.labels;
-            inertia = assignment
-                .distances
-                .iter()
-                .map(|d| d.to_f64().max(0.0)) // FP cancellation may yield -0 epsilon
-                .sum();
-
-            if let Some(i) = injector.as_ref() {
-                i.begin_launch();
-                stats.lock().note_injection_launch(rate_saturated);
-            }
-            let update = update_centroids(
-                &self.device,
-                &data.samples,
-                m,
-                dim,
-                &labels,
-                &centroids,
-                cfg.ft.dmr_update,
-                hook,
-                &counters,
-            )?;
-            dmr_total.merge(&update.dmr);
-            if update.oob_labels > 0 {
-                // Corrupted (out-of-range) labels caught by the update
-                // phase count as detected faults in the campaign ledger.
-                stats.lock().detected += update.oob_labels;
-            }
-            centroids = update.centroids;
-
-            let empty_clusters = update.counts.iter().filter(|&&c| c == 0).count();
-            history.push(IterationEvent {
-                iteration: it,
-                inertia,
-                reassigned,
-                empty_clusters,
+    /// Fit on `samples` starting from `warm`'s centroids instead of a fresh
+    /// initialization — the warm-start path for refitting on grown or
+    /// drifted data. The estimator's `k` must match the warm model's.
+    pub fn fit_from<T: Scalar>(
+        &self,
+        warm: &FittedModel<T>,
+        samples: &Matrix<T>,
+    ) -> Result<FittedModel<T>, KMeansError> {
+        let init = &warm.result.centroids;
+        if init.rows() != self.config.k || init.cols() != samples.cols() {
+            return Err(KMeansError::ShapeMismatch {
+                what: "warm-start centroids",
+                expected: (self.config.k, samples.cols()),
+                got: (init.rows(), init.cols()),
             });
-
-            // Empty-cluster repair: reseed each empty cluster at the sample
-            // currently farthest from its centroid.
-            reseed_empty_clusters(
-                &mut centroids,
-                &update.counts,
-                samples,
-                &assignment.distances,
-            );
-
-            data.refresh_centroids(&self.device, &centroids, &counters)?;
-
-            let rel = if prev_inertia.is_finite() && prev_inertia > 0.0 {
-                (prev_inertia - inertia).abs() / prev_inertia
-            } else {
-                f64::INFINITY
-            };
-            if rel < cfg.tol {
-                converged = true;
-                break;
-            }
-            prev_inertia = inertia;
         }
+        let (result, data) = self
+            .session
+            .run(|| lloyd_core(&self.session, &self.config, samples, Some(init)))?;
+        Ok(finish_model(
+            self.session.clone(),
+            self.config.clone(),
+            result,
+            data,
+        ))
+    }
 
-        // The loop's `inertia` was measured against the centroids the last
-        // assignment ran with, but `centroids` has since been updated (and
-        // possibly reseeded). Re-measure so the returned inertia is the cost
-        // of the returned labels under the returned centroids. (On a
-        // max_iter-bounded fit the labels themselves may still predate the
-        // final update — no extra assignment pass is run, matching
-        // `lloyd_reference`.)
-        let inertia = crate::metrics::inertia(samples, &centroids, &labels);
-
-        let mut ft_stats = *stats.lock();
-        // The injector owns the authoritative injection count; fold it into
-        // the campaign ledger so `unhandled()` is meaningful directly off a
-        // FitResult.
-        ft_stats.injected = injector.as_ref().map_or(0, |i| i.injected_count());
-        Ok(FitResult {
-            centroids,
-            labels,
-            inertia,
-            iterations,
-            converged,
-            ft_stats,
-            dmr: dmr_total,
-            counters: counters.snapshot(),
-            injected: ft_stats.injected,
-            injection_records: injector.as_ref().map_or_else(Vec::new, |i| i.records()),
-            injection_realization: realization,
-            history,
-        })
+    /// Streaming mini-batch K-means: consume one batch and return the
+    /// updated model.
+    ///
+    /// Pass `None` for the first batch (centroids are initialized from it;
+    /// the batch must therefore hold at least `k` samples) and the previous
+    /// return value afterwards. A model produced by [`KMeans::fit_model`]
+    /// can also be continued this way — its final cluster sizes seed the
+    /// learning-rate denominators. Per-batch assignment runs the configured
+    /// kernel variant (with ABFT and fault injection, when enabled);
+    /// centroid updates apply the aggregated mini-batch learning-rate rule.
+    /// `ft_stats`, DMR and hardware counters accumulate across batches, and
+    /// the produced centroids are byte-identical under `FTK_EXEC=serial`
+    /// and the parallel pool.
+    pub fn partial_fit<T: Scalar>(
+        &self,
+        model: Option<FittedModel<T>>,
+        batch: &Matrix<T>,
+    ) -> Result<FittedModel<T>, KMeansError> {
+        minibatch::partial_fit_step(&self.session, &self.config, model, batch)
     }
 
     /// Fit under the configured injection schedule AND once more with
@@ -267,181 +221,239 @@ impl KMeans {
         let clean = clean_est.fit(samples)?;
         Ok(TwinFit { injected, clean })
     }
+}
 
-    /// Predict nearest centroids for new samples given a fitted result.
-    pub fn predict<T: Scalar>(
-        &self,
-        fitted: &FitResult<T>,
-        samples: &Matrix<T>,
-    ) -> Result<Vec<u32>, SimError> {
-        let counters = Counters::new();
-        let stats = Mutex::new(CampaignStats::default());
-        let data = DeviceData::upload(&self.device, samples, &fitted.centroids, &counters)?;
-        let out = run_assignment(
-            &self.device,
+/// Wrap a finished Lloyd fit into a model: the learning-rate weights of a
+/// full-batch fit are its final cluster sizes, so a stream can continue
+/// from it seamlessly.
+fn finish_model<T: Scalar>(
+    session: Session,
+    config: KMeansConfig,
+    result: FitResult<T>,
+    data: DeviceData<T>,
+) -> FittedModel<T> {
+    let mut weights = vec![0u64; config.k];
+    for &l in &result.labels {
+        if let Some(w) = weights.get_mut(l as usize) {
+            *w += 1;
+        }
+    }
+    FittedModel::from_parts(session, config, &data, result, weights, 0)
+}
+
+/// Build the fault injector for a problem shape, spreading a rate schedule
+/// over `launches` assignment launches (the fit's `max_iter`, or 1 for a
+/// single mini-batch step).
+pub(crate) fn build_injector<T: Scalar>(
+    device: &DeviceProfile,
+    cfg: &KMeansConfig,
+    m: usize,
+    dim: usize,
+    launches: usize,
+) -> Option<Injector> {
+    if !cfg.ft.injection.is_active() {
+        return None;
+    }
+    let tile = match cfg.variant {
+        Variant::Tensor(Some(t)) => t,
+        _ => default_tile(T::PRECISION),
+    };
+    let shape = GemmShape::new(m, cfg.k, dim);
+    let blocks = m.div_ceil(tile.tb_m) * cfg.k.div_ceil(tile.tb_n);
+    // Per-launch kernel time converting a rate schedule into per-block
+    // probability: either the calibrated timing model's estimate for
+    // this shape (physical, default), or the configured distance-kernel
+    // residency budget spread uniformly over the fit's assignment
+    // launches (campaign mode — see `FtConfig::modeled_residency_s`).
+    let kernel_s = if cfg.ft.modeled_residency_s > 0.0 {
+        cfg.ft.modeled_residency_s / launches.max(1) as f64
+    } else {
+        let t = estimate(&TimingInput {
+            ft: cfg.ft.scheme.ft_mode(),
+            ..TimingInput::plain(device, T::PRECISION, KernelClass::Tensor(tile), shape)
+        });
+        t.time_s.max(1e-9)
+    };
+    let mma_k = match T::PRECISION {
+        Precision::Fp32 => 8,
+        Precision::Fp64 => 4,
+    };
+    let events = (tile.warps() * dim.div_ceil(tile.tb_k).max(1) * (tile.tb_k / mma_k)) as u64;
+    Some(Injector::new(InjectorConfig {
+        schedule: cfg.ft.injection,
+        model: fault::SeuModel {
+            target: cfg.ft.fault_target,
+            ..fault::SeuModel::default()
+        },
+        seed: cfg.ft.injection_seed,
+        kernel_time_hint_s: kernel_s,
+        blocks_hint: blocks,
+        events_per_block_hint: events.max(1),
+    }))
+}
+
+/// The full-batch Lloyd loop. Returns the fit outcome together with the
+/// device-resident data (whose centroids are the final ones); a
+/// [`FittedModel`] keeps the centroid buffers of that data resident.
+fn lloyd_core<T: Scalar>(
+    session: &Session,
+    cfg: &KMeansConfig,
+    samples: &Matrix<T>,
+    warm_start: Option<&Matrix<T>>,
+) -> Result<(FitResult<T>, DeviceData<T>), KMeansError> {
+    let device = session.device();
+    let (m, dim) = (samples.rows(), samples.cols());
+    cfg.validate(m, dim)?;
+
+    let counters = Counters::new();
+    let stats = Mutex::new(CampaignStats::default());
+    let mut dmr_total = DmrStats::default();
+
+    let mut centroids = match warm_start {
+        Some(init) => init.clone(),
+        None => init_centroids(samples, cfg.k, cfg.seed, cfg.init),
+    };
+    let mut data = DeviceData::upload(device, samples, &centroids, &counters)?;
+
+    let injector = build_injector::<T>(device, cfg, m, dim, cfg.max_iter);
+    let hook: &dyn FaultHook<T> = match injector.as_ref() {
+        Some(i) => i,
+        None => &NoFault,
+    };
+    let realization = injector.as_ref().map(|i| i.realization());
+    let rate_saturated = realization.is_some_and(|r| r.saturated());
+
+    let mut prev_inertia = f64::INFINITY;
+    let mut labels = vec![0u32; m];
+    let mut inertia;
+    let mut converged = false;
+    let mut iterations = 0;
+    let mut history = Vec::with_capacity(cfg.max_iter);
+
+    for it in 0..cfg.max_iter {
+        iterations = it + 1;
+        if let Some(i) = injector.as_ref() {
+            i.begin_launch();
+            stats.lock().note_injection_launch(rate_saturated);
+        }
+        let assignment: AssignmentResult<T> = run_assignment(
+            device,
             &data,
-            self.config.variant,
-            self.config.ft.scheme,
-            &NoFault,
+            cfg.variant,
+            cfg.ft.scheme,
+            hook,
             &counters,
             &stats,
         )?;
-        Ok(out.labels)
-    }
-
-    fn build_injector<T: Scalar>(&self, m: usize, dim: usize) -> Option<Injector> {
-        let cfg = &self.config;
-        if !cfg.ft.injection.is_active() {
-            return None;
-        }
-        let tile = match cfg.variant {
-            Variant::Tensor(Some(t)) => t,
-            _ => default_tile(T::PRECISION),
-        };
-        let shape = GemmShape::new(m, cfg.k, dim);
-        let blocks = m.div_ceil(tile.tb_m) * cfg.k.div_ceil(tile.tb_n);
-        // Per-launch kernel time converting a rate schedule into per-block
-        // probability: either the calibrated timing model's estimate for
-        // this shape (physical, default), or the configured distance-kernel
-        // residency budget spread uniformly over the fit's `max_iter`
-        // assignment launches (campaign mode — see
-        // `FtConfig::modeled_residency_s`).
-        let kernel_s = if cfg.ft.modeled_residency_s > 0.0 {
-            cfg.ft.modeled_residency_s / cfg.max_iter.max(1) as f64
+        let reassigned = if it == 0 {
+            m
         } else {
-            let t = estimate(&TimingInput {
-                ft: cfg.ft.scheme.ft_mode(),
-                ..TimingInput::plain(&self.device, T::PRECISION, KernelClass::Tensor(tile), shape)
-            });
-            t.time_s.max(1e-9)
+            labels
+                .iter()
+                .zip(&assignment.labels)
+                .filter(|(a, b)| a != b)
+                .count()
         };
-        let mma_k = match T::PRECISION {
-            Precision::Fp32 => 8,
-            Precision::Fp64 => 4,
+        labels = assignment.labels;
+        inertia = assignment
+            .distances
+            .iter()
+            .map(|d| d.to_f64().max(0.0)) // FP cancellation may yield -0 epsilon
+            .sum();
+
+        if let Some(i) = injector.as_ref() {
+            i.begin_launch();
+            stats.lock().note_injection_launch(rate_saturated);
+        }
+        let update = update_centroids(
+            device,
+            &data.samples,
+            m,
+            dim,
+            &labels,
+            &centroids,
+            cfg.ft.dmr_update,
+            hook,
+            &counters,
+        )?;
+        dmr_total.merge(&update.dmr);
+        if update.oob_labels > 0 {
+            // Corrupted (out-of-range) labels caught by the update
+            // phase count as detected faults in the campaign ledger.
+            stats.lock().detected += update.oob_labels;
+        }
+        centroids = update.centroids;
+
+        let empty_clusters = update.counts.iter().filter(|&&c| c == 0).count();
+        history.push(IterationEvent {
+            iteration: it,
+            inertia,
+            reassigned,
+            empty_clusters,
+        });
+
+        // Empty-cluster repair: reseed each empty cluster at the sample
+        // currently farthest from its centroid.
+        reseed_empty_clusters(
+            &mut centroids,
+            &update.counts,
+            samples,
+            &assignment.distances,
+        );
+
+        data.refresh_centroids(device, &centroids, &counters)?;
+
+        let rel = if prev_inertia.is_finite() && prev_inertia > 0.0 {
+            (prev_inertia - inertia).abs() / prev_inertia
+        } else {
+            f64::INFINITY
         };
-        let events = (tile.warps() * dim.div_ceil(tile.tb_k).max(1) * (tile.tb_k / mma_k)) as u64;
-        Some(Injector::new(InjectorConfig {
-            schedule: cfg.ft.injection,
-            model: fault::SeuModel {
-                target: cfg.ft.fault_target,
-                ..fault::SeuModel::default()
-            },
-            seed: cfg.ft.injection_seed,
-            kernel_time_hint_s: kernel_s,
-            blocks_hint: blocks,
-            events_per_block_hint: events.max(1),
-        }))
-    }
-}
-
-/// Choose initial centroids.
-fn init_centroids<T: Scalar>(
-    samples: &Matrix<T>,
-    k: usize,
-    seed: u64,
-    method: InitMethod,
-) -> Matrix<T> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let m = samples.rows();
-    let dim = samples.cols();
-    let mut out = Matrix::<T>::zeros(k, dim);
-    match method {
-        InitMethod::RandomSamples => {
-            // k distinct indices via partial Fisher-Yates.
-            let mut idx: Vec<usize> = (0..m).collect();
-            for i in 0..k {
-                let j = rng.random_range(i..m);
-                idx.swap(i, j);
-            }
-            for (c, &i) in idx[..k].iter().enumerate() {
-                for d in 0..dim {
-                    out.set(c, d, samples.get(i, d));
-                }
-            }
-        }
-        InitMethod::KMeansPlusPlus => {
-            let first = rng.random_range(0..m);
-            for d in 0..dim {
-                out.set(0, d, samples.get(first, d));
-            }
-            let mut d2 = vec![f64::INFINITY; m];
-            for c in 1..k {
-                // update D² against the newest centroid
-                for (i, slot) in d2.iter_mut().enumerate() {
-                    let mut dd = 0.0;
-                    for d in 0..dim {
-                        let diff = samples.get(i, d).to_f64() - out.get(c - 1, d).to_f64();
-                        dd += diff * diff;
-                    }
-                    if dd < *slot {
-                        *slot = dd;
-                    }
-                }
-                let total: f64 = d2.iter().sum();
-                let chosen = if total <= 0.0 {
-                    rng.random_range(0..m)
-                } else {
-                    let mut target = rng.random::<f64>() * total;
-                    let mut pick = m - 1;
-                    for (i, &w) in d2.iter().enumerate() {
-                        target -= w;
-                        if target <= 0.0 {
-                            pick = i;
-                            break;
-                        }
-                    }
-                    pick
-                };
-                for d in 0..dim {
-                    out.set(c, d, samples.get(chosen, d));
-                }
-            }
-        }
-    }
-    out
-}
-
-/// Move each empty cluster onto the sample farthest from its current
-/// centroid (distinct samples per empty cluster).
-fn reseed_empty_clusters<T: Scalar>(
-    centroids: &mut Matrix<T>,
-    counts: &[u32],
-    samples: &Matrix<T>,
-    distances: &[T],
-) {
-    let empties: Vec<usize> = counts
-        .iter()
-        .enumerate()
-        .filter(|(_, &c)| c == 0)
-        .map(|(i, _)| i)
-        .collect();
-    if empties.is_empty() {
-        return;
-    }
-    // Rank samples by assignment distance, descending.
-    let mut order: Vec<usize> = (0..distances.len()).collect();
-    order.sort_by(|&a, &b| {
-        distances[b]
-            .partial_cmp(&distances[a])
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
-    for (rank, cluster) in empties.into_iter().enumerate() {
-        if rank >= order.len() {
+        if rel < cfg.tol {
+            converged = true;
             break;
         }
-        let i = order[rank];
-        for d in 0..samples.cols() {
-            centroids.set(cluster, d, samples.get(i, d));
-        }
+        prev_inertia = inertia;
     }
+
+    // The loop's `inertia` was measured against the centroids the last
+    // assignment ran with, but `centroids` has since been updated (and
+    // possibly reseeded). Re-measure so the returned inertia is the cost
+    // of the returned labels under the returned centroids. (On a
+    // max_iter-bounded fit the labels themselves may still predate the
+    // final update — no extra assignment pass is run, matching
+    // `lloyd_reference`.)
+    let inertia = crate::metrics::inertia(samples, &centroids, &labels);
+
+    let mut ft_stats = *stats.lock();
+    // The injector owns the authoritative injection count; fold it into
+    // the campaign ledger so `unhandled()` is meaningful directly off a
+    // FitResult.
+    ft_stats.injected = injector.as_ref().map_or(0, |i| i.injected_count());
+    let result = FitResult {
+        centroids,
+        labels,
+        inertia,
+        iterations,
+        converged,
+        ft_stats,
+        dmr: dmr_total,
+        counters: counters.snapshot(),
+        injected: ft_stats.injected,
+        injection_records: injector.as_ref().map_or_else(Vec::new, |i| i.records()),
+        injection_realization: realization,
+        history,
+    };
+    Ok((result, data))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::FtConfig;
+    use crate::config::{FtConfig, InitMethod};
     use crate::metrics::inertia as inertia_of;
     use crate::reference::lloyd_reference;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     fn blobs(m: usize, dim: usize, k: usize, seed: u64) -> Matrix<f64> {
         // lightweight local blob generator to avoid a dev-dependency cycle
@@ -504,12 +516,10 @@ mod tests {
             Variant::BroadcastV3,
             Variant::Tensor(None),
         ];
+        let session = Session::a100();
         let mut results = Vec::new();
         for v in variants {
-            let km = KMeans::new(
-                DeviceProfile::a100(),
-                KMeansConfig::new(4).with_variant(v).with_seed(9),
-            );
+            let km = session.kmeans(KMeansConfig::new(4).with_variant(v).with_seed(9));
             results.push(km.fit(&data).unwrap().labels);
         }
         for r in &results[1..] {
@@ -554,12 +564,9 @@ mod tests {
         let data = blobs(60, 2, 4, 4);
         let km = KMeans::new(
             DeviceProfile::a100(),
-            KMeansConfig {
-                k: 4,
-                init: InitMethod::KMeansPlusPlus,
-                seed: 21,
-                ..Default::default()
-            },
+            KMeansConfig::new(4)
+                .with_init(InitMethod::KMeansPlusPlus)
+                .with_seed(21),
         );
         let r = km.fit(&data).unwrap();
         assert!(r.converged);
@@ -571,21 +578,52 @@ mod tests {
     }
 
     #[test]
-    fn rejects_degenerate_configs() {
+    fn rejects_degenerate_configs_with_typed_errors() {
         let data = Matrix::<f32>::zeros(5, 2);
-        let km = KMeans::new(DeviceProfile::a100(), KMeansConfig::new(0));
-        assert!(km.fit(&data).is_err());
-        let km = KMeans::new(DeviceProfile::a100(), KMeansConfig::new(6));
-        assert!(km.fit(&data).is_err());
+        let session = Session::a100();
+        match session.kmeans(KMeansConfig::new(0)).fit_model(&data) {
+            Err(KMeansError::InvalidConfig { field: "k", .. }) => {}
+            other => panic!("k = 0 must be InvalidConfig(k): {other:?}"),
+        }
+        match session.kmeans(KMeansConfig::new(6)).fit_model(&data) {
+            Err(KMeansError::InvalidConfig { field: "k", .. }) => {}
+            other => panic!("k > m must be InvalidConfig(k): {other:?}"),
+        }
+        // the compatibility wrapper still reports through SimError
+        assert!(matches!(
+            KMeans::new(DeviceProfile::a100(), KMeansConfig::new(0)).fit(&data),
+            Err(SimError::InvalidConfig(_))
+        ));
     }
 
     #[test]
     fn predict_assigns_new_samples() {
         let data = blobs(80, 3, 2, 7);
-        let km = KMeans::new(DeviceProfile::a100(), KMeansConfig::new(2).with_seed(1));
-        let fitted = km.fit(&data).unwrap();
-        let labels = km.predict(&fitted, &data).unwrap();
+        let km = Session::a100().kmeans(KMeansConfig::new(2).with_seed(1));
+        let fitted = km.fit_model(&data).unwrap();
+        let labels = fitted.predict(&data).unwrap();
         assert_eq!(labels, fitted.labels);
+    }
+
+    #[test]
+    fn fit_from_warm_start_reaches_the_same_fixed_point_faster() {
+        let data = blobs(200, 4, 3, 19);
+        let km = Session::a100().kmeans(KMeansConfig::new(3).with_seed(6));
+        let cold = km.fit_model(&data).unwrap();
+        let warm = km.fit_from(&cold, &data).unwrap();
+        assert_eq!(warm.labels, cold.labels, "fixed point is stable");
+        assert!(
+            warm.iterations <= cold.iterations,
+            "warm start must not be slower: {} vs {}",
+            warm.iterations,
+            cold.iterations
+        );
+        // shape-checked warm starts
+        let km2 = Session::a100().kmeans(KMeansConfig::new(4).with_seed(6));
+        assert!(matches!(
+            km2.fit_from(&cold, &data),
+            Err(KMeansError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! Typed estimator errors.
+//!
+//! The estimator used to report every misuse through
+//! [`SimError::InvalidConfig`] with a formatted string, which callers could
+//! neither match on nor test precisely. [`KMeansError`] is the structured
+//! replacement: configuration problems name the offending field, shape
+//! problems carry both shapes, and genuine simulator failures pass through
+//! unchanged.
+
+use gpu_sim::SimError;
+use std::fmt;
+
+/// Errors surfaced by the estimator API ([`crate::Session`],
+/// [`crate::KMeans`], [`crate::FittedModel`]).
+///
+/// ```
+/// use kmeans::{KMeansConfig, KMeansError};
+///
+/// // k = 0 can never cluster anything; the error names the field.
+/// let err = KMeansConfig::new(0).validate(10, 2).unwrap_err();
+/// assert!(matches!(err, KMeansError::InvalidConfig { field: "k", .. }));
+/// assert!(err.to_string().contains("k"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum KMeansError {
+    /// A configuration field holds an unusable value for this problem.
+    InvalidConfig {
+        /// The [`crate::KMeansConfig`] field (or pseudo-field) at fault.
+        field: &'static str,
+        /// Why the value is rejected.
+        reason: String,
+    },
+    /// Two matrices that must agree in shape do not.
+    ShapeMismatch {
+        /// What was being shape-checked (e.g. "samples", "batch",
+        /// "warm-start centroids").
+        what: &'static str,
+        /// The `(rows, cols)` the operation required.
+        expected: (usize, usize),
+        /// The `(rows, cols)` it received.
+        got: (usize, usize),
+    },
+    /// The simulated device rejected a launch (resource overflow, kernel
+    /// structure violation, ...).
+    Sim(SimError),
+}
+
+impl fmt::Display for KMeansError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KMeansError::InvalidConfig { field, reason } => {
+                write!(f, "invalid configuration: {field}: {reason}")
+            }
+            KMeansError::ShapeMismatch {
+                what,
+                expected,
+                got,
+            } => write!(
+                f,
+                "shape mismatch: {what}: expected {}x{}, got {}x{}",
+                expected.0, expected.1, got.0, got.1
+            ),
+            KMeansError::Sim(e) => write!(f, "simulator error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for KMeansError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KMeansError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for KMeansError {
+    fn from(e: SimError) -> Self {
+        KMeansError::Sim(e)
+    }
+}
+
+/// Lossy conversion for the legacy [`crate::KMeans::fit`] compatibility
+/// wrapper: structured variants collapse back into the stringly simulator
+/// error they replaced.
+impl From<KMeansError> for SimError {
+    fn from(e: KMeansError) -> Self {
+        match e {
+            KMeansError::Sim(e) => e,
+            KMeansError::InvalidConfig { field, reason } => {
+                SimError::InvalidConfig(format!("{field}: {reason}"))
+            }
+            KMeansError::ShapeMismatch {
+                what,
+                expected,
+                got,
+            } => SimError::ShapeMismatch(format!(
+                "{what}: expected {}x{}, got {}x{}",
+                expected.0, expected.1, got.0, got.1
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_field_and_shapes() {
+        let e = KMeansError::InvalidConfig {
+            field: "max_iter",
+            reason: "must be at least 1".into(),
+        };
+        assert!(e.to_string().contains("max_iter"));
+        let e = KMeansError::ShapeMismatch {
+            what: "batch",
+            expected: (4, 3),
+            got: (4, 7),
+        };
+        let s = e.to_string();
+        assert!(s.contains("batch") && s.contains("4x3") && s.contains("4x7"));
+    }
+
+    #[test]
+    fn sim_errors_roundtrip_through_the_compat_conversion() {
+        let sim = SimError::ShapeMismatch("inner".into());
+        let km: KMeansError = sim.clone().into();
+        assert_eq!(km, KMeansError::Sim(sim.clone()));
+        let back: SimError = km.into();
+        assert_eq!(back, sim);
+    }
+
+    #[test]
+    fn structured_variants_collapse_to_stringly_sim_errors() {
+        let km = KMeansError::InvalidConfig {
+            field: "k",
+            reason: "must be at least 1".into(),
+        };
+        match SimError::from(km) {
+            SimError::InvalidConfig(msg) => assert!(msg.contains("k:")),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        let km = KMeansError::ShapeMismatch {
+            what: "samples",
+            expected: (1, 2),
+            got: (3, 4),
+        };
+        assert!(matches!(SimError::from(km), SimError::ShapeMismatch(_)));
+    }
+
+    #[test]
+    fn error_source_chains_to_sim() {
+        use std::error::Error;
+        let e = KMeansError::Sim(SimError::InvalidConfig("x".into()));
+        assert!(e.source().is_some());
+        let e = KMeansError::InvalidConfig {
+            field: "k",
+            reason: "r".into(),
+        };
+        assert!(e.source().is_none());
+    }
+}

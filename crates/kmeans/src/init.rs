@@ -1,0 +1,140 @@
+//! Centroid initialization and empty-cluster repair, shared by the
+//! full-batch Lloyd driver and the streaming mini-batch driver.
+
+use crate::config::InitMethod;
+use gpu_sim::{Matrix, Scalar};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Choose initial centroids from `samples` with the given strategy.
+pub fn init_centroids<T: Scalar>(
+    samples: &Matrix<T>,
+    k: usize,
+    seed: u64,
+    method: InitMethod,
+) -> Matrix<T> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = samples.rows();
+    let dim = samples.cols();
+    let mut out = Matrix::<T>::zeros(k, dim);
+    match method {
+        InitMethod::RandomSamples => {
+            // k distinct indices via partial Fisher-Yates.
+            let mut idx: Vec<usize> = (0..m).collect();
+            for i in 0..k {
+                let j = rng.random_range(i..m);
+                idx.swap(i, j);
+            }
+            for (c, &i) in idx[..k].iter().enumerate() {
+                for d in 0..dim {
+                    out.set(c, d, samples.get(i, d));
+                }
+            }
+        }
+        InitMethod::KMeansPlusPlus => {
+            let first = rng.random_range(0..m);
+            for d in 0..dim {
+                out.set(0, d, samples.get(first, d));
+            }
+            let mut d2 = vec![f64::INFINITY; m];
+            for c in 1..k {
+                // update D² against the newest centroid
+                for (i, slot) in d2.iter_mut().enumerate() {
+                    let mut dd = 0.0;
+                    for d in 0..dim {
+                        let diff = samples.get(i, d).to_f64() - out.get(c - 1, d).to_f64();
+                        dd += diff * diff;
+                    }
+                    if dd < *slot {
+                        *slot = dd;
+                    }
+                }
+                let total: f64 = d2.iter().sum();
+                let chosen = if total <= 0.0 {
+                    rng.random_range(0..m)
+                } else {
+                    let mut target = rng.random::<f64>() * total;
+                    let mut pick = m - 1;
+                    for (i, &w) in d2.iter().enumerate() {
+                        target -= w;
+                        if target <= 0.0 {
+                            pick = i;
+                            break;
+                        }
+                    }
+                    pick
+                };
+                for d in 0..dim {
+                    out.set(c, d, samples.get(chosen, d));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Move each empty cluster onto the sample farthest from its current
+/// centroid (distinct samples per empty cluster).
+pub fn reseed_empty_clusters<T: Scalar>(
+    centroids: &mut Matrix<T>,
+    counts: &[u32],
+    samples: &Matrix<T>,
+    distances: &[T],
+) {
+    let empties: Vec<usize> = counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c == 0)
+        .map(|(i, _)| i)
+        .collect();
+    if empties.is_empty() {
+        return;
+    }
+    // Rank samples by assignment distance, descending.
+    let mut order: Vec<usize> = (0..distances.len()).collect();
+    order.sort_by(|&a, &b| {
+        distances[b]
+            .partial_cmp(&distances[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    for (rank, cluster) in empties.into_iter().enumerate() {
+        if rank >= order.len() {
+            break;
+        }
+        let i = order[rank];
+        for d in 0..samples.cols() {
+            centroids.set(cluster, d, samples.get(i, d));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_init_picks_distinct_samples() {
+        let samples = Matrix::<f64>::from_fn(20, 2, |r, c| (r * 10 + c) as f64);
+        let init = init_centroids(&samples, 5, 3, InitMethod::RandomSamples);
+        // every centroid is one of the samples, and no two coincide
+        for c in 0..5 {
+            let row0 = init.get(c, 0);
+            assert_eq!(init.get(c, 1), row0 + 1.0, "centroid {c} is a sample");
+            for other in 0..c {
+                assert_ne!(init.get(other, 0), row0, "centroids {other}/{c} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn reseed_moves_empty_clusters_onto_far_samples() {
+        let samples = Matrix::<f64>::from_fn(4, 1, |r, _| r as f64);
+        let mut centroids = Matrix::<f64>::zeros(2, 1);
+        let counts = vec![4, 0];
+        let distances = vec![0.0, 1.0, 4.0, 9.0];
+        reseed_empty_clusters(&mut centroids, &counts, &samples, &distances);
+        // cluster 1 lands on sample 3, the farthest one
+        assert_eq!(centroids.get(1, 0), 3.0);
+        assert_eq!(centroids.get(0, 0), 0.0, "non-empty cluster untouched");
+    }
+}

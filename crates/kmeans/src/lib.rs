@@ -19,41 +19,62 @@
 //! scheme, and Wu's threadblock-level scheme; the centroid-update phase is
 //! DMR-protected ([`update`]).
 //!
+//! ## Estimator lifecycle
+//!
+//! A [`Session`] owns the long-lived context (device profile, executor
+//! handle, lazily-built kernel selector with optional on-disk persistence);
+//! estimators derive from it and fits return a [`FittedModel`] that owns
+//! the uploaded device data:
+//!
 //! ```
 //! use gpu_sim::{DeviceProfile, Matrix};
-//! use kmeans::{FtConfig, KMeans, KMeansConfig, Variant};
+//! use kmeans::{FtConfig, KMeansConfig, Session, Variant};
 //!
 //! // 64 samples around two centers on a line.
 //! let data = Matrix::<f64>::from_fn(64, 2, |r, c| {
 //!     (r % 2) as f64 * 10.0 + (r as f64 * 0.01) + c as f64 * 0.1
 //! });
-//! let km = KMeans::new(
-//!     DeviceProfile::a100(),
+//! let session = Session::new(DeviceProfile::a100());
+//! let km = session.kmeans(
 //!     KMeansConfig::new(2)
 //!         .with_variant(Variant::tensor_default())
 //!         .with_ft(FtConfig::protected()),
 //! );
-//! let fit = km.fit(&data).unwrap();
-//! assert!(fit.converged);
-//! assert_eq!(fit.labels.len(), 64);
+//! let model = km.fit_model(&data).unwrap();
+//! assert!(model.converged);
+//! assert_eq!(model.labels.len(), 64);
 //! // even samples cluster together, odd samples together
-//! assert_eq!(fit.labels[0], fit.labels[2]);
-//! assert_ne!(fit.labels[0], fit.labels[1]);
+//! assert_eq!(model.labels[0], model.labels[2]);
+//! assert_ne!(model.labels[0], model.labels[1]);
+//! // the model predicts new samples without re-uploading its centroids
+//! assert_eq!(model.predict(&data).unwrap(), model.labels);
 //! ```
+//!
+//! Streaming workloads use [`KMeans::partial_fit`] — mini-batch K-means
+//! over the same assignment kernels, with per-batch ABFT accounting; see
+//! the [`minibatch`](crate::KMeans::partial_fit) docs.
 
 pub mod assign;
 pub mod baselines;
 pub mod config;
 pub mod device_data;
 pub mod driver;
+pub mod error;
+mod init;
 pub mod metrics;
+mod minibatch;
+pub mod model;
 pub mod norms;
 pub mod reference;
+pub mod session;
 pub mod update;
 pub mod variants;
 
 pub use assign::AssignmentResult;
 pub use config::{FtConfig, InitMethod, KMeansConfig, Variant};
 pub use device_data::DeviceData;
-pub use driver::{FitResult, KMeans, TwinFit};
+pub use driver::{FitResult, IterationEvent, KMeans, TwinFit};
+pub use error::KMeansError;
 pub use metrics::{adjusted_rand_index, inertia};
+pub use model::FittedModel;
+pub use session::Session;

@@ -1,0 +1,466 @@
+//! Streaming mini-batch K-means (the `partial_fit` driver).
+//!
+//! Each batch runs one assignment pass through the configured kernel
+//! variant (ABFT schemes and fault injection included), then folds the
+//! batch's per-cluster means into the running centroids with the standard
+//! aggregated mini-batch learning-rate rule (Sculley-style): with
+//! accumulated per-center weight `w_c` and a batch contributing `n_c`
+//! members with mean `mu_c`,
+//!
+//! ```text
+//! w_c ← w_c + n_c,   eta = n_c / w_c,   c ← c + eta · (mu_c − c)
+//! ```
+//!
+//! On the first batch (`w_c = 0`) this reduces to `c = mu_c`, i.e. one
+//! full Lloyd step over the batch.
+//!
+//! **Determinism.** The assignment kernel is bitwise execution-order
+//! independent (per-block candidates merge through an order-invariant
+//! argmin), so it rides the ambient executor. The update kernel's
+//! `atomicAdd` accumulation order is *not* order-invariant in floating
+//! point, so the update launch of every batch is pinned to a serial
+//! executor scope: batch means — and therefore the produced centroids —
+//! are byte-identical under `FTK_EXEC=serial` and the parallel pool. The
+//! update is over one mini-batch (small by construction), so serializing
+//! it costs little while the dominant assignment stays parallel.
+
+use crate::config::KMeansConfig;
+use crate::device_data::DeviceData;
+use crate::driver::{build_injector, FitResult, IterationEvent};
+use crate::error::KMeansError;
+use crate::init::init_centroids;
+use crate::model::FittedModel;
+use crate::session::Session;
+use crate::update::update_centroids;
+use crate::{assign::run_assignment, metrics};
+use abft::dmr::DmrStats;
+use fault::CampaignStats;
+use gpu_sim::counters::CounterSnapshot;
+use gpu_sim::exec::{self, Executor};
+use gpu_sim::mma::{FaultHook, NoFault};
+use gpu_sim::{Counters, Matrix, Scalar};
+use parking_lot::Mutex;
+
+/// splitmix64 finalizer — decorrelates per-batch injection streams from
+/// the base seed without an RNG dependency.
+fn mix(seed: u64, batch: u64) -> u64 {
+    let mut z = seed ^ batch.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One `partial_fit` step: bootstrap from the first batch when `model` is
+/// `None`, otherwise continue the stream.
+pub(crate) fn partial_fit_step<T: Scalar>(
+    session: &Session,
+    config: &KMeansConfig,
+    model: Option<FittedModel<T>>,
+    batch: &Matrix<T>,
+) -> Result<FittedModel<T>, KMeansError> {
+    let (mb, dim) = (batch.rows(), batch.cols());
+    // Destructure the stream state: (config, result shell, weights, batch#).
+    // A continued stream keeps the model's own config (the estimator's
+    // config only seeds the first batch), so `km.partial_fit` composes with
+    // models produced by other estimators of the same session.
+    let (cfg, mut result, mut weights, batches) = match model {
+        Some(m) => {
+            if dim != m.data.dim {
+                return Err(KMeansError::ShapeMismatch {
+                    what: "batch",
+                    expected: (mb, m.data.dim),
+                    got: (mb, dim),
+                });
+            }
+            if mb == 0 {
+                return Err(KMeansError::InvalidConfig {
+                    field: "batch",
+                    reason: "batch must contain at least one sample".into(),
+                });
+            }
+            (m.config, m.result, m.weights, m.batches)
+        }
+        None => {
+            config.validate(mb, dim).map_err(|e| match e {
+                // Re-word the sample-count constraint for the streaming case.
+                KMeansError::InvalidConfig { field: "k", reason } if config.k > mb => {
+                    KMeansError::InvalidConfig {
+                        field: "k",
+                        reason: format!(
+                            "{reason} (the first batch must contain at least k samples)"
+                        ),
+                    }
+                }
+                other => other,
+            })?;
+            let centroids = init_centroids(batch, config.k, config.seed, config.init);
+            let shell = FitResult {
+                centroids,
+                labels: Vec::new(),
+                inertia: f64::INFINITY,
+                iterations: 0,
+                converged: false,
+                ft_stats: CampaignStats::default(),
+                dmr: DmrStats::default(),
+                counters: CounterSnapshot::default(),
+                injected: 0,
+                injection_records: Vec::new(),
+                injection_realization: None,
+                history: Vec::new(),
+            };
+            (config.clone(), shell, vec![0u64; config.k], 0)
+        }
+    };
+
+    let device = session.device();
+    let k = cfg.k;
+    session.run(|| {
+        let counters = Counters::new();
+        let stats = Mutex::new(CampaignStats::default());
+
+        // Per-batch injector: same schedule, a decorrelated seed per batch
+        // so a stream is not struck at identical sites every step. A rate
+        // schedule's residency budget applies per batch (one assignment
+        // launch each).
+        let mut batch_cfg = cfg.clone();
+        batch_cfg.ft.injection_seed = mix(cfg.ft.injection_seed, batches as u64);
+        let injector = build_injector::<T>(device, &batch_cfg, mb, dim, 1);
+        let hook: &dyn FaultHook<T> = match injector.as_ref() {
+            Some(i) => i,
+            None => &NoFault,
+        };
+        let realization = injector.as_ref().map(|i| i.realization());
+        let rate_saturated = realization.is_some_and(|r| r.saturated());
+
+        let mut data = DeviceData::upload(device, batch, &result.centroids, &counters)?;
+
+        if let Some(i) = injector.as_ref() {
+            i.begin_launch();
+            stats.lock().note_injection_launch(rate_saturated);
+        }
+        let assignment = run_assignment(
+            device,
+            &data,
+            cfg.variant,
+            cfg.ft.scheme,
+            hook,
+            &counters,
+            &stats,
+        )?;
+        let labels = assignment.labels;
+
+        if let Some(i) = injector.as_ref() {
+            i.begin_launch();
+            stats.lock().note_injection_launch(rate_saturated);
+        }
+        // Batch means via the device update kernel, pinned to serial block
+        // order (see the module docs: float atomicAdd order must not depend
+        // on the pool schedule, or centroids would differ across policies).
+        let serial = Executor::serial();
+        let update = exec::with_executor(&serial, || {
+            update_centroids(
+                device,
+                &data.samples,
+                mb,
+                dim,
+                &labels,
+                &result.centroids,
+                cfg.ft.dmr_update,
+                hook,
+                &counters,
+            )
+        })?;
+        if update.oob_labels > 0 {
+            stats.lock().detected += update.oob_labels;
+        }
+
+        // Learning-rate fold: clusters absent from the batch keep their
+        // position (and their weight).
+        let mut centroids = result.centroids.clone();
+        let mut empty_clusters = 0usize;
+        for c in 0..k {
+            let n = update.counts[c] as u64;
+            if n == 0 {
+                empty_clusters += 1;
+                continue;
+            }
+            let w = weights[c] + n;
+            let eta = n as f64 / w as f64;
+            for d in 0..dim {
+                let old = centroids.get(c, d).to_f64();
+                let mean = update.centroids.get(c, d).to_f64();
+                centroids.set(c, d, T::from_f64(old + eta * (mean - old)));
+            }
+            weights[c] = w;
+        }
+        data.refresh_centroids(device, &centroids, &counters)?;
+
+        // Per-batch bookkeeping, accumulated into the running result.
+        let inertia = metrics::inertia(batch, &centroids, &labels);
+        let mut batch_stats = *stats.lock();
+        batch_stats.injected = injector.as_ref().map_or(0, |i| i.injected_count());
+        result.ft_stats.merge(&batch_stats);
+        result.injected = result.ft_stats.injected;
+        result.dmr.merge(&update.dmr);
+        result.counters = result.counters.merged(&counters.snapshot());
+        if let Some(i) = injector.as_ref() {
+            result.injection_records.extend(i.records());
+        }
+        // Keep the *worst* realization across batches (lowest
+        // achieved/requested ratio): a rate schedule that saturated the
+        // per-block clamp in any batch must stay visible even when later
+        // batches achieve their rate. `saturated_launches` counts the
+        // affected launches; this field carries the representative rates.
+        result.injection_realization = match (result.injection_realization, realization) {
+            (prev, None) => prev,
+            (None, now) => now,
+            (Some(prev), Some(now)) => {
+                let shortfall = |r: &fault::RateRealization| {
+                    if r.requested_hz > 0.0 {
+                        r.achieved_hz / r.requested_hz
+                    } else {
+                        1.0
+                    }
+                };
+                Some(if shortfall(&now) < shortfall(&prev) {
+                    now
+                } else {
+                    prev
+                })
+            }
+        };
+        // History keeps numbering where it left off, so continuing a
+        // full-batch fit appends batch events after its Lloyd events
+        // instead of colliding with them; `iterations` likewise counts
+        // forward (Lloyd iterations + batches), and a stream is never
+        // "converged" — each batch moves the centroids.
+        result.history.push(IterationEvent {
+            iteration: result.history.len(),
+            inertia,
+            reassigned: mb,
+            empty_clusters,
+        });
+        result.centroids = centroids;
+        result.labels = labels;
+        result.inertia = inertia;
+        result.iterations += 1;
+        result.converged = false;
+
+        Ok(FittedModel::from_parts(
+            session.clone(),
+            cfg,
+            &data,
+            result,
+            weights,
+            batches + 1,
+        ))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FtConfig;
+    use crate::metrics::adjusted_rand_index;
+
+    fn blobs(m: usize, dim: usize, k: usize, seed: u64) -> Matrix<f64> {
+        Matrix::from_fn(m, dim, |r, c| {
+            ((r % k) * 14) as f64
+                + (((r * 31 + c * 7 + seed as usize) % 100) as f64 / 100.0 - 0.5) * 0.6
+                + c as f64 * 0.02
+        })
+    }
+
+    /// Deterministic row shuffle: stride permutation with gcd(stride, m)=1.
+    fn shuffled_batches(data: &Matrix<f64>, batch: usize) -> Vec<Matrix<f64>> {
+        let m = data.rows();
+        let stride = 97usize; // coprime with the test sizes used below
+        assert_eq!(
+            num_gcd(stride, m),
+            1,
+            "stride must be coprime with m for a full permutation"
+        );
+        let order: Vec<usize> = (0..m).map(|i| (i * stride) % m).collect();
+        order
+            .chunks(batch)
+            .map(|rows| Matrix::from_fn(rows.len(), data.cols(), |r, c| data.get(rows[r], c)))
+            .collect()
+    }
+
+    fn num_gcd(a: usize, b: usize) -> usize {
+        if b == 0 {
+            a
+        } else {
+            num_gcd(b, a % b)
+        }
+    }
+
+    #[test]
+    fn streaming_recovers_the_full_batch_clustering() {
+        let data = blobs(600, 6, 4, 3);
+        let session = Session::a100();
+        // k-means++ seeding: one seed per blob with near-certainty, so the
+        // stream and the full-batch fit converge to the same partition
+        // (random seeding can double-seed a blob and strand the stream in a
+        // different local optimum — mini-batch has no empty-cluster repair).
+        let km = session.kmeans(
+            KMeansConfig::new(4)
+                .with_seed(7)
+                .with_init(crate::config::InitMethod::KMeansPlusPlus),
+        );
+        let full = km.fit_model(&data).expect("full fit");
+
+        let mut model = None;
+        // two passes over the stream settle the learning-rate updates
+        for _epoch in 0..2 {
+            for b in shuffled_batches(&data, 128) {
+                model = Some(km.partial_fit(model, &b).expect("batch"));
+            }
+        }
+        let model = model.unwrap();
+        let stream_labels = model.predict(&data).unwrap();
+        let ari = adjusted_rand_index(&stream_labels, &full.labels);
+        assert!(
+            ari >= 0.95,
+            "streaming vs full-batch ARI {ari:.3} (want ≥ 0.95)"
+        );
+        assert_eq!(model.batches_seen(), 10, "2 epochs x 5 batches");
+        assert_eq!(
+            model.center_weights().iter().sum::<u64>(),
+            1200,
+            "weights count every processed sample"
+        );
+    }
+
+    #[test]
+    fn first_batch_must_hold_k_samples() {
+        let session = Session::a100();
+        let km = session.kmeans(KMeansConfig::new(8).with_seed(1));
+        let tiny = blobs(4, 3, 2, 1);
+        match km.partial_fit(None, &tiny) {
+            Err(KMeansError::InvalidConfig { field: "k", reason }) => {
+                assert!(reason.contains("batch"), "streaming wording: {reason}");
+            }
+            other => panic!("expected InvalidConfig(k): {other:?}"),
+        }
+    }
+
+    #[test]
+    fn continuation_rejects_dimension_changes() {
+        let session = Session::a100();
+        let km = session.kmeans(KMeansConfig::new(2).with_seed(1));
+        let model = km.partial_fit(None, &blobs(32, 3, 2, 5)).unwrap();
+        let bad = blobs(16, 5, 2, 5);
+        assert!(matches!(
+            km.partial_fit(Some(model), &bad),
+            Err(KMeansError::ShapeMismatch { what: "batch", .. })
+        ));
+    }
+
+    #[test]
+    fn full_fit_continues_as_a_stream() {
+        let data = blobs(300, 4, 3, 9);
+        let session = Session::a100();
+        let km = session.kmeans(KMeansConfig::new(3).with_seed(2));
+        let full = km.fit_model(&data).expect("fit");
+        let seen: u64 = full.center_weights().iter().sum();
+        assert_eq!(seen, 300);
+        let lloyd_iters = full.iterations;
+        let lloyd_events = full.history.len();
+        assert!(full.converged);
+        let cont = km
+            .partial_fit(Some(full), &blobs(64, 4, 3, 10))
+            .expect("continuation");
+        assert_eq!(cont.batches_seen(), 1);
+        assert_eq!(cont.center_weights().iter().sum::<u64>(), 364);
+        // bookkeeping counts forward from the Lloyd fit, never backwards
+        assert_eq!(cont.iterations, lloyd_iters + 1);
+        assert!(!cont.converged, "a stream is never 'converged'");
+        assert_eq!(cont.history.len(), lloyd_events + 1);
+        assert_eq!(
+            cont.history.last().unwrap().iteration,
+            lloyd_events,
+            "batch events extend the Lloyd numbering without colliding"
+        );
+    }
+
+    #[test]
+    fn abft_and_injection_counters_accumulate_across_batches() {
+        let session = Session::a100();
+        let cfg = KMeansConfig::new(3).with_seed(4).with_ft(FtConfig {
+            scheme: abft::SchemeKind::FtKMeans,
+            dmr_update: true,
+            injection: fault::InjectionSchedule::PerBlock { probability: 0.7 },
+            injection_seed: 11,
+            ..Default::default()
+        });
+        let km = session.kmeans(cfg);
+        let mut model = None;
+        let mut last = (0u64, 0u64, 0u64, 0u64);
+        for i in 0..4 {
+            let b = blobs(128, 4, 3, 20 + i);
+            let m = km.partial_fit(model.take(), &b).expect("batch");
+            let now = (
+                m.injected,
+                m.ft_stats.handled(),
+                m.counters.mma_ops,
+                m.ft_stats.injection_launches,
+            );
+            assert!(now.0 >= last.0, "injected monotone: {now:?} vs {last:?}");
+            assert!(now.1 >= last.1, "handled monotone");
+            assert!(now.2 > last.2, "mma counters grow every batch");
+            assert_eq!(now.3, last.3 + 2, "2 injection launches per batch");
+            assert_eq!(
+                m.injection_records.len() as u64,
+                m.injected,
+                "records mirror the accumulated count"
+            );
+            last = now;
+            model = Some(m);
+        }
+        assert!(last.0 > 0, "a 0.7 per-block storm must inject something");
+        let model = model.unwrap();
+        assert_eq!(model.history.len(), 4, "one history event per batch");
+    }
+
+    #[test]
+    fn stream_keeps_the_worst_rate_realization() {
+        // Batch sizes change across the stream, so the per-block clamp's
+        // achievable rate changes too; the reported realization must be the
+        // worst one seen, not whatever the final batch achieved.
+        let session = Session::a100();
+        let cfg = KMeansConfig::new(3).with_seed(4).with_ft(FtConfig {
+            scheme: abft::SchemeKind::FtKMeans,
+            dmr_update: true,
+            injection: fault::InjectionSchedule::Rate {
+                errors_per_second: 1e6, // saturates small batches for sure
+            },
+            injection_seed: 7,
+            modeled_residency_s: 1.0,
+            ..Default::default()
+        });
+        let km = session.kmeans(cfg);
+        // tiny batch first (few blocks -> clamp saturates hard), then a
+        // larger one (more blocks -> higher achievable rate)
+        let model = km.partial_fit(None, &blobs(64, 4, 3, 1)).unwrap();
+        let worst = model.injection_realization.expect("rate must report");
+        assert!(worst.saturated());
+        let model = km.partial_fit(Some(model), &blobs(1024, 4, 3, 2)).unwrap();
+        let kept = model.injection_realization.unwrap();
+        assert!(
+            kept.achieved_hz <= worst.achieved_hz + 1e-9,
+            "stream must keep the worst realization: kept {kept:?} vs first-batch {worst:?}"
+        );
+        assert!(kept.saturated());
+    }
+
+    #[test]
+    fn batch_inertia_is_self_consistent() {
+        let session = Session::a100();
+        let km = session.kmeans(KMeansConfig::new(2).with_seed(3));
+        let b = blobs(96, 3, 2, 8);
+        let model = km.partial_fit(None, &b).unwrap();
+        let check = metrics::inertia(&b, &model.centroids, &model.labels);
+        assert!((check - model.inertia).abs() <= 1e-12 * check.max(1.0));
+    }
+}

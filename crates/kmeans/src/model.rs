@@ -1,0 +1,288 @@
+//! The fitted half of the estimator lifecycle.
+//!
+//! A [`FittedModel`] is what [`crate::KMeans::fit_model`] and
+//! [`crate::KMeans::partial_fit`] return: the [`FitResult`] plus everything
+//! needed to keep using the model without re-deriving state — the session
+//! handle, the configuration, and the device-resident final centroids
+//! (the fit's sample buffers are released at construction; nothing reads
+//! them again). Repeated [`FittedModel::predict`] /
+//! [`FittedModel::score`] calls *share* the resident centroid and
+//! centroid-norm buffers (device-pointer copies; no re-upload, no norm
+//! kernel re-run — only the query samples are uploaded per call), and
+//! [`crate::KMeans::fit_from`] uses the model's centroids as a warm
+//! start.
+
+use crate::assign::run_assignment;
+use crate::config::KMeansConfig;
+use crate::device_data::DeviceData;
+use crate::driver::FitResult;
+use crate::error::KMeansError;
+use crate::session::Session;
+use fault::CampaignStats;
+use gpu_sim::mma::NoFault;
+use gpu_sim::{Counters, Matrix, Scalar};
+use parking_lot::Mutex;
+
+/// A fitted K-means model owning its device-resident state.
+///
+/// Dereferences to the underlying [`FitResult`], so result fields read
+/// naturally: `model.labels`, `model.inertia`, `model.ft_stats`, ...
+///
+/// ```
+/// use gpu_sim::{DeviceProfile, Matrix};
+/// use kmeans::{KMeansConfig, Session};
+///
+/// let session = Session::new(DeviceProfile::a100());
+/// let data = Matrix::<f64>::from_fn(24, 3, |r, c| (r % 3) as f64 * 9.0 + c as f64 * 0.1);
+/// let model = session
+///     .kmeans(KMeansConfig::new(3).with_seed(4))
+///     .fit_model(&data)
+///     .unwrap();
+/// // result fields via deref, prediction via the model itself
+/// assert!(model.converged);
+/// assert_eq!(model.predict(&data).unwrap(), model.labels);
+/// // new samples only need matching dimensionality
+/// let fresh = Matrix::<f64>::from_fn(5, 3, |_, c| c as f64 * 0.1);
+/// assert_eq!(model.predict(&fresh).unwrap().len(), 5);
+/// ```
+pub struct FittedModel<T: Scalar> {
+    pub(crate) session: Session,
+    pub(crate) config: KMeansConfig,
+    /// The *final* centroids and their norms, device-resident
+    /// ([`DeviceData::centroids_only`] — the sample buffers of the fit are
+    /// dropped at construction; nothing reads them again). The
+    /// predict/score path shares these centroid buffers (device-pointer
+    /// copies) instead of re-uploading.
+    pub(crate) data: DeviceData<T>,
+    pub(crate) result: FitResult<T>,
+    /// Per-center accumulated sample counts: the mini-batch learning-rate
+    /// state (for a full-batch fit, the final cluster sizes).
+    pub(crate) weights: Vec<u64>,
+    /// Mini-batch batches consumed (0 for a full-batch fit).
+    pub(crate) batches: usize,
+}
+
+impl<T: Scalar> std::ops::Deref for FittedModel<T> {
+    type Target = FitResult<T>;
+
+    fn deref(&self) -> &FitResult<T> {
+        &self.result
+    }
+}
+
+impl<T: Scalar> std::fmt::Debug for FittedModel<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FittedModel")
+            .field("k", &self.config.k)
+            .field("dim", &self.data.dim)
+            .field("batches", &self.batches)
+            .field("result", &self.result)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T: Scalar> FittedModel<T> {
+    /// Assemble a model from a finished fit (`data` must hold the final
+    /// centroids). Only the centroid buffers are kept resident; the fit's
+    /// sample buffers are released here.
+    pub(crate) fn from_parts(
+        session: Session,
+        config: KMeansConfig,
+        data: &DeviceData<T>,
+        result: FitResult<T>,
+        weights: Vec<u64>,
+        batches: usize,
+    ) -> Self {
+        FittedModel {
+            session,
+            config,
+            data: data.centroids_only(),
+            result,
+            weights,
+            batches,
+        }
+    }
+
+    /// The configuration the model was fitted under.
+    pub fn config(&self) -> &KMeansConfig {
+        &self.config
+    }
+
+    /// The session the model is bound to.
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// The full fit outcome.
+    pub fn result(&self) -> &FitResult<T> {
+        &self.result
+    }
+
+    /// Consume the model, keeping only the fit outcome (drops the
+    /// device-resident buffers).
+    pub fn into_result(self) -> FitResult<T> {
+        self.result
+    }
+
+    /// Mini-batch batches consumed so far (0 for a full-batch fit).
+    pub fn batches_seen(&self) -> usize {
+        self.batches
+    }
+
+    /// Per-center accumulated sample counts — the mini-batch learning-rate
+    /// denominators. For a full-batch fit these are the final cluster sizes.
+    pub fn center_weights(&self) -> &[u64] {
+        &self.weights
+    }
+
+    /// Feature dimensionality the model was trained on.
+    pub fn dim(&self) -> usize {
+        self.data.dim
+    }
+
+    /// Assign each of `samples` to its nearest centroid.
+    ///
+    /// Only the query samples are uploaded; the resident centroid and
+    /// centroid-norm buffers are shared (no re-upload, no centroid norm
+    /// kernel re-run).
+    pub fn predict(&self, samples: &Matrix<T>) -> Result<Vec<u32>, KMeansError> {
+        Ok(self.assign(samples)?.0)
+    }
+
+    /// Total within-cluster sum of squared distances of `samples` against
+    /// the fitted centroids (the K-means objective; lower is better). For
+    /// the training inertia use the `inertia` result field.
+    pub fn score(&self, samples: &Matrix<T>) -> Result<f64, KMeansError> {
+        Ok(self.assign(samples)?.1)
+    }
+
+    fn assign(&self, samples: &Matrix<T>) -> Result<(Vec<u32>, f64), KMeansError> {
+        if samples.cols() != self.data.dim {
+            return Err(KMeansError::ShapeMismatch {
+                what: "samples",
+                expected: (samples.rows(), self.data.dim),
+                got: (samples.rows(), samples.cols()),
+            });
+        }
+        self.session.run(|| {
+            let device = self.session.device();
+            let counters = Counters::new();
+            let stats = Mutex::new(CampaignStats::default());
+            // Upload only the query samples; the resident centroid and
+            // centroid-norm buffers are shared, not re-uploaded.
+            let data = self
+                .data
+                .upload_samples_sharing_centroids(device, samples, &counters)?;
+            let out = run_assignment(
+                device,
+                &data,
+                self.config.variant,
+                self.config.ft.scheme,
+                &NoFault,
+                &counters,
+                &stats,
+            )?;
+            let inertia = out.distances.iter().map(|d| d.to_f64().max(0.0)).sum();
+            Ok((out.labels, inertia))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Variant;
+    use crate::reference::assign_reference;
+    use crate::session::Session;
+
+    fn blobs(m: usize, dim: usize, k: usize) -> Matrix<f64> {
+        Matrix::from_fn(m, dim, |r, c| {
+            ((r % k) * 12) as f64 + ((r * 7 + c * 3) % 5) as f64 * 0.05 + c as f64 * 0.01
+        })
+    }
+
+    fn fitted(k: usize) -> (Matrix<f64>, FittedModel<f64>) {
+        let data = blobs(90, 4, k);
+        let model = Session::a100()
+            .kmeans(KMeansConfig::new(k).with_seed(3))
+            .fit_model(&data)
+            .expect("fit");
+        (data, model)
+    }
+
+    #[test]
+    fn predict_matches_reference_assignment() {
+        let (_, model) = fitted(3);
+        let queries = blobs(30, 4, 3);
+        let labels = model.predict(&queries).unwrap();
+        let (want, _) = assign_reference(&queries, &model.centroids);
+        assert_eq!(labels, want);
+    }
+
+    #[test]
+    fn repeated_predicts_are_stable() {
+        let (data, model) = fitted(3);
+        let a = model.predict(&data).unwrap();
+        let b = model.predict(&data).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(
+            a, model.labels,
+            "converged fit is an assignment fixed point"
+        );
+    }
+
+    #[test]
+    fn score_is_the_inertia_of_the_assignment() {
+        let (data, model) = fitted(3);
+        let score = model.score(&data).unwrap();
+        assert!((score - model.inertia).abs() <= 1e-9 * model.inertia.max(1.0));
+    }
+
+    #[test]
+    fn predict_rejects_wrong_dimensionality() {
+        let (_, model) = fitted(3);
+        let bad = Matrix::<f64>::zeros(5, 7);
+        match model.predict(&bad) {
+            Err(KMeansError::ShapeMismatch {
+                what,
+                expected,
+                got,
+            }) => {
+                assert_eq!(what, "samples");
+                assert_eq!(expected.1, 4);
+                assert_eq!(got.1, 7);
+            }
+            other => panic!("expected shape mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn predict_works_for_every_variant() {
+        let data = blobs(80, 3, 2);
+        for variant in [
+            Variant::Naive,
+            Variant::GemmV1,
+            Variant::FusedV2,
+            Variant::BroadcastV3,
+            Variant::Tensor(None),
+        ] {
+            let model = Session::a100()
+                .kmeans(KMeansConfig::new(2).with_seed(1).with_variant(variant))
+                .fit_model(&data)
+                .expect("fit");
+            let labels = model.predict(&data).unwrap();
+            assert_eq!(labels.len(), 80);
+        }
+    }
+
+    #[test]
+    fn full_fit_weights_are_cluster_sizes() {
+        let (_, model) = fitted(3);
+        let mut counts = vec![0u64; 3];
+        for &l in &model.labels {
+            counts[l as usize] += 1;
+        }
+        assert_eq!(model.center_weights(), counts.as_slice());
+        assert_eq!(model.batches_seen(), 0);
+    }
+}

@@ -69,9 +69,11 @@ fn main() {
         println!("  selector covers {} kernels", named.len());
         let _ = emit_selector(precision, &named);
 
-        // The queryable artifact.
+        // The queryable artifact. (In estimator code this is what
+        // `Session::selector` builds lazily and persists via
+        // `FTK_SELECTOR_CACHE` / `Session::with_selector_cache`.)
         let selector = KernelSelector::build(&device, precision);
-        let choice = selector.select(131_072, 8, 64);
+        let choice = selector.select(8, 64);
         println!(
             "  selector(M=131072, K=8, N=64) -> tb{} warp{}",
             choice.threadblock, choice.warp

@@ -10,8 +10,8 @@
 
 use ft_kmeans::data::{image_patches, SyntheticImage};
 use ft_kmeans::gpu::Matrix;
-use ft_kmeans::kmeans::{FtConfig, KMeans, KMeansConfig, Variant};
-use ft_kmeans::DeviceProfile;
+use ft_kmeans::kmeans::{FtConfig, KMeansConfig, Variant};
+use ft_kmeans::{DeviceProfile, Session};
 
 const PATCH: usize = 4;
 const CODEBOOK: usize = 32;
@@ -30,14 +30,14 @@ fn main() {
     );
 
     // 2. Learn the codebook with the FT tensor kernel.
-    let km = KMeans::new(
-        DeviceProfile::a100(),
+    let session = Session::new(DeviceProfile::a100());
+    let km = session.kmeans(
         KMeansConfig::new(CODEBOOK)
             .with_variant(Variant::tensor_default())
             .with_ft(FtConfig::protected())
             .with_seed(3),
     );
-    let fit = km.fit(&patches).expect("codebook fit");
+    let fit = km.fit_model(&patches).expect("codebook fit");
 
     // 3. Reconstruct: replace every patch by its codeword and measure MSE.
     let mut mse = 0.0f64;
@@ -65,9 +65,23 @@ fn main() {
         raw_bits as f64 / vq_bits as f64
     );
 
+    // 4. Quantize a second image against the SAME fitted codebook: the
+    //    model owns its uploaded centroids, so this is a predict call, not
+    //    a re-fit (and no centroid re-upload happens).
+    let img2 = SyntheticImage::generate(128, 96, 4, 4048);
+    let patches2: Matrix<f32> = image_patches(&img2, PATCH);
+    let codes2 = fit.predict(&patches2).expect("quantize second image");
+    let distortion2 = fit.score(&patches2).expect("score second image")
+        / (patches2.rows() * patches2.cols()) as f64;
+    println!(
+        "second image      : {} patches quantized, distortion {distortion2:.5}",
+        codes2.len()
+    );
+
     assert!(
         psnr > 15.0,
         "codebook should reconstruct the image reasonably"
     );
     assert!(fit.iterations > 1);
+    assert!(distortion2.is_finite() && distortion2 >= 0.0);
 }

@@ -6,8 +6,8 @@
 //! ```
 
 use ft_kmeans::data::{make_blobs, BlobSpec};
-use ft_kmeans::kmeans::{metrics, FtConfig, InitMethod, KMeans, KMeansConfig, Variant};
-use ft_kmeans::DeviceProfile;
+use ft_kmeans::kmeans::{metrics, FtConfig, InitMethod, KMeansConfig, Variant};
+use ft_kmeans::{DeviceProfile, Session};
 
 fn main() {
     // 1. A synthetic workload: 8192 samples, 16 features, 12 true clusters.
@@ -21,17 +21,22 @@ fn main() {
     };
     let (data, true_labels, _) = make_blobs::<f32>(&spec);
 
-    // 2. Configure the estimator: tensor-core kernel, warp-level ABFT on
-    //    the distance GEMM, DMR on the centroid update.
-    let mut config = KMeansConfig::new(12)
-        .with_variant(Variant::tensor_default())
-        .with_ft(FtConfig::protected())
-        .with_seed(7);
-    config.init = InitMethod::KMeansPlusPlus;
-    let km = KMeans::new(DeviceProfile::a100(), config);
+    // 2. A session holds the long-lived context (device, executor handle,
+    //    selector cache); the estimator configuration is all builders:
+    //    tensor-core kernel, warp-level ABFT on the distance GEMM, DMR on
+    //    the centroid update, k-means++ seeding.
+    let session = Session::new(DeviceProfile::a100());
+    let km = session.kmeans(
+        KMeansConfig::new(12)
+            .with_variant(Variant::tensor_default())
+            .with_ft(FtConfig::protected())
+            .with_seed(7)
+            .with_init(InitMethod::KMeansPlusPlus),
+    );
 
-    // 3. Fit.
-    let result = km.fit(&data).expect("fit");
+    // 3. Fit. The returned model owns the uploaded centroids, so predict
+    //    and score calls reuse them without re-uploading.
+    let result = km.fit_model(&data).expect("fit");
 
     println!("FT K-Means quickstart");
     println!("  samples           : {}", data.rows());
@@ -49,6 +54,14 @@ fn main() {
     );
     println!("  tensor MMA issued : {}", result.counters.mma_ops);
     println!("  checksum MMA      : {}", result.counters.ft_mma_ops);
+
+    // 4. The fitted model classifies unseen samples directly.
+    let (probe, _, _) = make_blobs::<f32>(&BlobSpec { seed: 43, ..spec });
+    let probe_labels = result.predict(&probe).expect("predict");
+    println!(
+        "  probe batch       : {} samples classified",
+        probe_labels.len()
+    );
 
     assert!(result.converged, "quickstart should converge");
 }

@@ -12,8 +12,8 @@
 use ft_kmeans::abft::SchemeKind;
 use ft_kmeans::data::{make_blobs, BlobSpec};
 use ft_kmeans::fault::InjectionSchedule;
-use ft_kmeans::kmeans::{FtConfig, KMeans, KMeansConfig, Variant};
-use ft_kmeans::DeviceProfile;
+use ft_kmeans::kmeans::{FtConfig, KMeansConfig, Variant};
+use ft_kmeans::{DeviceProfile, Session};
 
 fn main() {
     let (data, _, _) = make_blobs::<f64>(&BlobSpec {
@@ -24,14 +24,16 @@ fn main() {
         center_box: 8.0,
         seed: 99,
     });
-    let device = DeviceProfile::a100();
+    // One session serves all three fits.
+    let session = Session::new(DeviceProfile::a100());
     let base = KMeansConfig::new(10)
         .with_variant(Variant::tensor_default())
         .with_seed(5);
 
     // Ground truth: no faults, no FT.
-    let clean = KMeans::new(device.clone(), base.clone())
-        .fit(&data)
+    let clean = session
+        .kmeans(base.clone())
+        .fit_model(&data)
         .expect("clean");
 
     let storm = InjectionSchedule::PerBlock { probability: 0.4 };
@@ -47,8 +49,9 @@ fn main() {
         },
         ..base.clone()
     };
-    let unprotected = KMeans::new(device.clone(), unprotected_cfg)
-        .fit(&data)
+    let unprotected = session
+        .kmeans(unprotected_cfg)
+        .fit_model(&data)
         .expect("unprot");
 
     // Protected under the same storm.
@@ -62,8 +65,9 @@ fn main() {
         },
         ..base
     };
-    let protected = KMeans::new(device.clone(), protected_cfg)
-        .fit(&data)
+    let protected = session
+        .kmeans(protected_cfg)
+        .fit_model(&data)
         .expect("prot");
 
     let agree = |a: &[u32], b: &[u32]| {

@@ -10,6 +10,22 @@
 //! use ft_kmeans::gpu::DeviceProfile;
 //! assert_eq!(DeviceProfile::a100().sm_count, 108);
 //! ```
+//!
+//! The estimator lifecycle — build a [`Session`] once, derive estimators,
+//! keep the [`FittedModel`]s:
+//!
+//! ```
+//! use ft_kmeans::gpu::Matrix;
+//! use ft_kmeans::{DeviceProfile, KMeansConfig, Session};
+//!
+//! let session = Session::new(DeviceProfile::a100());
+//! let data = Matrix::<f64>::from_fn(48, 2, |r, c| (r % 2) as f64 * 9.0 + c as f64 * 0.1);
+//! let model = session
+//!     .kmeans(KMeansConfig::new(2).with_seed(7))
+//!     .fit_model(&data)
+//!     .unwrap();
+//! assert_eq!(model.predict(&data).unwrap(), model.labels);
+//! ```
 
 /// Simulated-GPU substrate (devices, memory, MMA, timing model).
 pub use gpu_sim as gpu;
@@ -30,4 +46,4 @@ pub use kmeans;
 pub use codegen;
 
 pub use gpu_sim::{DeviceProfile, Precision};
-pub use kmeans::{KMeans, KMeansConfig};
+pub use kmeans::{FittedModel, KMeans, KMeansConfig, KMeansError, Session};

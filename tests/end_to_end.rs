@@ -5,45 +5,43 @@ use ft_kmeans::data::{anisotropic, imbalanced, uniform_cube, DatasetSpec, SCENAR
 use ft_kmeans::gpu::{Matrix, Scalar};
 use ft_kmeans::kmeans::reference::{assign_reference, lloyd_reference};
 use ft_kmeans::kmeans::{metrics, InitMethod, KMeans, KMeansConfig, Variant};
-use ft_kmeans::DeviceProfile;
+use ft_kmeans::{DeviceProfile, Session};
 
 fn fit_labels<T: Scalar>(
-    device: &DeviceProfile,
+    session: &Session,
     data: &Matrix<T>,
     k: usize,
     variant: Variant,
     seed: u64,
 ) -> Vec<u32> {
-    let km = KMeans::new(
-        device.clone(),
-        KMeansConfig {
-            k,
-            max_iter: 12,
-            tol: 0.0,
-            seed,
-            variant,
-            ..Default::default()
-        },
-    );
-    km.fit(data).expect("fit").labels
+    let km = session.kmeans(KMeansConfig {
+        k,
+        max_iter: 12,
+        tol: 0.0,
+        seed,
+        variant,
+        ..Default::default()
+    });
+    km.fit_model(data).expect("fit").labels.clone()
 }
 
 #[test]
 fn all_variants_agree_on_every_scenario_f64() {
     // FP64 leaves no room for formula-rounding divergence between the
     // direct Σ(x−y)² distance (naive) and the norm identity (GEMM paths):
-    // full Lloyd trajectories must coincide.
-    let dev = DeviceProfile::a100();
+    // full Lloyd trajectories must coincide. One session serves every
+    // scenario/variant combination.
+    let session = Session::new(DeviceProfile::a100());
     for spec in SCENARIOS.iter().filter(|s| s.samples <= 3000) {
         let (data, _, _) = spec.build::<f64>();
-        let reference = fit_labels(&dev, &data, spec.clusters, Variant::Tensor(None), 3);
+        let reference = fit_labels(&session, &data, spec.clusters, Variant::Tensor(None), 3);
         for variant in [
             Variant::Naive,
             Variant::GemmV1,
             Variant::FusedV2,
             Variant::BroadcastV3,
         ] {
-            let labels = fit_labels(&dev, &data, spec.clusters, variant, 3);
+            let labels = fit_labels(&session, &data, spec.clusters, variant, 3);
             let agree = labels
                 .iter()
                 .zip(&reference)
@@ -190,8 +188,9 @@ fn clustering_quality_on_separated_blobs() {
         seed: 33,
     };
     let (data, truth, _) = spec.build::<f32>();
-    let mut cfg = KMeansConfig::new(8).with_seed(2);
-    cfg.init = InitMethod::KMeansPlusPlus;
+    let mut cfg = KMeansConfig::new(8)
+        .with_seed(2)
+        .with_init(InitMethod::KMeansPlusPlus);
     cfg.max_iter = 60;
     let fit = KMeans::new(dev, cfg).fit(&data).expect("fit");
     let ari = metrics::adjusted_rand_index(&fit.labels, &truth);

@@ -5,8 +5,8 @@ use ft_kmeans::abft::SchemeKind;
 use ft_kmeans::data::{make_blobs, BlobSpec};
 use ft_kmeans::fault::InjectionSchedule;
 use ft_kmeans::gpu::{Matrix, Scalar};
-use ft_kmeans::kmeans::{FtConfig, KMeans, KMeansConfig, Variant};
-use ft_kmeans::DeviceProfile;
+use ft_kmeans::kmeans::{FittedModel, FtConfig, KMeansConfig, Variant};
+use ft_kmeans::{DeviceProfile, Session};
 
 fn blobs<T: Scalar>(m: usize, dim: usize, k: usize, seed: u64) -> Matrix<T> {
     let (data, _, _) = make_blobs::<T>(&BlobSpec {
@@ -27,7 +27,7 @@ fn run<T: Scalar>(
     scheme: SchemeKind,
     injection: InjectionSchedule,
     seed: u64,
-) -> ft_kmeans::kmeans::FitResult<T> {
+) -> FittedModel<T> {
     let cfg = KMeansConfig {
         k,
         max_iter: 5,
@@ -43,7 +43,11 @@ fn run<T: Scalar>(
         },
         ..Default::default()
     };
-    KMeans::new(device.clone(), cfg).fit(data).expect("fit")
+    // session path: result fields read through the model's Deref
+    Session::new(device.clone())
+        .kmeans(cfg)
+        .fit_model(data)
+        .expect("fit")
 }
 
 #[test]
@@ -163,7 +167,10 @@ fn unprotected_runs_are_actually_damaged_fp64() {
             },
             ..Default::default()
         };
-        let hit = KMeans::new(dev.clone(), cfg).fit(&data).expect("fit");
+        let hit = Session::new(dev.clone())
+            .kmeans(cfg)
+            .fit_model(&data)
+            .expect("fit");
         if hit.labels != clean.labels || (hit.inertia - clean.inertia).abs() / clean.inertia > 1e-12
         {
             damaged_any = true;

@@ -7,7 +7,7 @@ use ft_kmeans::codegen::{KernelParams, KernelSelector};
 use ft_kmeans::data::{make_blobs, BlobSpec};
 use ft_kmeans::gpu::timing::{estimate, FtMode, GemmShape, KernelClass, TimingInput};
 use ft_kmeans::kmeans::{KMeans, KMeansConfig, Variant};
-use ft_kmeans::{DeviceProfile, Precision};
+use ft_kmeans::{DeviceProfile, Precision, Session};
 
 fn small_grid() -> ShapeGrid {
     ShapeGrid {
@@ -29,7 +29,7 @@ fn selected_tile_runs_functionally_and_matches_default() {
         center_box: 6.0,
         seed: 2,
     });
-    let chosen = selector.select(1024, 16, 32);
+    let chosen = selector.select(16, 32);
     let tile = chosen.tile_config(stages_for(&dev));
     let cfg_sel = KMeansConfig {
         k: 16,
@@ -63,7 +63,7 @@ fn selector_choice_dominates_cuml_in_model_across_grid() {
         let stages = stages_for(&dev);
         let cuml = KernelParams::cuml(precision).tile_config(stages);
         for &(clusters, dim) in &[(8usize, 8usize), (8, 128), (128, 8), (256, 64)] {
-            let choice = selector.select(131_072, clusters, dim).tile_config(stages);
+            let choice = selector.select(clusters, dim).tile_config(stages);
             let shape = GemmShape::new(131_072, clusters, dim);
             let t_sel = estimate(&TimingInput::plain(
                 &dev,
@@ -95,11 +95,56 @@ fn selector_text_roundtrip_preserves_choices() {
     let back = KernelSelector::from_text(&text).expect("parse");
     for &(clusters, dim) in &[(8usize, 16usize), (128, 64), (500, 100)] {
         assert_eq!(
-            selector.select(131_072, clusters, dim),
-            back.select(131_072, clusters, dim),
+            selector.select(clusters, dim),
+            back.select(clusters, dim),
             "K={clusters} N={dim}"
         );
     }
+}
+
+#[test]
+fn session_selector_persists_and_feeds_a_functional_fit() {
+    // The estimator-lifecycle face of selector persistence: a session tunes
+    // once, writes the cache, and a second session reuses the file; the
+    // tuned tile is functionally interchangeable with the default.
+    let dir = std::env::temp_dir().join(format!("ftk-selector-integration-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let session = Session::new(DeviceProfile::a100()).with_selector_cache(&dir);
+    let tile = session.tuned_tile(Precision::Fp32, 16, 32);
+
+    // second session: must load the persisted table, not re-tune a
+    // different one
+    let session2 = Session::new(DeviceProfile::a100()).with_selector_cache(&dir);
+    assert_eq!(session2.tuned_tile(Precision::Fp32, 16, 32), tile);
+    assert!(
+        std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0) >= 1,
+        "tuning must have persisted at least one table under {dir:?}"
+    );
+
+    let (data, _, _) = make_blobs::<f32>(&BlobSpec {
+        samples: 1024,
+        dim: 32,
+        centers: 16,
+        cluster_std: 0.4,
+        center_box: 6.0,
+        seed: 2,
+    });
+    let tuned = session
+        .kmeans(
+            KMeansConfig::new(16)
+                .with_seed(3)
+                .with_variant(Variant::Tensor(Some(tile))),
+        )
+        .fit_model(&data)
+        .expect("tuned-tile fit");
+    let default = session
+        .kmeans(KMeansConfig::new(16).with_seed(3))
+        .fit_model(&data)
+        .expect("default-tile fit");
+    assert_eq!(tuned.labels, default.labels, "tiling is a perf knob only");
+
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
@@ -110,7 +155,7 @@ fn ft_mode_timing_consistency_for_selected_tiles() {
     let selector = KernelSelector::build_with_grid(&dev, Precision::Fp32, &small_grid());
     let stages = stages_for(&dev);
     for &(clusters, dim) in &[(8usize, 64usize), (128, 128)] {
-        let tile = selector.select(131_072, clusters, dim).tile_config(stages);
+        let tile = selector.select(clusters, dim).tile_config(stages);
         let shape = GemmShape::new(131_072, clusters, dim);
         let plain = estimate(&TimingInput::plain(
             &dev,
