@@ -4,6 +4,9 @@
 //!
 //! * [`checksum`] — the `e1 = [1,1,…,1]` and `e2 = [1,2,…,n]` encodings of
 //!   operands and accumulator tiles,
+//! * [`bounds`] — the FP-slack policy that keeps Hamerly bound pruning
+//!   consistent with the reference scan and gives bound revalidation its
+//!   false-alarm immunity,
 //! * [`threshold`] — the detection threshold δ policy (floating-point
 //!   rounding must not raise false alarms; injected bit flips above the
 //!   noise floor must),
@@ -21,6 +24,7 @@
 //! * [`dmr`] — dual modular redundancy for the memory-bound centroid
 //!   update.
 
+pub mod bounds;
 pub mod checksum;
 pub mod correct;
 pub mod detect;
@@ -30,6 +34,7 @@ pub mod online;
 pub mod schemes;
 pub mod threshold;
 
+pub use bounds::BoundPolicy;
 pub use checksum::ChecksumTriple;
 pub use correct::correct_in_place;
 pub use detect::{compare, Discrepancy};

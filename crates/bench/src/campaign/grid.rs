@@ -91,7 +91,7 @@ impl CampaignGrid {
             rates_hz: vec![10.0, 50.0],
             schemes: vec![SchemeKind::FtKMeans, SchemeKind::Kosaian, SchemeKind::Wu],
             precisions: vec![Precision::Fp32, Precision::Fp64],
-            variants: vec![Variant::Tensor(None)],
+            variants: vec![Variant::Tensor(None), Variant::Hamerly],
             shapes: vec![DataShape {
                 m: 640,
                 dim: 8,
@@ -116,7 +116,7 @@ impl CampaignGrid {
                 SchemeKind::Wu,
             ],
             precisions: vec![Precision::Fp32, Precision::Fp64],
-            variants: vec![Variant::Tensor(None)],
+            variants: vec![Variant::Tensor(None), Variant::Hamerly],
             shapes: vec![DataShape {
                 m: 2048,
                 dim: 32,
@@ -219,6 +219,20 @@ pub fn parse_scheme(s: &str) -> Option<SchemeKind> {
     }
 }
 
+/// Stable lowercase token for a campaign variant — shared by table rows
+/// and JSONL records. Only the variants the campaign axes actually sweep
+/// get tokens; `Tensor` is reported with its paper-series name.
+pub fn variant_token(v: Variant) -> &'static str {
+    match v {
+        Variant::Naive => "naive",
+        Variant::GemmV1 => "gemm_v1",
+        Variant::FusedV2 => "fused_v2",
+        Variant::BroadcastV3 => "broadcast_v3",
+        Variant::Tensor(_) => "tensor_v4",
+        Variant::Hamerly => "hamerly",
+    }
+}
+
 /// Parse a precision token (`fp32` / `fp64`).
 pub fn parse_precision(s: &str) -> Option<Precision> {
     match s.to_ascii_lowercase().as_str() {
@@ -246,6 +260,15 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn quick_grid_sweeps_both_kernel_families() {
+        let cells = CampaignGrid::quick().cells();
+        assert!(cells.iter().any(|c| c.variant == Variant::Tensor(None)));
+        assert!(cells.iter().any(|c| c.variant == Variant::Hamerly));
+        assert_eq!(variant_token(Variant::Tensor(None)), "tensor_v4");
+        assert_eq!(variant_token(Variant::Hamerly), "hamerly");
     }
 
     #[test]

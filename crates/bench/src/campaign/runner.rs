@@ -17,7 +17,7 @@ use data::{make_blobs, BlobSpec};
 use fault::{CampaignStats, FaultTarget, InjectionRecord, InjectionSchedule, RateRealization};
 use gpu_sim::exec::{self, Executor};
 use gpu_sim::{DeviceProfile, Precision, Scalar};
-use kmeans::{FtConfig, KMeansConfig, Session};
+use kmeans::{FtConfig, KMeansConfig, Session, Variant};
 
 /// Everything recorded about one executed cell.
 #[derive(Debug, Clone)]
@@ -104,8 +104,18 @@ fn run_cell_typed<T: Scalar>(grid: &CampaignGrid, cell: &CampaignCell) -> CellOu
             injection_seed: splitmix64(cell.seed),
             // The paper's §V-C protocol: corrupt the distance-kernel MMA
             // stream (the thing the schemes axis protects); the update
-            // phase is DMR territory with its own benches.
-            fault_target: FaultTarget::PayloadMma,
+            // phase is DMR territory with its own benches. The Hamerly
+            // variant computes distances on scalar SIMT FMAs — its sites
+            // never match the tensor-payload filter, so it gets the SIMT
+            // target or the whole cell would inject nothing.
+            fault_target: if cell.variant == Variant::Hamerly {
+                FaultTarget::SimtFma
+            } else {
+                FaultTarget::PayloadMma
+            },
+            // Revalidate Hamerly bounds every iteration: campaign cells
+            // exist to measure detection, not to amortize sweep cost.
+            revalidate_every: 1,
             modeled_residency_s: grid.residency_s,
         },
         ..Default::default()

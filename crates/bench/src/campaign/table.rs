@@ -7,18 +7,20 @@
 //! across runs and execution policies — the committed baseline compares
 //! with `==`.
 
-use super::grid::scheme_token;
+use super::grid::{scheme_token, variant_token};
 use super::runner::CellOutcome;
 use crate::report::FigureReport;
 use fault::CampaignStats;
 
-/// One aggregated row: all cells sharing (scheme, precision, rate).
+/// One aggregated row: all cells sharing (scheme, precision, variant, rate).
 #[derive(Debug, Clone)]
 pub struct CampaignRow {
     /// Scheme token (`ftkmeans` / `kosaian` / `wu` / `none`).
     pub scheme: String,
     /// Precision name (`fp32` / `fp64`).
     pub precision: String,
+    /// Kernel-variant token (`tensor_v4` / `hamerly`).
+    pub variant: String,
     /// Requested rate in errors per modeled second.
     pub rate_hz: f64,
     /// Mean achieved rate after the per-block clamp.
@@ -63,22 +65,27 @@ fn ratio(num: u64, den: u64) -> Option<f64> {
     (den > 0).then(|| num as f64 / den as f64)
 }
 
-/// Group outcomes by (scheme, precision, rate) preserving first-seen order
-/// (which is grid-expansion order, since outcomes arrive by cell index).
+/// Group outcomes by (scheme, precision, variant, rate) preserving
+/// first-seen order (which is grid-expansion order, since outcomes arrive
+/// by cell index).
 pub fn aggregate(outcomes: &[CellOutcome]) -> Vec<CampaignRow> {
     let mut rows: Vec<CampaignRow> = Vec::new();
     for o in outcomes {
         let scheme = scheme_token(o.cell.scheme).to_string();
         let precision = o.cell.precision.name().to_string();
-        let row = match rows
-            .iter_mut()
-            .find(|r| r.scheme == scheme && r.precision == precision && r.rate_hz == o.cell.rate_hz)
-        {
+        let variant = variant_token(o.cell.variant).to_string();
+        let row = match rows.iter_mut().find(|r| {
+            r.scheme == scheme
+                && r.precision == precision
+                && r.variant == variant
+                && r.rate_hz == o.cell.rate_hz
+        }) {
             Some(r) => r,
             None => {
                 rows.push(CampaignRow {
                     scheme,
                     precision,
+                    variant,
                     rate_hz: o.cell.rate_hz,
                     achieved_hz: 0.0,
                     cells: 0,
@@ -105,10 +112,12 @@ pub fn aggregate(outcomes: &[CellOutcome]) -> Vec<CampaignRow> {
 pub fn campaign_table(outcomes: &[CellOutcome]) -> FigureReport {
     let mut rep = FigureReport::new(
         "campaign",
-        "fault-injection campaign: detection / correction / SDC by scheme, precision and rate",
+        "fault-injection campaign: detection / correction / SDC by scheme, precision, variant \
+         and rate",
         &[
             "scheme",
             "precision",
+            "variant",
             "rate_hz",
             "achieved_hz",
             "cells",
@@ -131,6 +140,7 @@ pub fn campaign_table(outcomes: &[CellOutcome]) -> FigureReport {
         rep.push_row(vec![
             r.scheme.clone(),
             r.precision.clone(),
+            r.variant.clone(),
             format!("{:.1}", r.rate_hz),
             format!("{:.1}", r.achieved_hz),
             r.cells.to_string(),
@@ -179,7 +189,8 @@ pub fn records_jsonl(outcomes: &[CellOutcome]) -> String {
             let field = format!("{:?}", r.field()).to_ascii_lowercase();
             s.push_str(&format!(
                 concat!(
-                    "{{\"cell\":{},\"scheme\":\"{}\",\"precision\":\"{}\",\"rate_hz\":{},",
+                    "{{\"cell\":{},\"scheme\":\"{}\",\"precision\":\"{}\",\"variant\":\"{}\",",
+                    "\"rate_hz\":{},",
                     "\"rep\":{},\"shape\":\"{}\",\"block\":[{},{}],\"warp\":{},\"k_step\":{},",
                     "\"hit_checksum\":{},\"elem_idx\":{},\"bit\":{},\"width\":{},\"field\":\"{}\",",
                     "\"magnitude\":{},\"cell_sdc\":{}}}\n"
@@ -187,6 +198,7 @@ pub fn records_jsonl(outcomes: &[CellOutcome]) -> String {
                 o.cell.idx,
                 scheme_token(o.cell.scheme),
                 o.cell.precision.name(),
+                variant_token(o.cell.variant),
                 o.cell.rate_hz,
                 o.cell.rep,
                 o.cell.shape.label(),
@@ -303,6 +315,7 @@ mod tests {
         let row = CampaignRow {
             scheme: "none".into(),
             precision: "fp32".into(),
+            variant: "tensor_v4".into(),
             rate_hz: 0.0,
             achieved_hz: 0.0,
             cells: 1,
@@ -327,7 +340,7 @@ mod tests {
         assert_eq!(rep.columns.len(), rep.rows[0].len());
         assert_eq!(rep.id, "campaign");
         let csv = rep.to_csv();
-        assert!(csv.contains("ftkmeans,fp32,50.0"));
+        assert!(csv.contains("ftkmeans,fp32,tensor_v4,50.0"));
     }
 
     #[test]
@@ -338,6 +351,7 @@ mod tests {
         let line = j.lines().next().unwrap();
         assert!(line.starts_with('{') && line.ends_with('}'));
         assert!(line.contains("\"scheme\":\"wu\""));
+        assert!(line.contains("\"variant\":\"tensor_v4\""));
         assert!(line.contains("\"bit\":30"));
         assert!(line.contains("\"field\":\"exponent\""));
         assert!(line.contains("\"magnitude\":2.5"));

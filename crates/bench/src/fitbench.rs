@@ -17,8 +17,16 @@ pub const K: usize = 16;
 /// Lloyd iterations per fit (tol = 0 so every rep does identical work).
 pub const MAX_ITER: usize = 3;
 
-/// The five variants measured, in ladder order.
-pub const VARIANT_NAMES: [&str; 5] = ["naive", "gemm_v1", "fused_v2", "broadcast_v3", "tensor_v4"];
+/// The six variants measured: the paper's optimization ladder in order,
+/// then the bound-pruned Hamerly family.
+pub const VARIANT_NAMES: [&str; 6] = [
+    "naive",
+    "gemm_v1",
+    "fused_v2",
+    "broadcast_v3",
+    "tensor_v4",
+    "hamerly",
+];
 
 /// One variant's timing at one problem size.
 #[derive(Debug, Clone, PartialEq)]
@@ -76,6 +84,7 @@ fn variant_by_name(name: &str) -> Variant {
         "fused_v2" => Variant::FusedV2,
         "broadcast_v3" => Variant::BroadcastV3,
         "tensor_v4" => Variant::Tensor(None),
+        "hamerly" => Variant::Hamerly,
         other => panic!("unknown variant {other}"),
     }
 }

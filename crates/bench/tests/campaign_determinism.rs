@@ -16,7 +16,7 @@ fn grid() -> CampaignGrid {
         rates_hz: vec![50.0],
         schemes: vec![SchemeKind::FtKMeans, SchemeKind::Wu],
         precisions: vec![Precision::Fp64],
-        variants: vec![Variant::Tensor(None)],
+        variants: vec![Variant::Tensor(None), Variant::Hamerly],
         shapes: vec![DataShape {
             m: 256,
             dim: 8,
@@ -43,8 +43,12 @@ fn table_is_byte_identical_serial_vs_parallel() {
         (campaign_table(&out).to_csv(), records_jsonl(&out))
     });
     assert!(
-        csv_serial.contains("ftkmeans,fp64,50.0"),
+        csv_serial.contains("ftkmeans,fp64,tensor_v4,50.0"),
         "sanity: table rendered\n{csv_serial}"
+    );
+    assert!(
+        csv_serial.contains("ftkmeans,fp64,hamerly,50.0"),
+        "the bound-pruned grid cell must render its own row\n{csv_serial}"
     );
     assert_eq!(
         csv_serial, csv_pool,

@@ -14,10 +14,13 @@
 //! * [`template`] — CUDA-like source emission mirroring Fig. 3/4/6,
 //! * [`tuner`] — exhaustive benchmark over the shape grid (timing model),
 //! * [`selector`] — `(precision, M, N, K) → KernelParams` lookup,
-//! * [`registry`] — stable parameter numbering (the paper's ids 88/69/83…).
+//! * [`registry`] — stable parameter numbering (the paper's ids 88/69/83…),
+//! * [`planner`] — iteration-aware family choice: stateless ladder vs the
+//!   bound-pruned (Hamerly) kernel, which amortizes over Lloyd iterations.
 
 pub mod feasibility;
 pub mod params;
+pub mod planner;
 pub mod registry;
 pub mod selector;
 pub mod space;
@@ -26,6 +29,7 @@ pub mod tuner;
 
 pub use feasibility::{check_feasibility, Feasibility};
 pub use params::{KernelParams, Tile3};
+pub use planner::{plan_variant, VariantChoice, VariantPlan};
 pub use registry::ParamRegistry;
 pub use selector::KernelSelector;
 pub use space::enumerate_params;

@@ -1,0 +1,192 @@
+//! Iteration-aware variant planning: should a fit run the tensor/SIMT
+//! distance ladder every iteration, or the bound-pruned (Hamerly-style)
+//! scalar kernel?
+//!
+//! The per-shape [`crate::KernelSelector`] answers "which tile wins one
+//! assignment launch" — a question independent of the iteration count. The
+//! bound-pruned kernel changes the question: it pays full-scan prices for a
+//! few warmup iterations (bounds start vacuous) and then skips most
+//! candidate distances, so its amortized cost *falls* with the iteration
+//! count while every stateless kernel's cost stays flat. Choosing between
+//! the families therefore needs `max_iter` as an input, which is why this
+//! planner sits beside the selector rather than inside its table.
+//!
+//! The baseline is the fused SIMT kernel (V2 of the paper's §III-A ladder,
+//! the reference point of the fit-throughput regression gate); both sides
+//! are priced with the same analytic timing model the tuner uses.
+
+use gpu_sim::timing::{estimate, GemmShape, KernelClass, TimingInput};
+use gpu_sim::{DeviceProfile, Precision};
+
+/// Full-scan iterations before the bounds earn their keep: the first pass
+/// seeds them and centroids move fastest early, so drift inflation keeps
+/// the next couple of passes close to unpruned.
+pub const WARMUP_FULL_SCANS: usize = 3;
+
+/// Steady-state fraction of candidate distances the triangle-inequality
+/// test skips once centroid motion settles (well-separated clusters; the
+/// prune-rate regression test holds the kernel to better than half).
+pub const STEADY_PRUNED_FRACTION: f64 = 0.85;
+
+/// Auxiliary kernels the bound-pruned variant adds per iteration (centroid
+/// drift, inter-centroid separation, bound drift application).
+const AUX_LAUNCHES: f64 = 3.0;
+
+/// Which kernel family a fit should run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VariantChoice {
+    /// Stay on the stateless ladder (tensor or SIMT assignment).
+    Baseline,
+    /// Run the bound-pruned scalar kernel with device-resident bounds.
+    BoundPruned,
+}
+
+/// The planner's verdict plus the modeled totals behind it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariantPlan {
+    /// The cheaper family at the requested iteration count.
+    pub choice: VariantChoice,
+    /// Modeled total assignment-phase seconds for the baseline kernel.
+    pub baseline_total_s: f64,
+    /// Modeled total seconds for the bound-pruned kernel (warmup + steady).
+    pub bound_pruned_total_s: f64,
+    /// Smallest iteration count at which the bound-pruned family wins, if
+    /// it ever does within the probed horizon.
+    pub crossover_iters: Option<usize>,
+}
+
+/// Modeled seconds for one bound-pruned iteration: a full scan during
+/// warmup, a mostly-pruned pass afterwards. Both phases pay the auxiliary
+/// bound-maintenance launches.
+pub fn bound_pruned_iteration_s(
+    device: &DeviceProfile,
+    precision: Precision,
+    shape: GemmShape,
+    warmup: bool,
+) -> f64 {
+    let full = estimate(&TimingInput::plain(
+        device,
+        precision,
+        KernelClass::Naive,
+        shape,
+    ));
+    let t_aux = AUX_LAUNCHES * device.launch_overhead_us * 1e-6;
+    if warmup {
+        return full.time_s + t_aux;
+    }
+    let es = precision.bytes();
+    // Unpruned samples re-run the scalar scan; pruned ones only touch their
+    // two bounds and label.
+    let survivors = 1.0 - STEADY_PRUNED_FRACTION;
+    let t_compute = full.t_issue * survivors;
+    let bound_bytes = (shape.m * (2 * es + 4)) as f64;
+    let sample_bytes = (shape.m * shape.k * es) as f64 * survivors;
+    let t_memory = (bound_bytes + sample_bytes) / (device.mem_bw_gbs * 1e9);
+    t_compute.max(t_memory) + device.launch_overhead_us * 1e-6 + t_aux
+}
+
+/// Total modeled assignment-phase seconds for `iters` bound-pruned
+/// iterations.
+pub fn bound_pruned_total_s(
+    device: &DeviceProfile,
+    precision: Precision,
+    shape: GemmShape,
+    iters: usize,
+) -> f64 {
+    let warm = bound_pruned_iteration_s(device, precision, shape, true);
+    let steady = bound_pruned_iteration_s(device, precision, shape, false);
+    let w = iters.min(WARMUP_FULL_SCANS) as f64;
+    w * warm + iters.saturating_sub(WARMUP_FULL_SCANS) as f64 * steady
+}
+
+/// Decide the kernel family for a fit of `max_iter` Lloyd iterations over
+/// `m` samples of `dim` features into `clusters` centroids.
+pub fn plan_variant(
+    device: &DeviceProfile,
+    precision: Precision,
+    m: usize,
+    clusters: usize,
+    dim: usize,
+    max_iter: usize,
+) -> VariantPlan {
+    let shape = GemmShape::new(m, clusters, dim);
+    let baseline_iter = estimate(&TimingInput::plain(
+        device,
+        precision,
+        KernelClass::FusedV2,
+        shape,
+    ))
+    .time_s;
+    let iters = max_iter.max(1);
+    let baseline_total_s = iters as f64 * baseline_iter;
+    let bound_pruned = bound_pruned_total_s(device, precision, shape, iters);
+    // Both totals are linear in the iteration count past warmup, so the
+    // crossover (if any) shows up within a short probe horizon.
+    let crossover_iters = (1..=512)
+        .find(|&n| bound_pruned_total_s(device, precision, shape, n) < n as f64 * baseline_iter);
+    VariantPlan {
+        choice: if bound_pruned < baseline_total_s {
+            VariantChoice::BoundPruned
+        } else {
+            VariantChoice::Baseline
+        },
+        baseline_total_s,
+        bound_pruned_total_s: bound_pruned,
+        crossover_iters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The headline shape of the fit-throughput bench: M = 131072, d = 64,
+    /// k = 16.
+    fn headline(device: &DeviceProfile, max_iter: usize) -> VariantPlan {
+        plan_variant(device, Precision::Fp32, 131_072, 16, 64, max_iter)
+    }
+
+    #[test]
+    fn short_fits_stay_on_the_stateless_ladder() {
+        let dev = DeviceProfile::a100();
+        let plan = headline(&dev, 3);
+        assert_eq!(plan.choice, VariantChoice::Baseline);
+        assert!(plan.baseline_total_s < plan.bound_pruned_total_s);
+    }
+
+    #[test]
+    fn long_fits_switch_to_bound_pruning_by_twenty_iterations() {
+        let dev = DeviceProfile::a100();
+        let plan = headline(&dev, 20);
+        assert_eq!(plan.choice, VariantChoice::BoundPruned, "{plan:?}");
+        let x = plan.crossover_iters.expect("crossover must exist");
+        assert!(
+            (5..=20).contains(&x),
+            "crossover {x} should sit below 20 iterations"
+        );
+        // and the verdict is consistent with the reported crossover
+        assert_eq!(headline(&dev, x - 1).choice, VariantChoice::Baseline);
+    }
+
+    #[test]
+    fn warmup_iterations_cost_full_scans() {
+        let dev = DeviceProfile::a100();
+        let shape = GemmShape::new(131_072, 16, 64);
+        let warm = bound_pruned_iteration_s(&dev, Precision::Fp32, shape, true);
+        let steady = bound_pruned_iteration_s(&dev, Precision::Fp32, shape, false);
+        assert!(
+            warm > 2.0 * steady,
+            "warmup {warm:.2e}s should dwarf steady {steady:.2e}s"
+        );
+        let t3 = bound_pruned_total_s(&dev, Precision::Fp32, shape, 3);
+        assert!((t3 - 3.0 * warm).abs() < 1e-12, "first 3 iters are warmup");
+    }
+
+    #[test]
+    fn fp64_crossover_also_exists() {
+        let dev = DeviceProfile::a100();
+        let plan = plan_variant(&dev, Precision::Fp64, 131_072, 16, 64, 64);
+        assert_eq!(plan.choice, VariantChoice::BoundPruned);
+        assert!(plan.crossover_iters.is_some());
+    }
+}

@@ -94,6 +94,20 @@ impl CampaignStats {
         }
     }
 
+    /// Record one bound-revalidation sweep (the Hamerly variant's
+    /// checksum-style protection pass): a sweep that found violations books
+    /// them as detected — the caller then forces an un-pruned re-assignment
+    /// and credits `recomputed` — and a violation-free sweep counts toward
+    /// `clean_sweeps`, mirroring how the tensor schemes ledger their
+    /// checksum checks.
+    pub fn note_revalidation(&mut self, violations: u64) {
+        if violations > 0 {
+            self.detected += violations;
+        } else {
+            self.clean_sweeps += 1;
+        }
+    }
+
     /// Record one kernel launch performed under an active injection
     /// schedule, noting whether its rate request was clamp-saturated.
     pub fn note_injection_launch(&mut self, saturated: bool) {
@@ -165,6 +179,16 @@ mod tests {
         assert_eq!((s.benign, s.sdc), (3, 0));
         s.classify_unhandled(true);
         assert_eq!((s.benign, s.sdc), (0, 3));
+    }
+
+    #[test]
+    fn revalidation_accounting() {
+        let mut s = CampaignStats::default();
+        s.note_revalidation(0);
+        s.note_revalidation(3);
+        s.note_revalidation(0);
+        assert_eq!(s.clean_sweeps, 2);
+        assert_eq!(s.detected, 3);
     }
 
     #[test]

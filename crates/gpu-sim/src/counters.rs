@@ -205,6 +205,9 @@ counter_events! {
         ft_cuda_ops => add_ft_cuda,
         /// Checksum-related MMA instructions on tensor cores.
         ft_mma_ops => add_ft_mma,
+        /// Candidate distance computations skipped by triangle-inequality
+        /// bound pruning (Hamerly-style assignment kernels).
+        pruned_candidates => add_pruned,
     }
     unit {
         /// `__syncthreads()` barriers executed (per threadblock).
@@ -349,6 +352,7 @@ mod tests {
             sink.add_ft_extra_loads(7);
             sink.add_ft_cuda(8);
             sink.add_ft_mma(9);
+            sink.add_pruned(10);
             sink.add_barrier();
             sink.add_launch();
         }
@@ -364,10 +368,11 @@ mod tests {
                 s.ft_extra_loads,
                 s.ft_cuda_ops,
                 s.ft_mma_ops,
+                s.pruned_candidates,
                 s.barriers,
                 s.kernel_launches
             ),
-            (1, 2, 3, 4, 5, 6, 7, 8, 9, 1, 1)
+            (1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 1, 1)
         );
     }
 

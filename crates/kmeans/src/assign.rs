@@ -69,6 +69,10 @@ pub fn run_assignment<T: Scalar>(
             let tile = tile.unwrap_or_else(|| default_tile(T::PRECISION));
             variants::tensor::tensor_assign(device, tile, data, scheme, hook, counters, stats)
         }
+        // Prunes against the resident bound state when the driver allocated
+        // it; stateless callers (predict, mini-batch) fall back to the full
+        // naive-identical scan inside the kernel.
+        Variant::Hamerly => variants::hamerly::hamerly_assign(device, data, false, hook, counters),
     }
 }
 

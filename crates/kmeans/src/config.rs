@@ -7,7 +7,7 @@ use gpu_sim::timing::TileConfig;
 use serde::{Deserialize, Serialize};
 
 /// Which distance/assignment kernel implementation to run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Variant {
     /// Thread-per-sample baseline (§III-A1).
     Naive,
@@ -20,6 +20,11 @@ pub enum Variant {
     /// Tensor-core pipeline kernel with the given tiling (§III-A5). `None`
     /// selects a per-precision default tile.
     Tensor(Option<TileConfig>),
+    /// Bound-pruned scalar assignment (Hamerly's algorithm): a per-sample
+    /// upper bound and a single global lower bound skip most distance
+    /// computations once centroids settle. Protected by periodic exact
+    /// bound revalidation (see [`FtConfig::revalidate_every`]).
+    Hamerly,
 }
 
 impl Variant {
@@ -36,6 +41,7 @@ impl Variant {
             Variant::FusedV2 => "K-Means V2",
             Variant::BroadcastV3 => "K-Means V3",
             Variant::Tensor(_) => "FT K-Means",
+            Variant::Hamerly => "K-Means Hamerly",
         }
     }
 }
@@ -82,6 +88,14 @@ pub struct FtConfig {
     /// (under [`FaultTarget::PayloadMma`]; broader targets add arrivals in
     /// the other streams on top).
     pub modeled_residency_s: f64,
+    /// Bound-revalidation cadence for [`Variant::Hamerly`]: every this many
+    /// iterations an exact-distance sweep over a rotating sample stratum
+    /// checks the triangle-inequality bounds; a violation counts as
+    /// detected and forces a full un-pruned re-assignment. The final
+    /// iteration always revalidates the whole population so no corrupted
+    /// bound survives the fit. `0` disables the periodic passes (the
+    /// final-iteration sweep still runs). Ignored by the other variants.
+    pub revalidate_every: usize,
 }
 
 impl Default for FtConfig {
@@ -93,6 +107,7 @@ impl Default for FtConfig {
             injection_seed: 0,
             fault_target: FaultTarget::Any,
             modeled_residency_s: 0.0,
+            revalidate_every: 4,
         }
     }
 }

@@ -1,7 +1,42 @@
 //! Device-resident problem state shared by all kernel variants.
 
 use crate::norms::row_sq_norms_kernel;
+use gpu_sim::memory::GlobalIndexBuffer;
 use gpu_sim::{Counters, DeviceProfile, GlobalBuffer, Matrix, Scalar, SimError};
+
+/// Device-resident Hamerly bound state: the per-sample triangle-inequality
+/// bounds plus the per-centroid geometry they are maintained against. Only
+/// [`crate::config::Variant::Hamerly`] allocates this (via
+/// [`DeviceData::ensure_bounds`]); every other variant leaves it `None`.
+pub struct BoundState<T: Scalar> {
+    /// Per-sample upper bound on the distance to the assigned centroid
+    /// (Euclidean, not squared). Initialized to `+∞` so the first
+    /// assignment pass is a full scan.
+    pub upper: GlobalBuffer<T>,
+    /// Per-sample lower bound on the distance to the second-closest
+    /// centroid. Initialized to zero (vacuously sound).
+    pub lower: GlobalBuffer<T>,
+    /// Per-sample assigned centroid — the device-resident copy the pruned
+    /// kernel reads back each iteration.
+    pub labels: GlobalIndexBuffer,
+    /// Per-centroid drift `‖c_old − c_new‖` of the most recent update.
+    pub drift: GlobalBuffer<T>,
+    /// Per-centroid half-distance to its nearest other centroid, deflated
+    /// by the bound policy's slack.
+    pub s_half: GlobalBuffer<T>,
+}
+
+impl<T: Scalar> BoundState<T> {
+    fn new(m: usize, k: usize) -> Self {
+        BoundState {
+            upper: GlobalBuffer::filled(m, T::INFINITY),
+            lower: GlobalBuffer::zeros(m),
+            labels: GlobalIndexBuffer::zeros(m),
+            drift: GlobalBuffer::zeros(k),
+            s_half: GlobalBuffer::zeros(k),
+        }
+    }
+}
 
 /// Samples, centroids and their squared norms, uploaded to simulated global
 /// memory (Fig. 2 step 1: the `Samples²` / `Centroids²` terms are computed
@@ -21,6 +56,8 @@ pub struct DeviceData<T: Scalar> {
     pub k: usize,
     /// Feature dimension (GEMM K).
     pub dim: usize,
+    /// Hamerly bound state; `None` until [`DeviceData::ensure_bounds`].
+    pub bounds: Option<BoundState<T>>,
 }
 
 impl<T: Scalar> DeviceData<T> {
@@ -51,7 +88,18 @@ impl<T: Scalar> DeviceData<T> {
             m: samples.rows(),
             k: centroids.rows(),
             dim: samples.cols(),
+            bounds: None,
         })
+    }
+
+    /// Allocate the Hamerly bound buffers if not yet present. Fresh bounds
+    /// are vacuous (`upper = +∞`, `lower = 0`), so the next pruned
+    /// assignment degenerates to a full scan and rebuilds them exactly.
+    pub fn ensure_bounds(&mut self) -> &BoundState<T> {
+        if self.bounds.is_none() {
+            self.bounds = Some(BoundState::new(self.m, self.k));
+        }
+        self.bounds.as_ref().expect("just ensured")
     }
 
     /// Upload new samples against this data's already-resident centroids:
@@ -82,6 +130,7 @@ impl<T: Scalar> DeviceData<T> {
             m: samples.rows(),
             k: self.k,
             dim: self.dim,
+            bounds: None,
         })
     }
 
@@ -99,6 +148,7 @@ impl<T: Scalar> DeviceData<T> {
             m: 0,
             k: self.k,
             dim: self.dim,
+            bounds: None,
         }
     }
 

@@ -15,7 +15,8 @@ use crate::init::{init_centroids, reseed_empty_clusters};
 use crate::minibatch;
 use crate::model::FittedModel;
 use crate::session::Session;
-use crate::update::update_centroids;
+use crate::update::{centroid_drift, update_centroids};
+use crate::variants::hamerly;
 use abft::dmr::DmrStats;
 use fault::{CampaignStats, InjectionRecord, Injector, InjectorConfig, RateRealization};
 use gpu_sim::counters::CounterSnapshot;
@@ -314,6 +315,12 @@ fn lloyd_core<T: Scalar>(
         None => init_centroids(samples, cfg.k, cfg.seed, cfg.init),
     };
     let mut data = DeviceData::upload(device, samples, &centroids, &counters)?;
+    if cfg.variant == Variant::Hamerly {
+        // Vacuous bounds (u = +∞) make the first pruned pass a full scan;
+        // the half-separations must exist before any assignment runs.
+        data.ensure_bounds();
+        hamerly::compute_s_half(device, &data, &counters)?;
+    }
 
     let injector = build_injector::<T>(device, cfg, m, dim, cfg.max_iter);
     let hook: &dyn FaultHook<T> = match injector.as_ref() {
@@ -345,6 +352,48 @@ fn lloyd_core<T: Scalar>(
             &counters,
             &stats,
         )?;
+        // Hamerly protection: periodic exact revalidation of the resident
+        // bound state, widened to the whole population on the final
+        // iteration so no corrupted bound survives the fit. Under a
+        // protective scheme every due sweep is full-width and doubles as a
+        // verify-and-repair pass (the sweep *is* this variant's ABFT — a
+        // partial stratum would let a struck assignment poison the update
+        // it feeds); unprotected fits keep the cheap rotating stratum,
+        // where violations are booked as detected and repaired by a
+        // verified (hook-free) un-pruned re-assignment that rebuilds both
+        // labels and bounds.
+        let assignment = if cfg.variant == Variant::Hamerly {
+            let last = it + 1 == cfg.max_iter;
+            let periodic = cfg.ft.revalidate_every > 0 && (it + 1) % cfg.ft.revalidate_every == 0;
+            if last || periodic {
+                if last || cfg.ft.scheme != abft::SchemeKind::None {
+                    let (violations, exact) =
+                        hamerly::revalidate_and_repair(device, &data, &counters)?;
+                    stats.lock().note_revalidation(violations);
+                    if violations > 0 {
+                        stats.lock().recomputed += violations;
+                    }
+                    exact
+                } else {
+                    let r = hamerly::REVALIDATE_STRIDE;
+                    let phase = (it + 1) / cfg.ft.revalidate_every % r;
+                    let violations = hamerly::revalidate(device, &data, r, phase, &counters)?;
+                    stats.lock().note_revalidation(violations);
+                    if violations > 0 {
+                        let repaired =
+                            hamerly::hamerly_assign(device, &data, true, &NoFault, &counters)?;
+                        stats.lock().recomputed += violations;
+                        repaired
+                    } else {
+                        assignment
+                    }
+                }
+            } else {
+                assignment
+            }
+        } else {
+            assignment
+        };
         let reassigned = if it == 0 {
             m
         } else {
@@ -401,7 +450,25 @@ fn lloyd_core<T: Scalar>(
             &assignment.distances,
         );
 
+        let old_centroids = data.bounds.is_some().then(|| data.centroids.clone());
         data.refresh_centroids(device, &centroids, &counters)?;
+        if let (Some(old), Some(bounds)) = (old_centroids, data.bounds.as_ref()) {
+            // The update-phase fold-in of the Hamerly variant: measure how
+            // far each centroid moved (including reseeds), refresh the
+            // half-separations, and loosen the bounds eagerly so they stay
+            // current against the refreshed centroids.
+            let max_drift = centroid_drift(
+                device,
+                &old,
+                &data.centroids,
+                cfg.k,
+                dim,
+                &bounds.drift,
+                &counters,
+            )?;
+            hamerly::compute_s_half(device, &data, &counters)?;
+            hamerly::apply_drift(device, &data, max_drift, &counters)?;
+        }
 
         let rel = if prev_inertia.is_finite() && prev_inertia > 0.0 {
             (prev_inertia - inertia).abs() / prev_inertia
@@ -515,6 +582,7 @@ mod tests {
             Variant::FusedV2,
             Variant::BroadcastV3,
             Variant::Tensor(None),
+            Variant::Hamerly,
         ];
         let session = Session::a100();
         let mut results = Vec::new();

@@ -4,7 +4,8 @@
 //! distance/assignment stage runs as a fused GEMM on the simulated GPU
 //! ([`gpu_sim`]), with optional warp-level algorithm-based fault tolerance.
 //!
-//! The step-wise variants of §III are all present and runnable:
+//! The step-wise variants of §III are all present and runnable, plus a
+//! bound-pruned sixth family that amortizes over Lloyd iterations:
 //!
 //! | variant | §III | kernel |
 //! |---|---|---|
@@ -13,11 +14,20 @@
 //! | [`Variant::FusedV2`] | A-3 | fused thread/threadblock reduction |
 //! | [`Variant::BroadcastV3`] | A-4 | fully fused with per-row broadcast |
 //! | [`Variant::Tensor`] | A-5 | tensor-core pipeline kernel (Fig. 4/6) |
+//! | [`Variant::Hamerly`] | — | triangle-inequality bound pruning ([`variants::hamerly`]) |
 //!
 //! Fault tolerance plugs into the tensor variant as [`abft::SchemeKind`]:
 //! the paper's warp-level detect+correct scheme, Kosaian's detection-only
 //! scheme, and Wu's threadblock-level scheme; the centroid-update phase is
-//! DMR-protected ([`update`]).
+//! DMR-protected ([`update`]). The Hamerly variant's device-resident
+//! bounds get their own checksum-style protection: periodic revalidation
+//! sweeps ([`variants::hamerly::revalidate`], cadence
+//! [`FtConfig::revalidate_every`]) that recompute exact distances for a
+//! rotating sample stratum and force a full un-pruned re-assignment when
+//! a stored bound or label cannot be fault-free; under a protective
+//! scheme the sweeps widen to the whole population and verify-and-repair
+//! in place ([`variants::hamerly::revalidate_and_repair`]), making a
+//! cadence-1 protected fit bit-identical to its fault-free twin.
 //!
 //! ## Estimator lifecycle
 //!

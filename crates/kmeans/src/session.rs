@@ -15,10 +15,10 @@
 //! are written after the first build and reloaded by later sessions; a
 //! corrupt or stale cache file falls back to re-tuning.
 
-use crate::config::KMeansConfig;
+use crate::config::{KMeansConfig, Variant};
 use crate::driver::KMeans;
 use codegen::feasibility::stages_for;
-use codegen::KernelSelector;
+use codegen::{plan_variant, KernelSelector, VariantChoice};
 use gpu_sim::exec::{self, Executor};
 use gpu_sim::timing::TileConfig;
 use gpu_sim::{DeviceProfile, Precision};
@@ -160,6 +160,29 @@ impl Session {
             .tile_config(stages_for(&self.device))
     }
 
+    /// The tuned assignment variant for a whole *fit*: the per-launch
+    /// selector cannot see the iteration count, but the bound-pruned
+    /// (Hamerly) kernel amortizes its warmup full scans across Lloyd
+    /// iterations, so long fits switch families. Short fits get the tuned
+    /// tensor tile for the shape; fits past the modeled crossover get
+    /// [`Variant::Hamerly`].
+    pub fn tuned_variant(
+        &self,
+        precision: Precision,
+        m: usize,
+        clusters: usize,
+        dim: usize,
+        max_iter: usize,
+    ) -> Variant {
+        let plan = plan_variant(&self.device, precision, m, clusters, dim, max_iter);
+        match plan.choice {
+            VariantChoice::BoundPruned => Variant::Hamerly,
+            VariantChoice::Baseline => {
+                Variant::Tensor(Some(self.tuned_tile(precision, clusters, dim)))
+            }
+        }
+    }
+
     fn cache_path(&self, precision: Precision) -> Option<PathBuf> {
         let dir = self.cache_dir.as_ref()?;
         let slug: String = self
@@ -275,6 +298,18 @@ mod tests {
     fn tuned_tile_is_usable() {
         let tile = Session::a100().tuned_tile(Precision::Fp32, 16, 32);
         assert!(tile.tb_m > 0 && tile.tb_n > 0 && tile.tb_k > 0);
+    }
+
+    #[test]
+    fn tuned_variant_switches_families_with_iteration_count() {
+        let session = Session::a100();
+        let short = session.tuned_variant(Precision::Fp32, 131_072, 16, 64, 3);
+        assert!(
+            matches!(short, Variant::Tensor(Some(_))),
+            "short fit keeps the tuned tensor tile, got {short:?}"
+        );
+        let long = session.tuned_variant(Precision::Fp32, 131_072, 16, 64, 20);
+        assert_eq!(long, Variant::Hamerly, "20-iteration fit bound-prunes");
     }
 
     #[test]

@@ -250,6 +250,58 @@ pub fn update_centroids_naive<T: Scalar>(
     })
 }
 
+/// Per-centroid drift `‖c_old − c_new‖` of one update step, written into
+/// `out` (length `k`) and returned as its maximum — the two quantities the
+/// Hamerly variant loosens its bounds by. A standalone kernel (one block
+/// per centroid, counted bulk row loads) so the fused update keeps its
+/// exact two-launch profile; the driver folds it into the update phase
+/// only for [`crate::config::Variant::Hamerly`] fits.
+pub fn centroid_drift<T: Scalar>(
+    device: &DeviceProfile,
+    old: &GlobalBuffer<T>,
+    new: &GlobalBuffer<T>,
+    k: usize,
+    dim: usize,
+    out: &GlobalBuffer<T>,
+    counters: &Counters,
+) -> Result<T, SimError> {
+    if old.len() != k * dim || new.len() != k * dim || out.len() != k {
+        return Err(SimError::ShapeMismatch(format!(
+            "drift buffers: old {} new {} out {} for k={k} dim={dim}",
+            old.len(),
+            new.len(),
+            out.len()
+        )));
+    }
+    let cfg = LaunchConfig {
+        grid: Dim3::x(k.max(1)),
+        threads_per_block: 32,
+        smem_bytes: 0,
+    };
+    launch_grid(device, cfg, counters, |ctx| {
+        let j = ctx.bx;
+        if j >= k {
+            return;
+        }
+        let mut a = ScratchBuf::<T, 256>::filled(dim, T::ZERO);
+        let mut b = ScratchBuf::<T, 256>::filled(dim, T::ZERO);
+        old.load_run(j * dim, &mut a, ctx.counters);
+        new.load_run(j * dim, &mut b, ctx.counters);
+        let mut acc = T::ZERO;
+        for (&av, &bv) in a.iter().zip(b.iter()) {
+            let diff = av - bv;
+            acc += diff * diff;
+        }
+        ctx.counters.add_fma((2 * dim) as u64);
+        out.store_counted(j, acc.max_s(T::ZERO).sqrt(), ctx.counters);
+    })?;
+    let mut max_drift = T::ZERO;
+    for d in out.to_vec() {
+        max_drift = max_drift.max_s(d);
+    }
+    Ok(max_drift)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -412,6 +464,23 @@ mod tests {
         let buf = GlobalBuffer::from_matrix(&samples);
         let out = update_centroids(&dev, &buf, 64, 3, &labels, &old, false, &NoFault, &c).unwrap();
         assert_eq!(out.oob_labels, 0);
+    }
+
+    #[test]
+    fn centroid_drift_is_rowwise_euclidean_and_standalone() {
+        let dev = DeviceProfile::a100();
+        let c = Counters::new();
+        let old = GlobalBuffer::<f64>::from_slice(&[0.0, 0.0, 1.0, 1.0, 5.0, 5.0]);
+        let new = GlobalBuffer::<f64>::from_slice(&[3.0, 4.0, 1.0, 1.0, 5.0, 4.0]);
+        let out = GlobalBuffer::<f64>::zeros(3);
+        let before = c.snapshot();
+        let max_drift = centroid_drift(&dev, &old, &new, 3, 2, &out, &c).unwrap();
+        assert_eq!(out.to_vec(), vec![5.0, 0.0, 1.0]);
+        assert_eq!(max_drift, 5.0);
+        // one launch — the fused update keeps its two-launch profile
+        assert_eq!(c.snapshot().since(&before).kernel_launches, 1);
+        // shape mismatches rejected
+        assert!(centroid_drift(&dev, &old, &new, 2, 2, &out, &c).is_err());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 pub mod broadcast;
 pub mod fused;
 pub mod gemm;
+pub mod hamerly;
 pub mod naive;
 pub mod tensor;
 

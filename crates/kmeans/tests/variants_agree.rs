@@ -1,4 +1,4 @@
-//! Cross-variant agreement: all five assignment kernels must produce
+//! Cross-variant agreement: all six assignment kernels must produce
 //! identical labels on a shared fixture (fault hooks disabled).
 //!
 //! The fixture is integer-valued in f64, where both distance formulas —
@@ -6,9 +6,15 @@
 //! exact (every intermediate is an integer far below 2⁵³), so agreement is
 //! required bit-for-bit, not approximately: any divergence is a real
 //! indexing/reduction bug, not roundoff.
+//!
+//! The bound-pruned (Hamerly) variant additionally has to agree across
+//! whole *fits*, where its resident bounds skip most of the distance work:
+//! its slack policy promises the pruned labels are still bit-for-bit the
+//! naive kernel's FP argmin, every iteration.
 
 use abft::SchemeKind;
 use fault::CampaignStats;
+use gpu_sim::exec::{with_executor, Executor};
 use gpu_sim::mma::NoFault;
 use gpu_sim::timing::TileConfig;
 use gpu_sim::{Counters, DeviceProfile, Matrix};
@@ -16,6 +22,7 @@ use kmeans::assign::run_assignment;
 use kmeans::config::Variant;
 use kmeans::device_data::DeviceData;
 use kmeans::reference::assign_reference;
+use kmeans::{KMeansConfig, Session};
 use parking_lot::Mutex;
 
 /// Integer-valued fixture with odd (non-tile-multiple) shapes.
@@ -26,7 +33,7 @@ fn fixture() -> (Matrix<f64>, Matrix<f64>) {
 }
 
 #[test]
-fn all_five_variants_produce_identical_labels() {
+fn all_six_variants_produce_identical_labels() {
     let (samples, cents) = fixture();
     let (want_labels, want_dists) = assign_reference(&samples, &cents);
 
@@ -38,12 +45,13 @@ fn all_five_variants_produce_identical_labels() {
         wn: 8,
         k_stages: 2,
     };
-    let variants: [(&str, Variant); 5] = [
+    let variants: [(&str, Variant); 6] = [
         ("naive", Variant::Naive),
         ("gemm_v1", Variant::GemmV1),
         ("fused_v2", Variant::FusedV2),
         ("broadcast_v3", Variant::BroadcastV3),
         ("tensor_v4", Variant::Tensor(Some(tile))),
+        ("hamerly", Variant::Hamerly),
     ];
     let dev = DeviceProfile::a100();
     for (name, variant) in variants {
@@ -58,4 +66,98 @@ fn all_five_variants_produce_identical_labels() {
             assert_eq!(got, want, "{name}: distance {i}");
         }
     }
+}
+
+/// Well-separated deterministic blobs (fit-level fixture: no RNG, every
+/// run identical).
+fn blobs(m: usize, dim: usize, k: usize) -> Matrix<f64> {
+    Matrix::<f64>::from_fn(m, dim, |r, c| {
+        let center = ((r % k) * 10) as f64;
+        let h = (r.wrapping_mul(2654435761) ^ c.wrapping_mul(40503)) % 1000;
+        center + h as f64 / 1000.0 - 0.5 + c as f64 * 0.01
+    })
+}
+
+fn fit_cfg(k: usize, variant: Variant, max_iter: usize) -> KMeansConfig {
+    KMeansConfig {
+        k,
+        max_iter,
+        tol: 0.0, // run every iteration: the comparison covers all of them
+        seed: 7,
+        variant,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn hamerly_fit_matches_naive_bitwise_at_every_iteration_count() {
+    // The update phase consumes labels only, so if the labels agree
+    // bit-for-bit at every iteration the centroid trajectories are
+    // bitwise identical too. Fitting both variants at every horizon
+    // checks exactly that, pruning included.
+    //
+    // The update's cross-block `atomicAdd` accumulation order is
+    // scheduling-dependent under the pool executor (same reason campaign
+    // cells pin serial), so the fits run under serial block order to make
+    // the centroid bits comparable.
+    let (m, dim, k) = (512, 17, 8);
+    let data = blobs(m, dim, k);
+    let serial = Executor::serial();
+    with_executor(&serial, || hamerly_vs_naive_all_horizons(&data, k));
+}
+
+fn hamerly_vs_naive_all_horizons(data: &Matrix<f64>, k: usize) {
+    let session = Session::a100();
+    for iters in [1usize, 2, 3, 5, 8] {
+        let naive = session
+            .kmeans(fit_cfg(k, Variant::Naive, iters))
+            .fit(data)
+            .unwrap();
+        let ham = session
+            .kmeans(fit_cfg(k, Variant::Hamerly, iters))
+            .fit(data)
+            .unwrap();
+        assert_eq!(ham.labels, naive.labels, "labels diverge at {iters} iters");
+        for (i, (a, b)) in ham
+            .centroids
+            .as_slice()
+            .iter()
+            .zip(naive.centroids.as_slice())
+            .enumerate()
+        {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "centroid element {i} diverges at {iters} iters"
+            );
+        }
+    }
+}
+
+#[test]
+fn hamerly_prunes_most_distance_work_after_warmup() {
+    // On separated blobs the centroids settle within three iterations;
+    // after that the triangle-inequality test must skip more than half of
+    // all candidate distances. Two fits sharing seed and data differ only
+    // in their horizon, so the counter delta is exactly the work of
+    // iterations 4..=8.
+    let (m, dim, k) = (2048, 8, 8);
+    let data = blobs(m, dim, k);
+    let session = Session::a100();
+    let short = session
+        .kmeans(fit_cfg(k, Variant::Hamerly, 3))
+        .fit(&data)
+        .unwrap();
+    let long = session
+        .kmeans(fit_cfg(k, Variant::Hamerly, 8))
+        .fit(&data)
+        .unwrap();
+    assert_eq!(long.iterations, 8, "tol = 0 must run the full horizon");
+    let pruned = long.counters.pruned_candidates - short.counters.pruned_candidates;
+    let candidates = (m * k * (8 - 3)) as u64;
+    assert!(
+        pruned * 2 > candidates,
+        "after warmup the kernel must prune >50% of candidate distances: \
+         pruned {pruned} of {candidates}"
+    );
 }

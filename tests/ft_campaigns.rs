@@ -4,7 +4,16 @@
 use ft_kmeans::abft::SchemeKind;
 use ft_kmeans::data::{make_blobs, BlobSpec};
 use ft_kmeans::fault::InjectionSchedule;
-use ft_kmeans::gpu::{Matrix, Scalar};
+use ft_kmeans::gpu::exec::{with_executor, Executor};
+use ft_kmeans::gpu::mma::NoFault;
+use ft_kmeans::gpu::{Counters, GlobalBuffer, Matrix, Scalar};
+use ft_kmeans::kmeans::device_data::DeviceData;
+use ft_kmeans::kmeans::reference::{assign_reference, update_reference};
+use ft_kmeans::kmeans::update::centroid_drift;
+use ft_kmeans::kmeans::variants::hamerly::{
+    apply_drift, compute_s_half, hamerly_assign, revalidate,
+};
+use ft_kmeans::kmeans::variants::naive::naive_assign;
 use ft_kmeans::kmeans::{FittedModel, FtConfig, KMeansConfig, Variant};
 use ft_kmeans::{DeviceProfile, Session};
 
@@ -230,6 +239,148 @@ fn fp32_campaign_preserves_quality() {
         / clean.labels.len() as f64;
     assert!(agree > 0.99, "label agreement {agree}");
     assert!((hit.inertia - clean.inertia).abs() / clean.inertia < 1e-2);
+}
+
+/// Overlapping blobs for the bound-corruption cases: wide clusters make
+/// the first Lloyd step actually move assignments, so a stale label
+/// frozen by a corrupted bound is a *wrong* label, not a coincidence.
+fn overlapping_blobs(m: usize, dim: usize, k: usize, seed: u64) -> Matrix<f64> {
+    let (data, _, _) = make_blobs::<f64>(&BlobSpec {
+        samples: m,
+        dim,
+        centers: k,
+        cluster_std: 2.0,
+        center_box: 7.0,
+        seed,
+    });
+    data
+}
+
+/// Build a Hamerly bound state one Lloyd step past its seeding (so stale
+/// labels exist to preserve), then flip exponent bits in the resident
+/// bound buffers: upper bounds down (a sample prunes that must rescan),
+/// lower bounds up (same effect through the other bound). Deterministic,
+/// so every call reproduces the identical corrupted state.
+fn corrupted_hamerly_state(
+    dev: &DeviceProfile,
+    samples: &Matrix<f64>,
+    k: usize,
+    c: &Counters,
+) -> (DeviceData<f64>, Vec<u32>, usize) {
+    let (m, dim) = (samples.rows(), samples.cols());
+    let cents1 = Matrix::<f64>::from_fn(k, dim, |r, cc| samples.get((r * 61) % m, cc));
+    let mut dd = DeviceData::upload(dev, samples, &cents1, c).unwrap();
+    dd.ensure_bounds();
+    compute_s_half(dev, &dd, c).unwrap();
+    hamerly_assign(dev, &dd, false, &NoFault, c).unwrap();
+
+    // One Lloyd step moves the centroids; run the driver's bookkeeping so
+    // the bounds stay sound against the moved positions.
+    let (labels1, _) = assign_reference(samples, &cents1);
+    let (cents2, _) = update_reference(samples, &labels1, &cents1);
+    let old = GlobalBuffer::from_matrix(&cents1);
+    dd.refresh_centroids(dev, &cents2, c).unwrap();
+    let b = dd.bounds.as_ref().unwrap();
+    let max_drift = centroid_drift(dev, &old, &dd.centroids, k, dim, &b.drift, c).unwrap();
+    compute_s_half(dev, &dd, c).unwrap();
+    apply_drift(dev, &dd, max_drift, c).unwrap();
+
+    // Ground truth for the moved centroids (naive never touches bounds).
+    let want = naive_assign(dev, &dd, &NoFault, c).unwrap().labels;
+
+    // The barrage: dangerous-direction exponent flips in both buffers.
+    let b = dd.bounds.as_ref().unwrap();
+    let mut corrupted = 0;
+    for i in (0..m).step_by(3) {
+        if i % 2 == 0 {
+            let v = b.upper.load(i);
+            let flipped = v.flip_bit(62);
+            if flipped < v {
+                b.upper.store(i, flipped);
+                corrupted += 1;
+            }
+        } else {
+            let v = b.lower.load(i);
+            let flipped = v.flip_bit(62);
+            if flipped > v {
+                b.lower.store(i, flipped);
+                corrupted += 1;
+            }
+        }
+    }
+    (dd, want, corrupted)
+}
+
+#[test]
+fn bound_buffer_bitflips_become_detections_not_sdc() {
+    let dev = DeviceProfile::a100();
+    let samples = overlapping_blobs(256, 8, 4, 11);
+    let c = Counters::new();
+
+    // Negative control: on the corrupted state a pruned pass silently
+    // keeps stale labels — the flips would be SDCs if nothing checked.
+    let (dd, want, corrupted) = corrupted_hamerly_state(&dev, &samples, 4, &c);
+    assert!(corrupted >= 10, "barrage expected, corrupted {corrupted}");
+    let unprotected = hamerly_assign(&dev, &dd, false, &NoFault, &c).unwrap();
+    let wrong = unprotected
+        .labels
+        .iter()
+        .zip(&want)
+        .filter(|(a, b)| a != b)
+        .count();
+    assert!(
+        wrong > 0,
+        "corrupted bounds must mislabel at least one sample unprotected"
+    );
+
+    // The driver's recipe on a fresh copy of the same corrupted state:
+    // full-population revalidation detects, a forced un-pruned pass
+    // rebuilds, and the labels come out exactly right.
+    let (dd, want, _) = corrupted_hamerly_state(&dev, &samples, 4, &c);
+    let violations = revalidate(&dev, &dd, 1, 0, &c).unwrap();
+    assert!(
+        violations as usize >= corrupted,
+        "every dangerous flip must trip revalidation: {violations} < {corrupted}"
+    );
+    let repaired = hamerly_assign(&dev, &dd, true, &NoFault, &c).unwrap();
+    assert_eq!(
+        repaired.labels, want,
+        "forced full pass restores the labels"
+    );
+    assert_eq!(
+        revalidate(&dev, &dd, 1, 0, &c).unwrap(),
+        0,
+        "rebuilt state revalidates clean"
+    );
+}
+
+#[test]
+fn bound_repair_is_byte_identical_serial_vs_pool() {
+    // The detect-and-repair path must not depend on the execution policy:
+    // same corrupted state, same labels and bound bits out, whether blocks
+    // run serially or on a worker pool.
+    let dev = DeviceProfile::a100();
+    let samples = overlapping_blobs(256, 8, 4, 11);
+    let outcome = |exec: &Executor| {
+        with_executor(exec, || {
+            let c = Counters::new();
+            let (dd, _, _) = corrupted_hamerly_state(&dev, &samples, 4, &c);
+            let violations = revalidate(&dev, &dd, 1, 0, &c).unwrap();
+            let repaired = hamerly_assign(&dev, &dd, true, &NoFault, &c).unwrap();
+            let b = dd.bounds.as_ref().unwrap();
+            let bound_bits: Vec<u64> = b
+                .upper
+                .to_vec()
+                .iter()
+                .chain(b.lower.to_vec().iter())
+                .map(|v| v.to_bits())
+                .collect();
+            (violations, repaired.labels, bound_bits)
+        })
+    };
+    let serial = outcome(&Executor::serial());
+    let pool = outcome(&Executor::with_workers(4));
+    assert_eq!(serial, pool);
 }
 
 #[test]

@@ -4,9 +4,18 @@ use ft_kmeans::abft::checksum::ChecksumTriple;
 use ft_kmeans::abft::{compare, correct_in_place, locate, Located, ThresholdPolicy};
 use ft_kmeans::codegen::enumerate_params;
 use ft_kmeans::gpu::matrix::gemm_abt_reference;
+use ft_kmeans::gpu::mma::NoFault;
 use ft_kmeans::gpu::timing::{estimate, GemmShape, KernelClass, TileConfig, TimingInput};
+use ft_kmeans::gpu::{Counters, GlobalBuffer};
 use ft_kmeans::gpu::{Matrix, Scalar};
+use ft_kmeans::kmeans::device_data::DeviceData;
 use ft_kmeans::kmeans::reference::{assign_reference, update_reference};
+use ft_kmeans::kmeans::update::centroid_drift;
+use ft_kmeans::kmeans::variants::hamerly::{
+    apply_drift, bound_policy, compute_s_half, hamerly_assign,
+};
+use ft_kmeans::kmeans::variants::naive::naive_assign;
+use ft_kmeans::kmeans::{KMeansConfig, Session, Variant};
 use ft_kmeans::{DeviceProfile, Precision};
 use proptest::prelude::*;
 
@@ -192,5 +201,127 @@ proptest! {
             prop_assert!((total - reconstructed).abs() < 1e-9);
         }
         prop_assert_eq!(counts.iter().sum::<u32>() as usize, m);
+    }
+}
+
+/// Euclidean distance between sample row `i` and centroid row `j`.
+fn row_dist(samples: &Matrix<f64>, i: usize, cents: &Matrix<f64>, j: usize) -> f64 {
+    (0..samples.cols())
+        .map(|d| (samples.get(i, d) - cents.get(j, d)).powi(2))
+        .sum::<f64>()
+        .max(0.0)
+        .sqrt()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Hamerly's resident bounds stay sound under *any* centroid-drift
+    /// sequence, run through the driver's exact bookkeeping (drift kernel →
+    /// centroid refresh → s_half → apply_drift): the upper bound never falls
+    /// below the distance to the assigned centroid, the lower bound never
+    /// rises above the closest *other* centroid (both within the policy's
+    /// FP slack), and the next pruned pass still returns exactly the naive
+    /// kernel's labels.
+    #[test]
+    fn hamerly_bounds_survive_any_drift_sequence(
+        m in 4usize..40,
+        k in 2usize..6,
+        dim in 1usize..6,
+        seed in 0u64..200,
+        drifts in prop::collection::vec(
+            (0usize..1000, prop::sample::select(vec![0.0f64, 0.05, 0.5, 3.0])),
+            1..4,
+        ),
+    ) {
+        let dev = DeviceProfile::a100();
+        let c = Counters::new();
+        let samples = Matrix::<f64>::from_fn(m, dim, |r, cc| {
+            (((r * 7 + cc * 3 + seed as usize) % 23) as f64 - 11.0) / 3.0
+        });
+        let mut cents = Matrix::<f64>::from_fn(k, dim, |r, cc| {
+            (((r * 11 + cc * 5 + seed as usize) % 19) as f64 - 9.0) / 3.0
+        });
+        let mut data = DeviceData::upload(&dev, &samples, &cents, &c).unwrap();
+        data.ensure_bounds();
+        compute_s_half(&dev, &data, &c).unwrap();
+        hamerly_assign(&dev, &data, false, &NoFault, &c).unwrap();
+        let policy = bound_policy::<f64>(dim);
+
+        for (jseed, mag) in drifts {
+            let next = Matrix::<f64>::from_fn(k, dim, |r, cc| {
+                cents.get(r, cc)
+                    + mag * ((((r * 31 + cc * 17 + jseed) % 13) as f64 - 6.0) / 6.0)
+            });
+            let old_buf = GlobalBuffer::from_matrix(&cents);
+            data.refresh_centroids(&dev, &next, &c).unwrap();
+            let b = data.bounds.as_ref().unwrap();
+            let max_drift =
+                centroid_drift(&dev, &old_buf, &data.centroids, k, dim, &b.drift, &c).unwrap();
+            compute_s_half(&dev, &data, &c).unwrap();
+            apply_drift(&dev, &data, max_drift, &c).unwrap();
+            cents = next;
+
+            let b = data.bounds.as_ref().unwrap();
+            for i in 0..m {
+                let a = b.labels.load(i) as usize;
+                let d_assigned = row_dist(&samples, i, &cents, a);
+                prop_assert!(
+                    !policy.upper_violates(b.upper.load(i), d_assigned),
+                    "sample {i}: upper {} below assigned distance {d_assigned}",
+                    b.upper.load(i),
+                );
+                let mut d_other = f64::INFINITY;
+                for j in (0..k).filter(|&j| j != a) {
+                    d_other = d_other.min(row_dist(&samples, i, &cents, j));
+                }
+                prop_assert!(
+                    !policy.lower_violates(b.lower.load(i), d_other),
+                    "sample {i}: lower {} above closest-other distance {d_other}",
+                    b.lower.load(i),
+                );
+            }
+
+            // The pruned pass after the drift agrees with the naive kernel
+            // bit-for-bit on labels — the slack absorbed every rounding.
+            let want = naive_assign(&dev, &data, &NoFault, &c).unwrap();
+            let got = hamerly_assign(&dev, &data, false, &NoFault, &c).unwrap();
+            prop_assert_eq!(got.labels, want.labels);
+        }
+    }
+
+    /// On fault-free fits the periodic revalidation is a pure no-op
+    /// whatever the cadence: sweeps run (the final iteration always checks
+    /// the whole population) but never find a violation, so nothing is
+    /// detected and no forced recompute is charged.
+    #[test]
+    fn hamerly_revalidation_is_noop_on_fault_free_fits(
+        m in 16usize..96,
+        k in 2usize..6,
+        dim in 1usize..5,
+        seed in 0u64..100,
+        every in 1usize..4,
+        max_iter in 1usize..7,
+    ) {
+        let samples = Matrix::<f64>::from_fn(m, dim, |r, c| {
+            (((r * 13 + c * 7 + seed as usize) % 29) as f64 - 14.0) / 3.0
+        });
+        let session = Session::a100();
+        let mut cfg = KMeansConfig {
+            k,
+            max_iter,
+            tol: 0.0,
+            seed,
+            variant: Variant::Hamerly,
+            ..Default::default()
+        };
+        cfg.ft.revalidate_every = every;
+        let fit = session.kmeans(cfg).fit(&samples).unwrap();
+        prop_assert!(
+            fit.ft_stats.clean_sweeps >= 1,
+            "the final-iteration full sweep always runs"
+        );
+        prop_assert_eq!(fit.ft_stats.detected, 0);
+        prop_assert_eq!(fit.ft_stats.recomputed, 0);
     }
 }
