@@ -7,6 +7,8 @@
 //! * [`bounds`] — the FP-slack policy that keeps Hamerly bound pruning
 //!   consistent with the reference scan and gives bound revalidation its
 //!   false-alarm immunity,
+//! * [`quant`] — the quantization-slack margin policy that keeps
+//!   quantized-table predict label-exact against the reference scan,
 //! * [`threshold`] — the detection threshold δ policy (floating-point
 //!   rounding must not raise false alarms; injected bit flips above the
 //!   noise floor must),
@@ -31,6 +33,7 @@ pub mod detect;
 pub mod dmr;
 pub mod locate;
 pub mod online;
+pub mod quant;
 pub mod schemes;
 pub mod threshold;
 
@@ -40,5 +43,6 @@ pub use correct::correct_in_place;
 pub use detect::{compare, Discrepancy};
 pub use locate::{locate, Located};
 pub use online::{CheckOutcome, WarpOnlineState};
+pub use quant::QuantMargin;
 pub use schemes::SchemeKind;
 pub use threshold::ThresholdPolicy;

@@ -1,0 +1,57 @@
+//! Predict-throughput benchmark: steady-state serving of query batches
+//! through a fitted model at the paper's feature/cluster shape
+//! (d = 64, k = 16), across the three [`kmeans::PredictPolicy`] settings.
+//!
+//! The exact policy is the current fp32 assignment path; fp16/int8 serve
+//! from the quantized resident table through the fused distance+argmin
+//! kernel. Every policy returns identical labels (the margin check falls
+//! back to exact rows when quantization could flip an argmin), so the
+//! printed speedup is free accuracy-wise; the fallback column shows how
+//! often the exact row scan had to run.
+//!
+//! Hand-rolled harness like `fit_throughput`: fixed repetitions, median
+//! reported, each repetition predicting a distinct query batch (the model
+//! memoizes repeat matrices — see [`bench_harness::predictbench`]). Set
+//! `FTK_WRITE_BASELINE=1` to (over)write `baselines/predict_throughput.csv`.
+//!
+//! Knobs:
+//! * `FTK_BENCH_PREDICT_M` — query batch size (default 131072),
+//! * `FTK_BENCH_REPS`      — batches per policy (default 3).
+
+use bench_harness::fitbench::env_usize;
+use bench_harness::predictbench::{predict_csv_row, run_predict_bench};
+
+fn main() {
+    let m = env_usize("FTK_BENCH_PREDICT_M", 131072);
+    let reps = env_usize("FTK_BENCH_REPS", 3).max(1);
+    let mut csv = String::from(bench_harness::fitbench::CSV_HEADER);
+
+    let out = run_predict_bench(m, reps);
+    let exact_rate = out
+        .iter()
+        .find(|p| p.name == "exact")
+        .map(|p| p.rate)
+        .unwrap_or(f64::NAN);
+    for meas in &out {
+        println!(
+            "bench: predict_throughput/{:<8} {:>9.3} s/batch  {:>12.0} samples/s  {:>5.2}x vs exact  fallback {:.3}%",
+            meas.name,
+            meas.median_s,
+            meas.rate,
+            meas.rate / exact_rate,
+            meas.fallback_rate * 100.0
+        );
+        csv.push_str(&predict_csv_row(meas));
+    }
+
+    if std::env::var("FTK_WRITE_BASELINE").is_ok() {
+        // crates/bench → workspace root → baselines/
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("baselines");
+        std::fs::create_dir_all(&dir).expect("create baselines/");
+        let path = dir.join("predict_throughput.csv");
+        std::fs::write(&path, &csv).expect("write baseline CSV");
+        println!("baseline written to {}", path.display());
+    }
+}

@@ -17,20 +17,29 @@
 //!    `baselines/campaign/campaign.csv` byte for byte (the campaign is
 //!    deterministic by construction).
 //!
+//! Three stages plus a serving-path gate: fresh predict rates per
+//! [`kmeans::PredictPolicy`] vs `baselines/predict_throughput.csv`, and the
+//! committed baseline must witness the quantized paths' >=3x speedup over
+//! the exact path.
+//!
 //! Knobs:
 //! * `FTK_BENCH_M`    — sample count for the fresh run (default 16384; the
 //!   committed baseline is 131072 — rates are compared, which is
 //!   approximately size-independent),
+//! * `FTK_BENCH_PREDICT_M` — query batch size for the predict gate
+//!   (default 16384; committed baseline is 131072),
 //! * `FTK_BENCH_REPS` — repetitions per variant (default 1),
 //! * `FTK_BENCH_TOL`  — regression tolerance factor (default 2.5),
-//! * `FTK_CHECK_FIGURES=0` / `FTK_CHECK_CAMPAIGN=0` — skip stage 2 / 3
-//!   (e.g. for a fast local throughput-only check).
+//! * `FTK_CHECK_PREDICT=0` / `FTK_CHECK_FIGURES=0` / `FTK_CHECK_CAMPAIGN=0`
+//!   — skip the predict gate / stage 2 / stage 3 (e.g. for a fast local
+//!   throughput-only check).
 
 use bench_harness::campaign::{campaign_table, run_campaign, CampaignGrid};
 use bench_harness::drift::{check_campaign_exact, check_figure_schemas};
 use bench_harness::figures::run_figure;
-use bench_harness::fitbench::{env_f64, env_usize, run_fit_bench};
-use bench_harness::regression::{check, parse_baseline, DEFAULT_TOLERANCE};
+use bench_harness::fitbench::{env_f64, env_usize, run_fit_bench, FitMeasurement};
+use bench_harness::predictbench::run_predict_bench;
+use bench_harness::regression::{check, parse_baseline, parse_baseline_kind, DEFAULT_TOLERANCE};
 use std::path::{Path, PathBuf};
 
 fn baselines_root() -> PathBuf {
@@ -93,6 +102,96 @@ fn check_throughput() -> bool {
     !failed
 }
 
+/// Serving-path gate: fresh predict rates for every policy against the
+/// committed `baselines/predict_throughput.csv` with the same tolerance
+/// band, plus the headline claim itself — the committed quantized rates
+/// must be at least 3x the committed exact rate (the baseline is the
+/// measured evidence for that claim; regenerate it deliberately with
+/// `FTK_WRITE_BASELINE=1 cargo bench -p bench_harness --bench
+/// predict_throughput`).
+fn check_predict() -> bool {
+    let m = env_usize("FTK_BENCH_PREDICT_M", 16384);
+    let reps = env_usize("FTK_BENCH_REPS", 1);
+    let tol = env_f64("FTK_BENCH_TOL", DEFAULT_TOLERANCE);
+
+    let path = baselines_root().join("predict_throughput.csv");
+    let csv = match std::fs::read_to_string(&path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("bench_check: cannot read {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    };
+    let baseline = match parse_baseline_kind(&csv, "predict") {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench_check: malformed predict baseline: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut failed = false;
+    // The committed baseline must itself witness the >=3x serving speedup.
+    if let Some(exact) = baseline.iter().find(|b| b.name == "exact") {
+        for b in baseline.iter().filter(|b| b.name != "exact") {
+            let speedup = b.rate / exact.rate;
+            let pass = speedup >= 3.0;
+            println!(
+                "predict baseline {:<6} {:>7.2}x vs exact  {}",
+                b.name,
+                speedup,
+                if pass { "ok" } else { "BELOW 3x" }
+            );
+            failed |= !pass;
+        }
+    } else {
+        eprintln!("bench_check: predict baseline has no exact row");
+        failed = true;
+    }
+
+    println!("bench_check: fresh predict run at m = {m} ({reps} rep(s)), tolerance {tol}x");
+    let fresh: Vec<FitMeasurement> = run_predict_bench(m, reps)
+        .into_iter()
+        .map(|p| {
+            println!(
+                "  {:<6} {:>12.0} samples/s  fallback {:.3}%",
+                p.name,
+                p.rate,
+                p.fallback_rate * 100.0
+            );
+            FitMeasurement {
+                name: p.name,
+                m: p.m,
+                median_s: p.median_s,
+                rate: p.rate,
+                inertia: 0.0,
+            }
+        })
+        .collect();
+    let outcomes = check(&fresh, &baseline, tol);
+    println!(
+        "{:<14} {:>14} {:>14} {:>8}  verdict",
+        "policy", "fresh rate", "baseline rate", "factor"
+    );
+    for o in &outcomes {
+        println!(
+            "{:<14} {:>14.0} {:>14.0} {:>7.2}x  {}",
+            o.name,
+            o.fresh_rate,
+            o.baseline_rate,
+            o.regression_factor,
+            if o.pass { "ok" } else { "REGRESSED" }
+        );
+        failed |= !o.pass;
+    }
+    if failed {
+        eprintln!("bench_check: serving-path gate failed");
+    } else {
+        println!("bench_check: serving path within bands, speedup claim holds");
+    }
+    !failed
+}
+
 fn check_figures() -> bool {
     let dir = baselines_root().join("figures");
     println!(
@@ -143,6 +242,9 @@ fn check_campaign() -> bool {
 
 fn main() {
     let mut ok = check_throughput();
+    if env_enabled("FTK_CHECK_PREDICT") {
+        ok &= check_predict();
+    }
     if env_enabled("FTK_CHECK_FIGURES") {
         ok &= check_figures();
     }

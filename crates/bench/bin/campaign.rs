@@ -6,7 +6,16 @@
 //! cargo run -p bench_harness --release --bin campaign -- \
 //!     --rates 10,50,200 --schemes ftkmeans,wu --precisions fp64 \
 //!     --reps 3 --out results --jsonl results/injections.jsonl --max-sdc 0.01
+//! cargo run -p bench_harness --release --bin campaign -- \
+//!     --quant-table 8 --max-sdc 0 --out results
 //! ```
+//!
+//! `--quant-table REPS` is an exclusive mode targeting the *serving* path:
+//! per quantization kind (fp16/int8) and state target (codes/scales/norms)
+//! it flips REPS bits in the resident quantized table, serves a batch
+//! through the guarded quantized predict, and classifies against host
+//! reference labels, writing `<out>/quant_table.csv`. The fit-time grid
+//! (and `campaign.csv`) is untouched by this mode.
 //!
 //! Sweeps injection rates × ABFT schemes × precisions over full K-means
 //! fits with real bit flips, classifies silent data corruption against
@@ -20,7 +29,8 @@
 //! parallel worker pool (cells parallelize, each cell runs serially).
 
 use bench_harness::campaign::{
-    campaign_table, parse_precision, parse_scheme, records_jsonl, run_campaign, CampaignGrid,
+    campaign_table, parse_precision, parse_scheme, quant_table_csv, records_jsonl, run_campaign,
+    run_quant_campaign, CampaignGrid, QuantCampaignSpec,
 };
 use bench_harness::report::ReportSink;
 use std::path::PathBuf;
@@ -29,9 +39,64 @@ fn usage() -> ! {
     eprintln!(
         "usage: campaign [--quick] [--rates R1,R2,...] [--schemes ftkmeans|kosaian|wu|none,...]\n\
          \x20                [--precisions fp32|fp64,...] [--reps N] [--out DIR]\n\
-         \x20                [--jsonl PATH] [--max-sdc FRACTION]"
+         \x20                [--jsonl PATH] [--max-sdc FRACTION]\n\
+         \x20                [--quant-table REPS]   (exclusive: serving-path quantized-state axis)"
     );
     std::process::exit(2)
+}
+
+/// The `--quant-table` exclusive mode: bit flips in resident quantized
+/// centroid tables served through the guarded predict path. Prints the
+/// table, writes `<out>/quant_table.csv`, and applies `--max-sdc` to every
+/// row (the guard is the protection — there is no unprotected control).
+fn run_quant_mode(reps: u64, out: &PathBuf, max_sdc: Option<f64>) -> ! {
+    let spec = QuantCampaignSpec {
+        reps,
+        ..Default::default()
+    };
+    eprintln!(
+        "campaign: quantized-table axis, {} reps per kind x target cell",
+        spec.reps
+    );
+    let rows = run_quant_campaign(&spec);
+    println!("| kind | target | injected | detected | benign | sdc |");
+    println!("|------|--------|----------|----------|--------|-----|");
+    for r in &rows {
+        println!(
+            "| {} | {} | {} | {} | {} | {} |",
+            r.kind, r.target, r.injected, r.detected, r.benign, r.sdc
+        );
+    }
+    let csv = quant_table_csv(&rows);
+    if let Err(e) = std::fs::create_dir_all(out) {
+        eprintln!("campaign: cannot create {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    let path = out.join("quant_table.csv");
+    if let Err(e) = std::fs::write(&path, &csv) {
+        eprintln!("campaign: cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    eprintln!("wrote quant_table.csv to {}", out.display());
+    if let Some(threshold) = max_sdc {
+        let mut tripped = false;
+        for r in &rows {
+            if let Some(rate) = r.sdc_rate() {
+                if rate > threshold {
+                    eprintln!(
+                        "campaign: SDC gate tripped: {} {} has SDC rate {:.4} > {:.4}",
+                        r.kind, r.target, rate, threshold
+                    );
+                    tripped = true;
+                }
+            }
+        }
+        if tripped {
+            std::process::exit(1);
+        }
+        eprintln!("campaign: quantized serving path within the {threshold} SDC threshold");
+    }
+    std::process::exit(0)
 }
 
 fn parse_list<T>(raw: &str, what: &str, f: impl Fn(&str) -> Option<T>) -> Vec<T> {
@@ -61,6 +126,7 @@ fn main() {
     let mut out = PathBuf::from("results");
     let mut jsonl: Option<PathBuf> = None;
     let mut max_sdc: Option<f64> = None;
+    let mut quant_reps: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -105,9 +171,22 @@ fn main() {
                         .unwrap_or_else(|| usage()),
                 )
             }
+            "--quant-table" => {
+                quant_reps = Some(
+                    next("--quant-table")
+                        .parse::<u64>()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
+    }
+
+    if let Some(reps) = quant_reps {
+        run_quant_mode(reps, &out, max_sdc);
     }
 
     let mut grid = if quick {

@@ -8,13 +8,17 @@
 //! * [`runner`] — parallel cell execution with per-cell serial determinism,
 //! * [`mod@classify`] — benign-vs-SDC classification via fault-free twins,
 //! * [`table`] — aggregation into [`crate::report::FigureReport`] tables
-//!   plus per-injection JSONL logs.
+//!   plus per-injection JSONL logs,
+//! * [`quant`] — the serving-path axis: bit flips in resident quantized
+//!   centroid tables, classified against host-reference labels
+//!   (`campaign --quant-table N`).
 //!
 //! `cargo run -p bench_harness --release --bin campaign -- --quick` is the
 //! one-command entry point (see the `campaign` binary).
 
 pub mod classify;
 pub mod grid;
+pub mod quant;
 pub mod runner;
 pub mod table;
 
@@ -22,5 +26,6 @@ pub use classify::{classify, Classification, SdcPolicy};
 pub use grid::{
     parse_precision, parse_scheme, scheme_token, CampaignCell, CampaignGrid, DataShape,
 };
+pub use quant::{quant_table_csv, run_quant_campaign, QuantCampaignRow, QuantCampaignSpec};
 pub use runner::{run_campaign, run_cell, CellOutcome};
 pub use table::{aggregate, campaign_table, records_jsonl, CampaignRow};

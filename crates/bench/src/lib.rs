@@ -28,6 +28,7 @@ pub mod drift;
 pub mod figures;
 pub mod fitbench;
 pub mod paper;
+pub mod predictbench;
 pub mod regression;
 pub mod report;
 

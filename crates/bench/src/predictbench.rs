@@ -1,0 +1,165 @@
+//! Shared predict-throughput measurement used by the `predict_throughput`
+//! bench and the `bench_check` serving-path gate.
+//!
+//! One measurement serves `m` query samples through a fitted model's
+//! [`FittedModel::predict`] under one [`PredictPolicy`] — the steady-state
+//! serving shape: the model (and for the quantized policies its resident
+//! quantized table) is built once, then every repetition predicts a
+//! *distinct* query matrix. Distinct matrices matter twice over: the model
+//! memoizes its last assignment by sample identity, so re-predicting one
+//! matrix would measure a `Vec::clone`, not the kernel; and fresh queries
+//! are what a serving path actually sees.
+//!
+//! Timing is wall-clock median over the repetitions; the quantized
+//! policies additionally report their exact-fallback rate (fraction of
+//! samples whose argmin margin did not clear the quantization bound),
+//! taken from the [`quant_fallbacks`](gpu_sim::CounterSnapshot) counter.
+
+use crate::fitbench::{blobs, median, DIM, K, MAX_ITER};
+use gpu_sim::{DeviceProfile, Matrix};
+use kmeans::{FittedModel, KMeansConfig, PredictPolicy, Session};
+use std::time::Instant;
+
+/// Training-set size for the one-time fit the serving model derives from.
+pub const TRAIN_M: usize = 8192;
+
+/// The serving policies measured, exact first (the fp32 reference path).
+pub const POLICY_NAMES: [&str; 3] = ["exact", "fp16", "int8"];
+
+/// One policy's serving throughput at one query-batch size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictMeasurement {
+    /// Policy label (one of [`POLICY_NAMES`]).
+    pub name: String,
+    /// Query samples per batch.
+    pub m: usize,
+    /// Median seconds per predict call.
+    pub median_s: f64,
+    /// Throughput in samples per second.
+    pub rate: f64,
+    /// Fraction of samples that fell back to the exact row scan
+    /// (0 for the exact policy).
+    pub fallback_rate: f64,
+}
+
+fn policy_by_name(name: &str) -> PredictPolicy {
+    match name {
+        "exact" => PredictPolicy::Exact,
+        "fp16" => PredictPolicy::Fp16,
+        "int8" => PredictPolicy::Int8,
+        other => panic!("unknown predict policy {other}"),
+    }
+}
+
+/// Deterministic query batch `salt` — same blob geometry as the training
+/// set, different noise per salt so every repetition predicts fresh data.
+pub fn queries(m: usize, salt: usize) -> Matrix<f32> {
+    Matrix::from_fn(m, DIM, |r, c| {
+        let center = ((r % K) * 8) as f32;
+        let h = (r
+            .wrapping_mul(2654435761)
+            .wrapping_add(salt.wrapping_mul(97911)))
+            ^ c.wrapping_mul(40503);
+        center + ((h % 1000) as f32 / 1000.0 - 0.5) + c as f32 * 0.01
+    })
+}
+
+/// Fit the serving model once: the paper shape (d = 64, k = 16), tensor
+/// kernel, fixed seed — the model every policy is measured against.
+pub fn serving_model(session: &Session) -> FittedModel<f32> {
+    session
+        .kmeans(KMeansConfig {
+            k: K,
+            max_iter: MAX_ITER,
+            tol: 0.0,
+            seed: 42,
+            ..Default::default()
+        })
+        .fit_model(&blobs(TRAIN_M))
+        .expect("serving fit failed")
+}
+
+/// Measure every policy serving `m`-sample batches, `reps` batches each.
+/// One fitted model is shared across policies (resident centroids and
+/// quantized tables persist), matching the serving lifecycle.
+pub fn run_predict_bench(m: usize, reps: usize) -> Vec<PredictMeasurement> {
+    let reps = reps.max(1);
+    let session = Session::new(DeviceProfile::a100());
+    let mut model = serving_model(&session);
+    POLICY_NAMES
+        .iter()
+        .map(|&name| {
+            model.set_predict_policy(policy_by_name(name));
+            // Warmup batch: builds the quantized table on first use so the
+            // one-time quantization cost is not misread as per-call cost.
+            model.predict(&queries(m, 0)).expect("warmup predict");
+            let before = model.predict_counters();
+            let mut samples = Vec::with_capacity(reps);
+            for rep in 0..reps {
+                let batch = queries(m, rep + 1);
+                let start = Instant::now();
+                model.predict(&batch).expect("predict failed");
+                samples.push(start.elapsed().as_secs_f64());
+            }
+            let fallbacks = model.predict_counters().since(&before).quant_fallbacks;
+            let med = median(&mut samples);
+            PredictMeasurement {
+                name: name.to_string(),
+                m,
+                median_s: med,
+                rate: m as f64 / med,
+                fallback_rate: fallbacks as f64 / (m * reps) as f64,
+            }
+        })
+        .collect()
+}
+
+/// Render one predict measurement as a CSV row (same 8-field schema as the
+/// fit rows; `iters` is 1 — a predict is a single pass).
+pub fn predict_csv_row(p: &PredictMeasurement) -> String {
+    format!(
+        "predict,{},{},{DIM},{K},1,{:.6},{:.1}\n",
+        p.name, p.m, p.median_s, p.rate
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queries_are_deterministic_per_salt_and_distinct_across_salts() {
+        let a = queries(32, 1);
+        let b = queries(32, 1);
+        let c = queries(32, 2);
+        assert_eq!(a.as_slice(), b.as_slice());
+        assert_ne!(a.as_slice(), c.as_slice());
+    }
+
+    #[test]
+    fn csv_row_matches_baseline_schema() {
+        let row = predict_csv_row(&PredictMeasurement {
+            name: "int8".into(),
+            m: 131072,
+            median_s: 0.25,
+            rate: 524288.0,
+            fallback_rate: 0.01,
+        });
+        assert_eq!(row, "predict,int8,131072,64,16,1,0.250000,524288.0\n");
+    }
+
+    #[test]
+    fn bench_runs_and_policies_agree_at_small_scale() {
+        let out = run_predict_bench(512, 1);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].name, "exact");
+        assert_eq!(out[0].fallback_rate, 0.0, "exact never falls back");
+        for p in &out {
+            assert!(p.median_s > 0.0 && p.rate > 0.0, "{p:?}");
+            assert!(
+                (0.0..=1.0).contains(&p.fallback_rate),
+                "fallback rate is a fraction: {p:?}"
+            );
+        }
+    }
+}

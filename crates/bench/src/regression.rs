@@ -46,6 +46,13 @@ pub struct CheckOutcome {
 /// Parse the committed `fit_throughput.csv`, keeping the `fit` rows.
 /// Returns an error string naming the first malformed line.
 pub fn parse_baseline(csv: &str) -> Result<Vec<BaselineRow>, String> {
+    parse_baseline_kind(csv, "fit")
+}
+
+/// Parse a baseline CSV in the shared 8-field schema, keeping rows of the
+/// given `kind` (first field: `fit`, `predict`, ...). Returns an error
+/// string naming the first malformed line.
+pub fn parse_baseline_kind(csv: &str, kind: &str) -> Result<Vec<BaselineRow>, String> {
     let mut rows = Vec::new();
     for (idx, line) in csv.lines().enumerate() {
         let line = line.trim();
@@ -56,7 +63,7 @@ pub fn parse_baseline(csv: &str) -> Result<Vec<BaselineRow>, String> {
         if fields.len() != 8 {
             return Err(format!("line {}: expected 8 fields, got {line:?}", idx + 1));
         }
-        if fields[0] != "fit" {
+        if fields[0] != kind {
             continue; // e.g. launch_overhead rows
         }
         let parse_num = |s: &str, what: &str| {
@@ -71,7 +78,7 @@ pub fn parse_baseline(csv: &str) -> Result<Vec<BaselineRow>, String> {
         });
     }
     if rows.is_empty() {
-        return Err("no fit rows found in baseline CSV".to_string());
+        return Err(format!("no {kind} rows found in baseline CSV"));
     }
     Ok(rows)
 }
@@ -148,6 +155,21 @@ mod tests {
         assert_eq!(rows[0].name, "naive");
         assert_eq!(rows[0].m, 131072);
         assert!((rows[0].rate - 545001.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn kind_parameter_selects_predict_rows() {
+        let csv = "bench,name,m,d,k,iters,median_s,rate\n\
+            fit,naive,131072,64,16,3,0.721496,545001.1\n\
+            predict,exact,131072,64,16,1,0.50,262144.0\n\
+            predict,int8,131072,64,16,1,0.125,1048576.0\n";
+        let rows = parse_baseline_kind(csv, "predict").unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name, "exact");
+        assert_eq!(rows[1].name, "int8");
+        assert!((rows[1].rate - 1048576.0).abs() < 1e-6);
+        // a kind with no rows fails closed
+        assert!(parse_baseline_kind(csv, "nope").is_err());
     }
 
     #[test]

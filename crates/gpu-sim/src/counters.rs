@@ -208,6 +208,10 @@ counter_events! {
         /// Candidate distance computations skipped by triangle-inequality
         /// bound pruning (Hamerly-style assignment kernels).
         pruned_candidates => add_pruned,
+        /// Samples whose quantized argmin margin did not clear the
+        /// quantization error bound and fell back to the exact fp scan
+        /// (fused quantized predict kernels).
+        quant_fallbacks => add_quant_fallback,
     }
     unit {
         /// `__syncthreads()` barriers executed (per threadblock).
@@ -353,6 +357,7 @@ mod tests {
             sink.add_ft_cuda(8);
             sink.add_ft_mma(9);
             sink.add_pruned(10);
+            sink.add_quant_fallback(11);
             sink.add_barrier();
             sink.add_launch();
         }
@@ -365,14 +370,20 @@ mod tests {
                 s.fma_ops,
                 s.atomic_ops,
                 s.cp_async_ops,
-                s.ft_extra_loads,
+                s.ft_extra_loads
+            ),
+            (1, 2, 3, 4, 5, 6, 7)
+        );
+        assert_eq!(
+            (
                 s.ft_cuda_ops,
                 s.ft_mma_ops,
                 s.pruned_candidates,
+                s.quant_fallbacks,
                 s.barriers,
                 s.kernel_launches
             ),
-            (1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 1, 1)
+            (8, 9, 10, 11, 1, 1)
         );
     }
 

@@ -59,7 +59,7 @@ pub use error::SimError;
 pub use exec::{ExecPolicy, Executor};
 pub use launch::{launch_grid, launch_grid_serial, BlockCtx, LaunchConfig};
 pub use matrix::Matrix;
-pub use memory::GlobalBuffer;
+pub use memory::{GlobalBuffer, GlobalPackedBuffer, PackedLane};
 pub use mma::{FaultHook, FragmentMma, MmaSite, NoFault};
 pub use scalar::Scalar;
 pub use scratch::ScratchBuf;

@@ -218,6 +218,212 @@ impl<T: Scalar> std::fmt::Debug for GlobalBuffer<T> {
     }
 }
 
+/// An integer lane type storable packed inside the 64-bit device words of a
+/// [`GlobalPackedBuffer`]. Implemented for `u16` (fp16 bit patterns) and
+/// `u8` (int8 quantization codes).
+pub trait PackedLane: Copy + Eq + std::fmt::Debug + Default + Send + Sync + 'static {
+    /// Lanes per 64-bit device word (`64 / bits`).
+    const LANES: usize;
+    /// Bytes per lane — what counted traffic charges per element.
+    const BYTES: usize;
+    /// Widen the lane's bits into a `u64` (value in the low bits).
+    fn to_lane_u64(self) -> u64;
+    /// Narrow the low bits of a `u64` back into a lane.
+    fn from_lane_u64(bits: u64) -> Self;
+}
+
+impl PackedLane for u16 {
+    const LANES: usize = 4;
+    const BYTES: usize = 2;
+    #[inline]
+    fn to_lane_u64(self) -> u64 {
+        self as u64
+    }
+    #[inline]
+    fn from_lane_u64(bits: u64) -> Self {
+        bits as u16
+    }
+}
+
+impl PackedLane for u8 {
+    const LANES: usize = 8;
+    const BYTES: usize = 1;
+    #[inline]
+    fn to_lane_u64(self) -> u64 {
+        self as u64
+    }
+    #[inline]
+    fn from_lane_u64(bits: u64) -> Self {
+        bits as u8
+    }
+}
+
+/// A device-global buffer of sub-word integer lanes (`u16` / `u8`) packed
+/// into the same atomic 64-bit words [`GlobalBuffer`] uses — the storage
+/// for quantized resident state (fp16 bit patterns, int8 codes).
+///
+/// Counted traffic charges the *packed* byte width (`len ×
+/// [`PackedLane::BYTES`]`), which is exactly where a quantized table's
+/// 2–4x memory-traffic advantage over an fp32 buffer shows up in the
+/// counters. Like [`GlobalBuffer`], [`Clone`] is a device-pointer copy and
+/// lane stores are atomic read-modify-writes on the containing word, so
+/// concurrent stores to adjacent lanes never clobber each other.
+pub struct GlobalPackedBuffer<U: PackedLane> {
+    words: Arc<[AtomicU64]>,
+    len: usize,
+    _marker: PhantomData<U>,
+}
+
+impl<U: PackedLane> Clone for GlobalPackedBuffer<U> {
+    /// Alias the same device memory (a device-pointer copy).
+    fn clone(&self) -> Self {
+        GlobalPackedBuffer {
+            words: Arc::clone(&self.words),
+            len: self.len,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<U: PackedLane> GlobalPackedBuffer<U> {
+    const LANE_BITS: u32 = (64 / U::LANES) as u32;
+    const LANE_MASK: u64 = u64::MAX >> (64 - Self::LANE_BITS);
+
+    /// Zero-initialized buffer of `len` lanes.
+    pub fn zeros(len: usize) -> Self {
+        GlobalPackedBuffer {
+            words: (0..len.div_ceil(U::LANES))
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            len,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Upload a host slice of lanes.
+    pub fn from_slice(data: &[U]) -> Self {
+        let buf = Self::zeros(data.len());
+        buf.write_range(0, data);
+        buf
+    }
+
+    /// Number of lanes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn split(idx: usize) -> (usize, u32) {
+        (idx / U::LANES, (idx % U::LANES) as u32 * Self::LANE_BITS)
+    }
+
+    /// Plain lane load (no traffic charged).
+    #[inline]
+    pub fn load(&self, idx: usize) -> U {
+        assert!(
+            idx < self.len,
+            "lane index {idx} out of bounds {}",
+            self.len
+        );
+        let (w, shift) = Self::split(idx);
+        U::from_lane_u64((self.words[w].load(Ordering::Relaxed) >> shift) & Self::LANE_MASK)
+    }
+
+    /// Plain lane store: an atomic read-modify-write of the containing
+    /// word, so neighbors in the same word survive concurrent stores.
+    #[inline]
+    pub fn store(&self, idx: usize, v: U) {
+        assert!(
+            idx < self.len,
+            "lane index {idx} out of bounds {}",
+            self.len
+        );
+        let (w, shift) = Self::split(idx);
+        let mask = Self::LANE_MASK << shift;
+        let bits = (v.to_lane_u64() << shift) & mask;
+        let cell = &self.words[w];
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let new = (cur & !mask) | bits;
+            match cell.compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Bulk load of a contiguous lane run into `out`, charging `counters`
+    /// once for the whole run at the packed byte width (`out.len() ×
+    /// [`PackedLane::BYTES`]` bytes — the quantized table's traffic
+    /// advantage over an fp32 buffer).
+    #[inline]
+    pub fn load_run<C: EventSink + ?Sized>(&self, start: usize, out: &mut [U], counters: &C) {
+        counters.add_loaded((out.len() * U::BYTES) as u64);
+        self.read_range(start, out);
+    }
+
+    /// Bulk store of a contiguous lane run from `vals`, charging `counters`
+    /// once for the whole run at the packed byte width.
+    #[inline]
+    pub fn store_run<C: EventSink + ?Sized>(&self, start: usize, vals: &[U], counters: &C) {
+        counters.add_stored((vals.len() * U::BYTES) as u64);
+        self.write_range(start, vals);
+    }
+
+    /// Copy a contiguous lane range into `out` without counting.
+    pub fn read_range(&self, start: usize, out: &mut [U]) {
+        assert!(start + out.len() <= self.len, "lane range out of bounds");
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.load(start + i);
+        }
+    }
+
+    /// Overwrite a contiguous lane range from `vals` without counting.
+    pub fn write_range(&self, start: usize, vals: &[U]) {
+        assert!(start + vals.len() <= self.len, "lane range out of bounds");
+        for (i, &v) in vals.iter().enumerate() {
+            self.store(start + i, v);
+        }
+    }
+
+    /// Download every lane into a vector.
+    pub fn to_vec(&self) -> Vec<U> {
+        (0..self.len).map(|i| self.load(i)).collect()
+    }
+
+    /// Flip one bit of one lane in place — the fault-injection surface for
+    /// campaigns targeting quantized resident state.
+    pub fn corrupt_bit(&self, idx: usize, bit: u32) {
+        assert!((bit as usize) < U::BYTES * 8, "bit outside the lane");
+        let cur = self.load(idx).to_lane_u64();
+        self.store(idx, U::from_lane_u64(cur ^ (1u64 << bit)));
+    }
+
+    /// The raw packed words (for checksumming resident state).
+    pub fn raw_words(&self) -> Vec<u64> {
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+impl<U: PackedLane> std::fmt::Debug for GlobalPackedBuffer<U> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "GlobalPackedBuffer<{}>[len={}]",
+            std::any::type_name::<U>(),
+            self.len
+        )
+    }
+}
+
 /// A global buffer of `u32` indices (assignment lists, counts) with atomic
 /// increment support.
 #[derive(Debug)]
@@ -420,6 +626,74 @@ mod tests {
         alias.store(2, -1.0);
         assert_eq!(b.load(2), -1.0);
         assert_eq!(alias.len(), 3);
+    }
+
+    #[test]
+    fn packed_buffer_roundtrips_across_word_boundaries() {
+        // 11 u16 lanes span three 64-bit words; 13 u8 lanes span two.
+        let v16: Vec<u16> = (0..11).map(|i| (i * 4093 + 17) as u16).collect();
+        let b16 = GlobalPackedBuffer::<u16>::from_slice(&v16);
+        assert_eq!(b16.to_vec(), v16);
+        let v8: Vec<u8> = (0..13).map(|i| (i * 37 + 5) as u8).collect();
+        let b8 = GlobalPackedBuffer::<u8>::from_slice(&v8);
+        assert_eq!(b8.to_vec(), v8);
+        // mid-buffer range read crossing a word boundary
+        let mut out = [0u16; 6];
+        b16.read_range(3, &mut out);
+        assert_eq!(out, v16[3..9]);
+    }
+
+    #[test]
+    fn packed_runs_charge_packed_byte_widths() {
+        // The whole point of the packed views: counted traffic is 2 bytes
+        // per u16 lane and 1 byte per u8 lane, not the 4/8 of a fp buffer.
+        let c = Counters::new();
+        let b16 = GlobalPackedBuffer::<u16>::zeros(10);
+        let mut out16 = [0u16; 7];
+        b16.load_run(1, &mut out16, &c);
+        assert_eq!(c.snapshot().bytes_loaded, 7 * 2);
+        b16.store_run(0, &[1, 2, 3], &c);
+        assert_eq!(c.snapshot().bytes_stored, 3 * 2);
+
+        let c8 = Counters::new();
+        let b8 = GlobalPackedBuffer::<u8>::zeros(20);
+        let mut out8 = [0u8; 9];
+        b8.load_run(2, &mut out8, &c8);
+        b8.store_run(11, &[7; 5], &c8);
+        let s = c8.snapshot();
+        assert_eq!((s.bytes_loaded, s.bytes_stored), (9, 5));
+    }
+
+    #[test]
+    fn packed_stores_to_adjacent_lanes_do_not_clobber() {
+        // Lanes share a word: concurrent stores must RMW, not overwrite.
+        let b = GlobalPackedBuffer::<u8>::zeros(8);
+        crossbeam::thread::scope(|s| {
+            for t in 0..8usize {
+                let b = &b;
+                s.spawn(move |_| {
+                    for _ in 0..500 {
+                        b.store(t, (t + 1) as u8);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(b.to_vec(), vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn packed_corrupt_bit_flips_exactly_one_lane_bit() {
+        let b = GlobalPackedBuffer::<u16>::from_slice(&[0x0f0f, 0xffff, 0x0000]);
+        b.corrupt_bit(1, 15);
+        assert_eq!(b.to_vec(), vec![0x0f0f, 0x7fff, 0x0000]);
+        b.corrupt_bit(1, 15);
+        assert_eq!(b.load(1), 0xffff, "second flip restores");
+        // clone aliases the same device words
+        let alias = b.clone();
+        alias.corrupt_bit(0, 0);
+        assert_eq!(b.load(0), 0x0f0e);
+        assert_eq!(b.raw_words().len(), 1);
     }
 
     #[test]

@@ -46,6 +46,47 @@ impl Variant {
     }
 }
 
+/// Precision policy for the serving path ([`crate::FittedModel::predict`] /
+/// [`crate::FittedModel::score`]).
+///
+/// The quantized policies score queries against a reduced-precision
+/// resident centroid table through the fused distance+argmin kernel
+/// ([`crate::variants::predict_fused`]); an error-bound check
+/// ([`abft::QuantMargin`]) routes any sample whose argmin margin is inside
+/// the quantization noise to the exact fp row, so every policy returns the
+/// same labels and distances as [`PredictPolicy::Exact`] — the quantized
+/// policies are a throughput knob, not an accuracy knob.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PredictPolicy {
+    /// Full-precision assignment through the model's fitted kernel variant.
+    #[default]
+    Exact,
+    /// fp16 resident table (2 bytes/element, ~2⁻¹¹ relative error).
+    Fp16,
+    /// Symmetric per-centroid int8 resident table (1 byte/element).
+    Int8,
+}
+
+impl PredictPolicy {
+    /// The quantization format this policy serves from (`None` for exact).
+    pub fn quant_kind(self) -> Option<crate::quant::QuantKind> {
+        match self {
+            PredictPolicy::Exact => None,
+            PredictPolicy::Fp16 => Some(crate::quant::QuantKind::Fp16),
+            PredictPolicy::Int8 => Some(crate::quant::QuantKind::Int8),
+        }
+    }
+
+    /// Display label for benches and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PredictPolicy::Exact => "exact",
+            PredictPolicy::Fp16 => "fp16",
+            PredictPolicy::Int8 => "int8",
+        }
+    }
+}
+
 /// Centroid initialization strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum InitMethod {

@@ -1,8 +1,10 @@
 //! Device-resident problem state shared by all kernel variants.
 
 use crate::norms::row_sq_norms_kernel;
+use crate::quant::QuantCache;
 use gpu_sim::memory::GlobalIndexBuffer;
 use gpu_sim::{Counters, DeviceProfile, GlobalBuffer, Matrix, Scalar, SimError};
+use std::sync::Arc;
 
 /// Device-resident Hamerly bound state: the per-sample triangle-inequality
 /// bounds plus the per-centroid geometry they are maintained against. Only
@@ -58,6 +60,11 @@ pub struct DeviceData<T: Scalar> {
     pub dim: usize,
     /// Hamerly bound state; `None` until [`DeviceData::ensure_bounds`].
     pub bounds: Option<BoundState<T>>,
+    /// Lazily-built quantized centroid tables for the serving path. Shared
+    /// (same `Arc`) by every device-pointer view of these centroids, so a
+    /// table built once stays resident across predict calls; invalidated
+    /// when the centroids are replaced.
+    pub quant: Arc<QuantCache<T>>,
 }
 
 impl<T: Scalar> DeviceData<T> {
@@ -89,6 +96,7 @@ impl<T: Scalar> DeviceData<T> {
             k: centroids.rows(),
             dim: samples.cols(),
             bounds: None,
+            quant: Arc::new(QuantCache::default()),
         })
     }
 
@@ -131,6 +139,7 @@ impl<T: Scalar> DeviceData<T> {
             k: self.k,
             dim: self.dim,
             bounds: None,
+            quant: Arc::clone(&self.quant),
         })
     }
 
@@ -149,6 +158,7 @@ impl<T: Scalar> DeviceData<T> {
             k: self.k,
             dim: self.dim,
             bounds: None,
+            quant: Arc::clone(&self.quant),
         }
     }
 
@@ -172,6 +182,9 @@ impl<T: Scalar> DeviceData<T> {
         self.centroids = GlobalBuffer::from_matrix(centroids);
         self.centroid_norms =
             row_sq_norms_kernel(device, &self.centroids, self.k, self.dim, counters)?;
+        // cached quantized tables encode the old centroids — drop them so
+        // the next quantized predict re-quantizes the fresh table
+        self.quant.invalidate();
         Ok(())
     }
 }

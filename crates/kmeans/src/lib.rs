@@ -15,6 +15,7 @@
 //! | [`Variant::BroadcastV3`] | A-4 | fully fused with per-row broadcast |
 //! | [`Variant::Tensor`] | A-5 | tensor-core pipeline kernel (Fig. 4/6) |
 //! | [`Variant::Hamerly`] | — | triangle-inequality bound pruning ([`variants::hamerly`]) |
+//! | serving path | — | fused quantized distance+argmin ([`variants::predict_fused`], [`PredictPolicy`]) |
 //!
 //! Fault tolerance plugs into the tensor variant as [`abft::SchemeKind`]:
 //! the paper's warp-level detect+correct scheme, Kosaian's detection-only
@@ -75,16 +76,18 @@ pub mod metrics;
 mod minibatch;
 pub mod model;
 pub mod norms;
+pub mod quant;
 pub mod reference;
 pub mod session;
 pub mod update;
 pub mod variants;
 
 pub use assign::AssignmentResult;
-pub use config::{FtConfig, InitMethod, KMeansConfig, Variant};
+pub use config::{FtConfig, InitMethod, KMeansConfig, PredictPolicy, Variant};
 pub use device_data::DeviceData;
 pub use driver::{FitResult, IterationEvent, KMeans, TwinFit};
 pub use error::KMeansError;
 pub use metrics::{adjusted_rand_index, inertia};
 pub use model::FittedModel;
+pub use quant::{QuantCache, QuantKind, QuantizedCentroids};
 pub use session::Session;

@@ -13,15 +13,18 @@
 //! start.
 
 use crate::assign::run_assignment;
-use crate::config::KMeansConfig;
+use crate::config::{KMeansConfig, PredictPolicy};
 use crate::device_data::DeviceData;
 use crate::driver::FitResult;
 use crate::error::KMeansError;
+use crate::quant::{fnv1a64, QuantKind, QuantizedCentroids};
 use crate::session::Session;
+use crate::variants::predict_fused::predict_fused_assign;
 use fault::CampaignStats;
 use gpu_sim::mma::NoFault;
-use gpu_sim::{Counters, Matrix, Scalar};
+use gpu_sim::{CounterSnapshot, Counters, GlobalBuffer, Matrix, Scalar};
 use parking_lot::Mutex;
+use std::sync::Arc;
 
 /// A fitted K-means model owning its device-resident state.
 ///
@@ -60,6 +63,71 @@ pub struct FittedModel<T: Scalar> {
     pub(crate) weights: Vec<u64>,
     /// Mini-batch batches consumed (0 for a full-batch fit).
     pub(crate) batches: usize,
+    /// Serving precision policy (see [`PredictPolicy`]); labels and
+    /// distances are identical under every setting.
+    policy: PredictPolicy,
+    /// Reusable serving-path state — built once per model, not per call.
+    scratch: PredictScratch<T>,
+}
+
+/// Hot-path predict state hoisted out of the per-call path: one counter
+/// sink and one campaign-stats sink for the model's lifetime, the last
+/// assignment memo (so `score` directly after `predict` on the same
+/// matrix re-derives nothing — no upload, no norms kernel, no scan), and
+/// the resident query buffer the quantized path re-fills instead of
+/// re-allocating per batch.
+struct PredictScratch<T: Scalar> {
+    counters: Counters,
+    stats: Mutex<CampaignStats>,
+    memo: Mutex<Option<AssignMemo>>,
+    query_buf: Mutex<Option<GlobalBuffer<T>>>,
+}
+
+impl<T: Scalar> Default for PredictScratch<T> {
+    fn default() -> Self {
+        PredictScratch {
+            counters: Counters::new(),
+            stats: Mutex::new(CampaignStats::default()),
+            memo: Mutex::new(None),
+            query_buf: Mutex::new(None),
+        }
+    }
+}
+
+/// The memoized result of the most recent assignment, keyed by sample-
+/// buffer identity (data pointer + shape + content fingerprint — the
+/// pointer alone could be reused by a fresh allocation). Because every
+/// [`PredictPolicy`] returns bit-identical labels and distances, the memo
+/// is valid across policy switches.
+struct AssignMemo {
+    key: (usize, usize, usize, u64),
+    labels: Vec<u32>,
+    inertia: f64,
+}
+
+/// Elements fingerprinted by [`memo_key`]. Hashing every element of a
+/// serving-sized batch costs more than the kernel it guards, so beyond
+/// this count the fingerprint strides the buffer (first/last elements
+/// always included). The pointer + shape carry the identity; the strided
+/// content hash guards against the pointer being reused by a fresh
+/// allocation with different data.
+const MEMO_FINGERPRINT_ELEMS: usize = 4096;
+
+fn memo_key<T: Scalar>(samples: &Matrix<T>) -> (usize, usize, usize, u64) {
+    let s = samples.as_slice();
+    let n = s.len();
+    let hash = if n <= MEMO_FINGERPRINT_ELEMS {
+        fnv1a64(s.iter().map(|v| v.to_raw_u64()))
+    } else {
+        let step = n.div_ceil(MEMO_FINGERPRINT_ELEMS);
+        fnv1a64(
+            s.iter()
+                .step_by(step)
+                .chain(std::iter::once(&s[n - 1]))
+                .map(|v| v.to_raw_u64()),
+        )
+    };
+    (s.as_ptr() as usize, samples.rows(), samples.cols(), hash)
 }
 
 impl<T: Scalar> std::ops::Deref for FittedModel<T> {
@@ -100,6 +168,8 @@ impl<T: Scalar> FittedModel<T> {
             result,
             weights,
             batches,
+            policy: PredictPolicy::default(),
+            scratch: PredictScratch::default(),
         }
     }
 
@@ -140,6 +210,52 @@ impl<T: Scalar> FittedModel<T> {
         self.data.dim
     }
 
+    /// The current serving precision policy.
+    pub fn predict_policy(&self) -> PredictPolicy {
+        self.policy
+    }
+
+    /// Set the serving precision policy. Labels and distances are identical
+    /// under every policy (the quantized paths fall back to exact rows when
+    /// the argmin margin is inside the quantization error), so switching
+    /// never invalidates memoized results.
+    pub fn set_predict_policy(&mut self, policy: PredictPolicy) {
+        self.policy = policy;
+    }
+
+    /// Builder-style [`FittedModel::set_predict_policy`].
+    pub fn with_predict_policy(mut self, policy: PredictPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Snapshot of the model's cumulative serving-path counters (traffic,
+    /// kernel launches, [`quant_fallbacks`](CounterSnapshot::quant_fallbacks),
+    /// ...). Take deltas around calls to meter a single predict.
+    pub fn predict_counters(&self) -> CounterSnapshot {
+        self.scratch.counters.snapshot()
+    }
+
+    /// Cumulative serving-path fault-tolerance stats — `detected` counts
+    /// quantized-table integrity failures caught (and repaired) by the
+    /// digest guard at predict entry.
+    pub fn predict_stats(&self) -> CampaignStats {
+        *self.scratch.stats.lock()
+    }
+
+    /// The quantized resident table for `kind`, building it on first use.
+    /// Fault campaigns reach through this to corrupt resident serving state
+    /// ([`QuantizedCentroids::corrupt_code_bit`]).
+    pub fn quantized_table(&self, kind: QuantKind) -> Arc<QuantizedCentroids<T>> {
+        self.data.quant.get_or_build(
+            kind,
+            &self.data.centroids,
+            self.data.k,
+            self.data.dim,
+            &self.scratch.counters,
+        )
+    }
+
     /// Assign each of `samples` to its nearest centroid.
     ///
     /// Only the query samples are uploaded; the resident centroid and
@@ -157,6 +273,7 @@ impl<T: Scalar> FittedModel<T> {
     }
 
     fn assign(&self, samples: &Matrix<T>) -> Result<(Vec<u32>, f64), KMeansError> {
+        // Shape-only validation runs even for empty input.
         if samples.cols() != self.data.dim {
             return Err(KMeansError::ShapeMismatch {
                 what: "samples",
@@ -164,27 +281,93 @@ impl<T: Scalar> FittedModel<T> {
                 got: (samples.rows(), samples.cols()),
             });
         }
-        self.session.run(|| {
+        if samples.rows() == 0 {
+            return Ok((Vec::new(), 0.0));
+        }
+        // `score` after `predict` on the same matrix (and repeated
+        // predicts) replay the memo — no upload, no kernels.
+        let key = memo_key(samples);
+        if let Some(memo) = self.scratch.memo.lock().as_ref() {
+            if memo.key == key {
+                return Ok((memo.labels.clone(), memo.inertia));
+            }
+        }
+        let counters = &self.scratch.counters;
+        let (labels, inertia) = self.session.run(|| {
             let device = self.session.device();
-            let counters = Counters::new();
-            let stats = Mutex::new(CampaignStats::default());
-            // Upload only the query samples; the resident centroid and
-            // centroid-norm buffers are shared, not re-uploaded.
-            let data = self
-                .data
-                .upload_samples_sharing_centroids(device, samples, &counters)?;
-            let out = run_assignment(
-                device,
-                &data,
-                self.config.variant,
-                self.config.ft.scheme,
-                &NoFault,
-                &counters,
-                &stats,
-            )?;
+            let out = match self.policy.quant_kind() {
+                Some(kind) => {
+                    // Integrity guard: the digest must match before the
+                    // quantized table serves a query; a corrupted table is
+                    // detected here and rebuilt from the fp centroids.
+                    let mut table = self.quantized_table(kind);
+                    if !table.verify() {
+                        self.scratch.stats.lock().detected += 1;
+                        table = self.data.quant.rebuild(
+                            kind,
+                            &self.data.centroids,
+                            self.data.k,
+                            self.data.dim,
+                            counters,
+                        );
+                    }
+                    // Only the raw query buffer is uploaded — the fused
+                    // kernel folds ‖x‖² into its distance pass, so this
+                    // path launches no sample-norms kernel at all. The
+                    // buffer itself is model-owned scratch, re-filled in
+                    // place when the batch size repeats (steady-state
+                    // serving re-allocates nothing).
+                    let queries = {
+                        let mut cached = self.scratch.query_buf.lock();
+                        match cached.as_ref() {
+                            Some(buf) if buf.len() == samples.as_slice().len() => {
+                                buf.write_range(0, samples.as_slice());
+                                buf.clone()
+                            }
+                            _ => {
+                                let buf = GlobalBuffer::from_matrix(samples);
+                                *cached = Some(buf.clone());
+                                buf
+                            }
+                        }
+                    };
+                    predict_fused_assign(
+                        device,
+                        &queries,
+                        &self.data.centroids,
+                        samples.rows(),
+                        self.data.k,
+                        self.data.dim,
+                        &table,
+                        counters,
+                    )?
+                }
+                None => {
+                    // Upload only the query samples; the resident centroid
+                    // and centroid-norm buffers are shared, not re-uploaded.
+                    let data = self
+                        .data
+                        .upload_samples_sharing_centroids(device, samples, counters)?;
+                    run_assignment(
+                        device,
+                        &data,
+                        self.config.variant,
+                        self.config.ft.scheme,
+                        &NoFault,
+                        counters,
+                        &self.scratch.stats,
+                    )?
+                }
+            };
             let inertia = out.distances.iter().map(|d| d.to_f64().max(0.0)).sum();
-            Ok((out.labels, inertia))
-        })
+            Ok::<_, KMeansError>((out.labels, inertia))
+        })?;
+        *self.scratch.memo.lock() = Some(AssignMemo {
+            key,
+            labels: labels.clone(),
+            inertia,
+        });
+        Ok((labels, inertia))
     }
 }
 
@@ -273,6 +456,115 @@ mod tests {
             let labels = model.predict(&data).unwrap();
             assert_eq!(labels.len(), 80);
         }
+    }
+
+    #[test]
+    fn empty_predict_returns_no_labels_without_launching() {
+        let (_, model) = fitted(3);
+        let empty = Matrix::<f64>::zeros(0, 4);
+        let before = model.predict_counters();
+        assert_eq!(model.predict(&empty).unwrap(), Vec::<u32>::new());
+        assert_eq!(model.score(&empty).unwrap(), 0.0);
+        let delta = model.predict_counters().since(&before);
+        assert_eq!(delta.kernel_launches, 0, "empty input launches nothing");
+        // shape validation still applies to empty input
+        assert!(model.predict(&Matrix::<f64>::zeros(0, 9)).is_err());
+    }
+
+    #[test]
+    fn score_after_predict_replays_the_memo() {
+        let (data, model) = fitted(3);
+        let labels = model.predict(&data).unwrap();
+        let before = model.predict_counters();
+        let score = model.score(&data).unwrap();
+        let delta = model.predict_counters().since(&before);
+        assert_eq!(delta.kernel_launches, 0, "memo hit re-runs nothing");
+        assert_eq!(delta.bytes_loaded, 0);
+        assert_eq!(model.predict(&data).unwrap(), labels, "repeat predict too");
+        assert!(score > 0.0);
+        // a different matrix misses the memo and really runs
+        let fresh = blobs(30, 4, 3);
+        let before = model.predict_counters();
+        model.predict(&fresh).unwrap();
+        assert!(model.predict_counters().since(&before).kernel_launches > 0);
+    }
+
+    #[test]
+    fn quantized_policies_match_exact_labels_and_score() {
+        let (_, mut model) = fitted(4);
+        let queries = blobs(57, 4, 4);
+        let want_labels = model.predict(&queries).unwrap();
+        let want_score = model.score(&queries).unwrap();
+        for policy in [PredictPolicy::Fp16, PredictPolicy::Int8] {
+            model.set_predict_policy(policy);
+            // distinct allocation so the memo can't answer for the kernel
+            let fresh = blobs(57, 4, 4);
+            assert_eq!(model.predict(&fresh).unwrap(), want_labels, "{policy:?}");
+            // the exact policy here runs the fitted tensor kernel, whose
+            // norm-identity rounding differs in the last bits from the
+            // reference scan the fused path reproduces — scores agree to
+            // rounding noise
+            let score = model.score(&fresh).unwrap();
+            assert!(
+                (score - want_score).abs() <= 1e-9 * want_score.max(1.0),
+                "{policy:?}: {score} vs {want_score}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_score_is_bit_identical_to_the_naive_scan() {
+        // Against a naive-variant model the fused path's distances are
+        // reference arithmetic — the scores match exactly, not just closely.
+        let data = blobs(90, 4, 3);
+        let mut model = Session::a100()
+            .kmeans(
+                KMeansConfig::new(3)
+                    .with_seed(3)
+                    .with_variant(Variant::Naive),
+            )
+            .fit_model(&data)
+            .expect("fit");
+        let queries = blobs(41, 4, 3);
+        let want = model.score(&queries).unwrap();
+        for policy in [PredictPolicy::Fp16, PredictPolicy::Int8] {
+            model.set_predict_policy(policy);
+            let fresh = blobs(41, 4, 3);
+            assert_eq!(model.score(&fresh).unwrap(), want, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn quantized_predict_skips_the_norms_kernel() {
+        let (_, model) = fitted(3);
+        let model = model.with_predict_policy(PredictPolicy::Int8);
+        model.quantized_table(crate::quant::QuantKind::Int8); // prebuild
+        let queries = blobs(40, 4, 3);
+        let before = model.predict_counters();
+        model.predict(&queries).unwrap();
+        let delta = model.predict_counters().since(&before);
+        assert_eq!(
+            delta.kernel_launches, 1,
+            "one fused launch — no separate sample-norms kernel"
+        );
+    }
+
+    #[test]
+    fn corrupted_quantized_table_is_detected_and_repaired() {
+        let (data, mut model) = fitted(3);
+        let want = model.predict(&data).unwrap();
+        model.set_predict_policy(PredictPolicy::Fp16);
+        let table = model.quantized_table(crate::quant::QuantKind::Fp16);
+        table.corrupt_code_bit(5, 13);
+        assert!(!table.verify());
+        let queries = blobs(90, 4, 3);
+        let labels = model.predict(&queries).unwrap();
+        assert_eq!(labels, want, "guard repaired the table before serving");
+        assert_eq!(model.predict_stats().detected, 1, "the flip was counted");
+        // the rebuilt resident table verifies again
+        assert!(model
+            .quantized_table(crate::quant::QuantKind::Fp16)
+            .verify());
     }
 
     #[test]

@@ -5,6 +5,7 @@ pub mod fused;
 pub mod gemm;
 pub mod hamerly;
 pub mod naive;
+pub mod predict_fused;
 pub mod tensor;
 
 use gpu_sim::mma::{FaultHook, MmaSite};

@@ -21,8 +21,10 @@ use gpu_sim::{Counters, DeviceProfile, Matrix};
 use kmeans::assign::run_assignment;
 use kmeans::config::Variant;
 use kmeans::device_data::DeviceData;
+use kmeans::quant::{QuantKind, QuantizedCentroids};
 use kmeans::reference::assign_reference;
-use kmeans::{KMeansConfig, Session};
+use kmeans::variants::predict_fused::predict_fused_assign;
+use kmeans::{KMeansConfig, PredictPolicy, Session};
 use parking_lot::Mutex;
 
 /// Integer-valued fixture with odd (non-tile-multiple) shapes.
@@ -64,6 +66,71 @@ fn all_six_variants_produce_identical_labels() {
         // Integer-exact fixture: distances must also match exactly.
         for (i, (got, want)) in out.distances.iter().zip(want_dists.iter()).enumerate() {
             assert_eq!(got, want, "{name}: distance {i}");
+        }
+    }
+}
+
+#[test]
+fn quantized_predict_agrees_with_every_variant_on_the_fixture() {
+    // The serving path's exactness promise, against the same fixture the
+    // six fit kernels agree on: fused quantized predict (fp16 and int8)
+    // returns the reference labels AND the reference distances bit-for-bit
+    // — the margin policy may route samples to the exact fallback row, but
+    // nothing it emits is allowed to differ from the reference scan.
+    let (samples, cents) = fixture();
+    let (want_labels, want_dists) = assign_reference(&samples, &cents);
+    let dev = DeviceProfile::a100();
+    let c = Counters::new();
+    let data = DeviceData::upload(&dev, &samples, &cents, &c).unwrap();
+    for kind in [QuantKind::Fp16, QuantKind::Int8] {
+        let table = QuantizedCentroids::build(&data.centroids, data.k, data.dim, kind);
+        let out = predict_fused_assign(
+            &dev,
+            &data.samples,
+            &data.centroids,
+            data.m,
+            data.k,
+            data.dim,
+            &table,
+            &c,
+        )
+        .unwrap();
+        assert_eq!(out.labels, want_labels, "{kind:?}: labels diverge");
+        for (i, (got, want)) in out.distances.iter().zip(want_dists.iter()).enumerate() {
+            assert_eq!(got, want, "{kind:?}: distance {i}");
+        }
+    }
+}
+
+#[test]
+fn quantized_model_predict_agrees_across_fit_variants() {
+    // End-to-end sweep: fit under every kernel variant, then serve the
+    // same queries under all three predict policies — the labels must be
+    // identical per model regardless of policy.
+    let data = blobs(256, 9, 4);
+    let queries = blobs(97, 9, 4);
+    let session = Session::a100();
+    for variant in [
+        Variant::Naive,
+        Variant::GemmV1,
+        Variant::FusedV2,
+        Variant::BroadcastV3,
+        Variant::Tensor(None),
+        Variant::Hamerly,
+    ] {
+        let mut model = session
+            .kmeans(fit_cfg(4, variant, 5))
+            .fit_model(&data)
+            .unwrap();
+        let want = model.predict(&queries).unwrap();
+        for policy in [PredictPolicy::Fp16, PredictPolicy::Int8] {
+            model.set_predict_policy(policy);
+            let fresh = blobs(97, 9, 4);
+            assert_eq!(
+                model.predict(&fresh).unwrap(),
+                want,
+                "{variant:?} under {policy:?}"
+            );
         }
     }
 }

@@ -413,3 +413,68 @@ fn dmr_protects_update_phase_under_targeted_storm() {
         "SEU faults always resolve by majority"
     );
 }
+
+#[test]
+fn quantized_table_bitflips_become_detections_not_sdc() {
+    // The serving-path analogue of the bound-buffer campaign above: flip a
+    // bit in each piece of resident quantized state (packed codes, int8
+    // scales, cached norms), then serve a batch through the guarded
+    // quantized predict. The digest guard must detect the corruption,
+    // rebuild the table from the fp centroids, and serve labels identical
+    // to the exact host reference — corrupted resident state is a
+    // detection, never silent data corruption.
+    use ft_kmeans::kmeans::quant::QuantKind;
+    use ft_kmeans::kmeans::PredictPolicy;
+
+    let data = blobs::<f32>(600, 12, 5, 77);
+    let queries = blobs::<f32>(200, 12, 5, 78);
+    let mut model = Session::a100()
+        .kmeans(KMeansConfig {
+            k: 5,
+            max_iter: 4,
+            tol: 0.0,
+            seed: 77,
+            ..Default::default()
+        })
+        .fit_model(&data)
+        .expect("fit");
+    let (want, _) = assign_reference(&queries, &model.centroids);
+
+    for (kind, policy) in [
+        (QuantKind::Fp16, PredictPolicy::Fp16),
+        (QuantKind::Int8, PredictPolicy::Int8),
+    ] {
+        model.set_predict_policy(policy);
+        let detected_before = model.predict_stats().detected;
+        // One flip per state target, each followed by a guarded predict.
+        let table = model.quantized_table(kind);
+        table.corrupt_code_bit(7, 3);
+        let served = model.predict(&blobs::<f32>(200, 12, 5, 79)).unwrap();
+        assert_eq!(
+            served,
+            assign_reference(&blobs::<f32>(200, 12, 5, 79), &model.centroids).0,
+            "{kind:?} code flip must not corrupt served labels"
+        );
+        let table = model.quantized_table(kind);
+        let prev = table.scales.load(2);
+        table.scales.store(2, prev.flip_bit(21));
+        let served = model.predict(&queries).unwrap();
+        assert_eq!(served, want, "{kind:?} scale flip must not corrupt labels");
+        let table = model.quantized_table(kind);
+        let prev = table.norms.load(1);
+        table.norms.store(1, prev.flip_bit(30));
+        let served = model.predict(&blobs::<f32>(200, 12, 5, 80)).unwrap();
+        assert_eq!(
+            served,
+            assign_reference(&blobs::<f32>(200, 12, 5, 80), &model.centroids).0,
+            "{kind:?} norm flip must not corrupt served labels"
+        );
+        assert_eq!(
+            model.predict_stats().detected - detected_before,
+            3,
+            "{kind:?}: every flip must be caught by the digest guard"
+        );
+        // After the final repair the resident table verifies clean again.
+        assert!(model.quantized_table(kind).verify());
+    }
+}

@@ -9,12 +9,14 @@ use ft_kmeans::gpu::timing::{estimate, GemmShape, KernelClass, TileConfig, Timin
 use ft_kmeans::gpu::{Counters, GlobalBuffer};
 use ft_kmeans::gpu::{Matrix, Scalar};
 use ft_kmeans::kmeans::device_data::DeviceData;
+use ft_kmeans::kmeans::quant::{f16_bits_to_f32, f32_to_f16_bits, QuantKind, QuantizedCentroids};
 use ft_kmeans::kmeans::reference::{assign_reference, update_reference};
 use ft_kmeans::kmeans::update::centroid_drift;
 use ft_kmeans::kmeans::variants::hamerly::{
     apply_drift, bound_policy, compute_s_half, hamerly_assign,
 };
 use ft_kmeans::kmeans::variants::naive::naive_assign;
+use ft_kmeans::kmeans::variants::predict_fused::predict_fused_assign;
 use ft_kmeans::kmeans::{KMeansConfig, Session, Variant};
 use ft_kmeans::{DeviceProfile, Precision};
 use proptest::prelude::*;
@@ -287,6 +289,99 @@ proptest! {
             let want = naive_assign(&dev, &data, &NoFault, &c).unwrap();
             let got = hamerly_assign(&dev, &data, false, &NoFault, &c).unwrap();
             prop_assert_eq!(got.labels, want.labels);
+        }
+    }
+
+    /// int8 quantize→dequantize round-trip stays within the advertised
+    /// half-scale bound for adversarial per-centroid magnitudes — tiny,
+    /// huge, and mixed within one table.
+    #[test]
+    fn int8_roundtrip_error_within_half_scale(
+        k in 1usize..5,
+        dim in 1usize..12,
+        seed in 0u64..500,
+        mags in prop::collection::vec(
+            prop::sample::select(vec![1e-30f64, 1e-6, 1.0, 1e6, 1e30]),
+            1..5,
+        ),
+    ) {
+        let cents = Matrix::<f64>::from_fn(k, dim, |r, c| {
+            let base = (((r * 31 + c * 7 + seed as usize) % 201) as f64 - 100.0) / 100.0;
+            base * mags[(r * 13 + c) % mags.len()]
+        });
+        let buf = GlobalBuffer::from_matrix(&cents);
+        let t = QuantizedCentroids::build(&buf, k, dim, QuantKind::Int8);
+        let counters = Counters::new();
+        let (mut deq, mut qn, mut sc) =
+            (vec![0.0f64; k * dim], vec![0.0f64; k], vec![0.0f64; k]);
+        t.stage_dequantized(&mut deq, &mut qn, &mut sc, &counters);
+        for j in 0..k {
+            // advertised bound: |v − v̂| ≤ scale/2 up to representation
+            // rounding (0.51 covers the slop with margin)
+            let bound = sc[j] * 0.51;
+            let mut err_sq = 0.0f64;
+            for d in 0..dim {
+                let err = (cents.get(j, d) - deq[j * dim + d]).abs();
+                prop_assert!(err <= bound, "row {j} elem {d}: err {err} > {bound}");
+                err_sq += err * err;
+            }
+            // the cached displacement metadata is the exact row error
+            prop_assert!((t.err_norms[j] - err_sq.sqrt()).abs() <= 1e-12 * err_sq.sqrt().max(1.0));
+        }
+    }
+
+    /// fp16 round-trip honors the advertised relative bound inside the
+    /// representable range and saturates (never overflows to ∞) outside it.
+    #[test]
+    fn fp16_roundtrip_error_within_advertised_bound(
+        v in -66000.0f64..66000.0,
+        scale in prop::sample::select(vec![1e-8f64, 1e-4, 1.0]),
+    ) {
+        let x = v * scale;
+        let back = f16_bits_to_f32(f32_to_f16_bits(x as f32)) as f64;
+        prop_assert!(back.is_finite());
+        if x.abs() <= 65504.0 {
+            // f32 narrowing (2⁻²³ rel) + f16 rounding (2⁻¹¹ rel) +
+            // subnormal absolute floor (2⁻²⁴)
+            let bound = x.abs() * (2f64.powi(-11) + 2f64.powi(-23)) + 2f64.powi(-24);
+            prop_assert!((back - x).abs() <= bound, "{x}: {back} off by {}", (back - x).abs());
+        } else {
+            prop_assert_eq!(back.abs(), 65504.0, "finite overflow saturates");
+            prop_assert_eq!(back.signum(), x.signum());
+        }
+    }
+
+    /// The serving path's exactness invariant under adversarial magnitudes:
+    /// whatever the data scale mix, fused quantized predict returns exactly
+    /// the naive kernel's labels and distances (the margin policy must
+    /// reject any sample quantization could mislabel).
+    #[test]
+    fn quantized_predict_labels_always_exact(
+        m in 1usize..40,
+        k in 1usize..7,
+        dim in 1usize..9,
+        seed in 0u64..300,
+        mag in prop::sample::select(vec![1e-20f64, 1e-3, 1.0, 1e5, 1e18]),
+    ) {
+        let dev = DeviceProfile::a100();
+        let counters = Counters::new();
+        let samples = Matrix::<f64>::from_fn(m, dim, |r, c| {
+            mag * ((((r * 7 + c * 3 + seed as usize) % 23) as f64 - 11.0) / 3.0)
+        });
+        let cents = Matrix::<f64>::from_fn(k, dim, |r, c| {
+            mag * ((((r * 11 + c * 5 + seed as usize) % 19) as f64 - 9.0) / 3.0)
+        });
+        let data = DeviceData::upload(&dev, &samples, &cents, &counters).unwrap();
+        let want = naive_assign(&dev, &data, &NoFault, &counters).unwrap();
+        for kind in [QuantKind::Fp16, QuantKind::Int8] {
+            let table = QuantizedCentroids::build(&data.centroids, k, dim, kind);
+            let got = predict_fused_assign(
+                &dev, &data.samples, &data.centroids, m, k, dim, &table, &counters,
+            ).unwrap();
+            prop_assert_eq!(&got.labels, &want.labels, "{:?} labels", kind);
+            for (a, b) in got.distances.iter().zip(want.distances.iter()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "{:?} distances", kind);
+            }
         }
     }
 
