@@ -30,16 +30,24 @@
 //!   (default 16384; committed baseline is 131072),
 //! * `FTK_BENCH_REPS` — repetitions per variant (default 1),
 //! * `FTK_BENCH_TOL`  — regression tolerance factor (default 2.5),
-//! * `FTK_CHECK_PREDICT=0` / `FTK_CHECK_FIGURES=0` / `FTK_CHECK_CAMPAIGN=0`
-//!   — skip the predict gate / stage 2 / stage 3 (e.g. for a fast local
-//!   throughput-only check).
+//! * `FTK_BENCH_SERVE_M` — rows per serving scenario for the serve gate
+//!   (default 16384),
+//! * `FTK_CHECK_FIT=0` / `FTK_CHECK_PREDICT=0` / `FTK_CHECK_SERVE=0` /
+//!   `FTK_CHECK_FIGURES=0` / `FTK_CHECK_CAMPAIGN=0` — skip individual
+//!   gates (e.g. `FTK_CHECK_FIT=0` plus the other skips for a serve-only
+//!   CI leg).
 
 use bench_harness::campaign::{campaign_table, run_campaign, CampaignGrid};
 use bench_harness::drift::{check_campaign_exact, check_figure_schemas};
 use bench_harness::figures::run_figure;
 use bench_harness::fitbench::{env_f64, env_usize, run_fit_bench, FitMeasurement};
 use bench_harness::predictbench::run_predict_bench;
-use bench_harness::regression::{check, parse_baseline, parse_baseline_kind, DEFAULT_TOLERANCE};
+use bench_harness::regression::{
+    check, parse_baseline, parse_baseline_kind, BaselineRow, DEFAULT_TOLERANCE,
+};
+use bench_harness::servebench::{
+    as_fit_measurements, batching_speedup, parse_serve_baseline, run_serve_bench,
+};
 use std::path::{Path, PathBuf};
 
 fn baselines_root() -> PathBuf {
@@ -192,6 +200,106 @@ fn check_predict() -> bool {
     !failed
 }
 
+/// Serving-layer gate: the committed `baselines/serve_throughput.csv` must
+/// witness the headline claim — micro-batched aggregate device throughput
+/// at least 2x the one-call-per-launch baseline at 64 concurrent clients
+/// of small requests — and a fresh mixed-traffic run must both reproduce
+/// the >=2x ratio and stay within the tolerance band per scenario.
+/// Regenerate the baseline deliberately with `FTK_WRITE_BASELINE=1 cargo
+/// run --release -p bench_harness --bin serve_bench`.
+fn check_serve() -> bool {
+    let serve_m = env_usize("FTK_BENCH_SERVE_M", 16384);
+    let tol = env_f64("FTK_BENCH_TOL", DEFAULT_TOLERANCE);
+
+    let path = baselines_root().join("serve_throughput.csv");
+    let csv = match std::fs::read_to_string(&path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("bench_check: cannot read {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    };
+    let baseline = match parse_serve_baseline(&csv) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench_check: malformed serve baseline: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut failed = false;
+    match batching_speedup(&baseline) {
+        Some(speedup) => {
+            let pass = speedup >= 2.0;
+            println!(
+                "serve baseline micro-batching speedup {:>6.2}x  {}",
+                speedup,
+                if pass { "ok" } else { "BELOW 2x" }
+            );
+            failed |= !pass;
+        }
+        None => {
+            eprintln!("bench_check: serve baseline lacks unbatched64/batched64 rows");
+            failed = true;
+        }
+    }
+
+    println!("bench_check: fresh serve run at {serve_m} rows/scenario, tolerance {tol}x");
+    let fresh = run_serve_bench(serve_m);
+    for s in &fresh {
+        println!(
+            "  {:<12} {:>5} launches  p50 {:>8.1} us  p99 {:>8.1} us  {:>14.0} device rows/s",
+            s.name, s.launches, s.p50_us, s.p99_us, s.rows_per_s
+        );
+    }
+    match batching_speedup(&fresh) {
+        Some(speedup) => {
+            let pass = speedup >= 2.0;
+            println!(
+                "serve fresh micro-batching speedup {:>6.2}x  {}",
+                speedup,
+                if pass { "ok" } else { "BELOW 2x" }
+            );
+            failed |= !pass;
+        }
+        None => {
+            eprintln!("bench_check: fresh serve run lacks unbatched64/batched64 rows");
+            failed = true;
+        }
+    }
+    let baseline_rows: Vec<BaselineRow> = baseline
+        .iter()
+        .map(|s| BaselineRow {
+            name: s.name.clone(),
+            m: s.requests * s.rows,
+            median_s: s.p50_us / 1e6,
+            rate: s.rows_per_s,
+        })
+        .collect();
+    let outcomes = check(&as_fit_measurements(&fresh), &baseline_rows, tol);
+    println!(
+        "{:<14} {:>14} {:>14} {:>8}  verdict",
+        "scenario", "fresh rate", "baseline rate", "factor"
+    );
+    for o in &outcomes {
+        println!(
+            "{:<14} {:>14.0} {:>14.0} {:>7.2}x  {}",
+            o.name,
+            o.fresh_rate,
+            o.baseline_rate,
+            o.regression_factor,
+            if o.pass { "ok" } else { "REGRESSED" }
+        );
+        failed |= !o.pass;
+    }
+    if failed {
+        eprintln!("bench_check: serve gate failed");
+    } else {
+        println!("bench_check: serve gate green, micro-batching claim holds");
+    }
+    !failed
+}
+
 fn check_figures() -> bool {
     let dir = baselines_root().join("figures");
     println!(
@@ -241,9 +349,15 @@ fn check_campaign() -> bool {
 }
 
 fn main() {
-    let mut ok = check_throughput();
+    let mut ok = true;
+    if env_enabled("FTK_CHECK_FIT") {
+        ok &= check_throughput();
+    }
     if env_enabled("FTK_CHECK_PREDICT") {
         ok &= check_predict();
+    }
+    if env_enabled("FTK_CHECK_SERVE") {
+        ok &= check_serve();
     }
     if env_enabled("FTK_CHECK_FIGURES") {
         ok &= check_figures();

@@ -1,0 +1,68 @@
+//! `serve_bench` — mixed-traffic serving latency/throughput benchmark.
+//!
+//! Runs the four [`bench_harness::servebench`] scenarios (closed-loop
+//! unbatched and micro-batched, open-loop paced, and batched with
+//! concurrent refit/streaming maintenance) at 64 clients x 16-row
+//! requests, printing per-scenario p50/p99 request latency and aggregate
+//! served rows/s, plus the headline batched-over-unbatched throughput
+//! ratio. Set `FTK_WRITE_BASELINE=1` to (over)write
+//! `baselines/serve_throughput.csv`.
+//!
+//! Knobs:
+//! * `FTK_BENCH_SERVE_M` — rows served per scenario (default 16384; the
+//!   per-client request count is derived from it).
+
+use bench_harness::fitbench::env_usize;
+use bench_harness::servebench::{
+    batching_speedup, run_serve_bench, serve_csv_row, SERVE_CSV_HEADER,
+};
+
+fn main() {
+    let total_rows = env_usize("FTK_BENCH_SERVE_M", 16384);
+    let mut csv = String::from(SERVE_CSV_HEADER);
+
+    let out = run_serve_bench(total_rows);
+    println!(
+        "{:<12} {:>8} {:>6} {:>9} {:>9} {:>10} {:>10} {:>14} {:>12}",
+        "scenario",
+        "clients",
+        "rows",
+        "requests",
+        "launches",
+        "p50 us",
+        "p99 us",
+        "device rows/s",
+        "wall rows/s"
+    );
+    for m in &out {
+        println!(
+            "{:<12} {:>8} {:>6} {:>9} {:>9} {:>10.1} {:>10.1} {:>14.1} {:>12.1}",
+            m.name,
+            m.clients,
+            m.rows,
+            m.requests,
+            m.launches,
+            m.p50_us,
+            m.p99_us,
+            m.rows_per_s,
+            m.wall_rows_per_s
+        );
+        csv.push_str(&serve_csv_row(m));
+    }
+    if let Some(speedup) = batching_speedup(&out) {
+        println!(
+            "micro-batching device-throughput speedup (batched64 / unbatched64): {speedup:.2}x"
+        );
+    }
+
+    if std::env::var("FTK_WRITE_BASELINE").is_ok() {
+        // crates/bench → workspace root → baselines/
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("baselines");
+        std::fs::create_dir_all(&dir).expect("create baselines/");
+        let path = dir.join("serve_throughput.csv");
+        std::fs::write(&path, &csv).expect("write baseline CSV");
+        println!("baseline written to {}", path.display());
+    }
+}

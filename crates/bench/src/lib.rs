@@ -31,5 +31,6 @@ pub mod paper;
 pub mod predictbench;
 pub mod regression;
 pub mod report;
+pub mod servebench;
 
 pub use report::{FigureReport, ReportSink};

@@ -91,6 +91,21 @@ macro_rules! counter_events {
                 $(self.$cfield.store(0, Ordering::Relaxed);)+
                 $(self.$ufield.store(0, Ordering::Relaxed);)+
             }
+
+            /// Fold a plain-value snapshot into these live counters — the
+            /// aggregation half of per-request scoping. A serving layer
+            /// charges each admitted request its own scoped [`Counters`]
+            /// (so concurrent requests never cross-talk), then folds the
+            /// request's finished [`CounterSnapshot`] into a shared total
+            /// with one call. Zero fields cost nothing (no atomic issued).
+            pub fn add_snapshot(&self, s: &CounterSnapshot) {
+                $(if s.$cfield != 0 {
+                    self.$cfield.fetch_add(s.$cfield, Ordering::Relaxed);
+                })+
+                $(if s.$ufield != 0 {
+                    self.$ufield.fetch_add(s.$ufield, Ordering::Relaxed);
+                })+
+            }
         }
 
         impl EventSink for Counters {
@@ -385,6 +400,44 @@ mod tests {
             ),
             (8, 9, 10, 11, 1, 1)
         );
+    }
+
+    #[test]
+    fn add_snapshot_folds_scoped_totals() {
+        // Per-request scoping: two "requests" charge their own counters;
+        // folding both snapshots into a shared total must equal charging
+        // the total directly (u64 addition is exact and commutative).
+        let total = Counters::new();
+        let req_a = Counters::new();
+        req_a.add_loaded(100);
+        req_a.add_launch();
+        let req_b = Counters::new();
+        req_b.add_loaded(30);
+        req_b.add_quant_fallback(2);
+        total.add_snapshot(&req_a.snapshot());
+        total.add_snapshot(&req_b.snapshot());
+        assert_eq!(total.snapshot(), req_a.snapshot().merged(&req_b.snapshot()));
+        // every field kind survives the fold, not just the touched ones
+        let full = Counters::new();
+        {
+            let sink = full.sink();
+            sink.add_loaded(1);
+            sink.add_stored(2);
+            sink.add_mma(3);
+            sink.add_fma(4);
+            sink.add_atomic(5);
+            sink.add_cp_async(6);
+            sink.add_ft_extra_loads(7);
+            sink.add_ft_cuda(8);
+            sink.add_ft_mma(9);
+            sink.add_pruned(10);
+            sink.add_quant_fallback(11);
+            sink.add_barrier();
+            sink.add_launch();
+        }
+        let copy = Counters::new();
+        copy.add_snapshot(&full.snapshot());
+        assert_eq!(copy.snapshot(), full.snapshot());
     }
 
     #[test]

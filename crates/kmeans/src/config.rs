@@ -191,6 +191,19 @@ pub struct KMeansConfig {
     pub variant: Variant,
     /// Fault-tolerance setup.
     pub ft: FtConfig,
+    /// Mini-batch empty-cluster repair threshold (sklearn's
+    /// `reassignment_ratio` analog), used only by
+    /// [`crate::KMeans::partial_fit`]. After each batch's learning-rate
+    /// fold, any center whose accumulated weight falls below
+    /// `reassignment_ratio × max(weights)` is deterministically re-seeded
+    /// onto the batch sample farthest from its current center (largest
+    /// assigned distance; ties and ordering resolved by index, so repair is
+    /// byte-identical under serial and parallel executors), and its weight
+    /// restarts at the smallest weight among the surviving centers. `0.0`
+    /// (the default) disables repair — dead or starved clusters then drift
+    /// forever, which is the robustness gap this closes for long-running
+    /// service refits. Full-batch fits ignore the field.
+    pub reassignment_ratio: f64,
 }
 
 impl Default for KMeansConfig {
@@ -203,6 +216,7 @@ impl Default for KMeansConfig {
             init: InitMethod::RandomSamples,
             variant: Variant::tensor_default(),
             ft: FtConfig::default(),
+            reassignment_ratio: 0.0,
         }
     }
 }
@@ -241,6 +255,14 @@ impl KMeansConfig {
         self
     }
 
+    /// Builder-style mini-batch empty-cluster repair threshold (see the
+    /// [`reassignment_ratio`](KMeansConfig::reassignment_ratio) field;
+    /// sklearn defaults to `0.01`).
+    pub fn with_reassignment_ratio(mut self, ratio: f64) -> Self {
+        self.reassignment_ratio = ratio;
+        self
+    }
+
     /// Check this configuration against a problem of `samples` rows and
     /// `dim` features. Every estimator entry point calls this before
     /// touching the device; errors name the offending field.
@@ -275,6 +297,15 @@ impl KMeansConfig {
                 reason: format!("must be finite and non-negative, got {}", self.tol),
             });
         }
+        if !self.reassignment_ratio.is_finite() || !(0.0..=1.0).contains(&self.reassignment_ratio) {
+            return Err(KMeansError::InvalidConfig {
+                field: "reassignment_ratio",
+                reason: format!(
+                    "must be a finite fraction in [0, 1], got {}",
+                    self.reassignment_ratio
+                ),
+            });
+        }
         Ok(())
     }
 }
@@ -290,6 +321,7 @@ mod tests {
         assert!(c.max_iter > 0);
         assert_eq!(c.ft.scheme, SchemeKind::None);
         assert!(matches!(c.variant, Variant::Tensor(None)));
+        assert_eq!(c.reassignment_ratio, 0.0, "repair is opt-in");
     }
 
     #[test]
@@ -327,6 +359,12 @@ mod tests {
         let mut c = KMeansConfig::new(2);
         c.tol = f64::NAN;
         assert_eq!(field(c, 10, 2), Some("tol"));
+        for bad in [-0.1, 1.5, f64::NAN] {
+            let c = KMeansConfig::new(2).with_reassignment_ratio(bad);
+            assert_eq!(field(c, 10, 2), Some("reassignment_ratio"));
+        }
+        let c = KMeansConfig::new(2).with_reassignment_ratio(0.05);
+        assert_eq!(field(c, 10, 2), None);
         assert_eq!(field(KMeansConfig::new(2), 10, 2), None);
     }
 

@@ -148,6 +148,7 @@ pub(crate) fn partial_fit_step<T: Scalar>(
             &stats,
         )?;
         let labels = assignment.labels;
+        let distances = assignment.distances;
 
         if let Some(i) = injector.as_ref() {
             i.begin_launch();
@@ -192,6 +193,55 @@ pub(crate) fn partial_fit_step<T: Scalar>(
                 centroids.set(c, d, T::from_f64(old + eta * (mean - old)));
             }
             weights[c] = w;
+        }
+
+        // Empty-cluster repair (sklearn's `reassignment_ratio` analog):
+        // after the fold, centers whose accumulated weight fell below
+        // `ratio × max(weights)` are re-seeded onto the batch samples
+        // farthest from their assigned centers. Everything here is
+        // host-side and fully ordered (descending assigned distance, ties
+        // and center order by ascending index), so repair — like the rest
+        // of the update — is byte-identical under serial and pool
+        // executors. Disabled at the default `ratio = 0.0`.
+        if cfg.reassignment_ratio > 0.0 {
+            let threshold =
+                weights.iter().copied().max().unwrap_or(0) as f64 * cfg.reassignment_ratio;
+            let low: Vec<usize> = (0..k)
+                .filter(|&c| (weights[c] as f64) < threshold)
+                .collect();
+            if !low.is_empty() {
+                // Donor rows: batch samples by descending assigned
+                // (squared) distance — the points the current centers
+                // explain worst — each used at most once.
+                let mut order: Vec<usize> = (0..mb).collect();
+                order.sort_unstable_by(|&a, &b| {
+                    distances[b]
+                        .to_f64()
+                        .partial_cmp(&distances[a].to_f64())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.cmp(&b))
+                });
+                // A re-seeded center restarts at the lightest surviving
+                // weight: heavy enough to not be instantly re-flagged,
+                // light enough that the next batches can still move it.
+                let is_low = {
+                    let mut f = vec![false; k];
+                    low.iter().for_each(|&c| f[c] = true);
+                    f
+                };
+                let restart = (0..k)
+                    .filter(|&c| !is_low[c])
+                    .map(|c| weights[c])
+                    .min()
+                    .unwrap_or(1)
+                    .max(1);
+                for (&c, row) in low.iter().zip(order) {
+                    for d in 0..dim {
+                        centroids.set(c, d, batch.get(row, d));
+                    }
+                    weights[c] = restart;
+                }
+            }
         }
         data.refresh_centroids(device, &centroids, &counters)?;
 
@@ -452,6 +502,100 @@ mod tests {
             "stream must keep the worst realization: kept {kept:?} vs first-batch {worst:?}"
         );
         assert!(kept.saturated());
+    }
+
+    /// Drift-stream batch: phase 0 has blobs at per-dim bases 0/14/28;
+    /// phase 1 drops the 0-blob and adds a far blob at 70 — the center
+    /// left behind starves while its siblings keep accumulating weight.
+    fn drift_batch(phase: usize, dim: usize, seed: u64) -> Matrix<f64> {
+        let bases: [f64; 3] = if phase == 0 {
+            [0.0, 14.0, 28.0]
+        } else {
+            [14.0, 28.0, 70.0]
+        };
+        Matrix::from_fn(128, dim, |r, c| {
+            bases[r % 3]
+                + (((r * 31 + c * 7 + seed as usize) % 100) as f64 / 100.0 - 0.5) * 0.6
+                + c as f64 * 0.02
+        })
+    }
+
+    fn run_drift_stream(session: &Session, ratio: f64) -> FittedModel<f64> {
+        let cfg = KMeansConfig::new(3)
+            .with_seed(5)
+            .with_init(crate::config::InitMethod::KMeansPlusPlus)
+            .with_reassignment_ratio(ratio);
+        let km = session.kmeans(cfg);
+        let mut model = Some(km.partial_fit(None, &drift_batch(0, 4, 0)).unwrap());
+        // Long enough for *both* repairs: the dead 0-center is re-seeded
+        // onto the new far blob within ~6 batches; the mid center stranded
+        // between the surviving blobs starves relative to its siblings and
+        // is only flagged once the weight gap has grown (~45 batches).
+        for b in 1..56u64 {
+            model = Some(km.partial_fit(model, &drift_batch(1, 4, b)).unwrap());
+        }
+        model.unwrap()
+    }
+
+    #[test]
+    fn reassignment_repairs_clusters_starved_by_drift() {
+        let session = Session::a100();
+        let plain = run_drift_stream(&session, 0.0);
+        let repaired = run_drift_stream(&session, 0.1);
+        // ground truth on post-drift data
+        let eval = drift_batch(1, 4, 99);
+        let truth: Vec<u32> = (0..eval.rows()).map(|r| (r % 3) as u32).collect();
+        let ari_plain = adjusted_rand_index(&plain.predict(&eval).unwrap(), &truth);
+        let ari_repaired = adjusted_rand_index(&repaired.predict(&eval).unwrap(), &truth);
+        assert!(
+            ari_repaired >= 0.99,
+            "repair must recover the post-drift clustering, ARI {ari_repaired:.3}"
+        );
+        assert!(
+            ari_repaired > ari_plain + 0.2,
+            "without repair the dead center must hurt: {ari_plain:.3} vs {ari_repaired:.3}"
+        );
+        // the re-seeded center restarted light, and no weight was lost twice
+        assert!(repaired.center_weights().iter().all(|&w| w > 0));
+    }
+
+    #[test]
+    fn repair_is_byte_identical_across_executors() {
+        // The repair rule is host-side and fully ordered; like the
+        // learning-rate fold it must not depend on the pool schedule.
+        let serial = run_drift_stream(&Session::a100().with_executor(Executor::serial()), 0.1);
+        let pooled = run_drift_stream(
+            &Session::a100().with_executor(Executor::with_workers(4)),
+            0.1,
+        );
+        let bits =
+            |m: &Matrix<f64>| -> Vec<u64> { m.as_slice().iter().map(|v| v.to_bits()).collect() };
+        assert_eq!(bits(&serial.centroids), bits(&pooled.centroids));
+        assert_eq!(serial.center_weights(), pooled.center_weights());
+    }
+
+    #[test]
+    fn repair_is_a_noop_on_balanced_streams() {
+        // With every center healthily weighted, a positive ratio must not
+        // perturb the stream: centroids stay bitwise what ratio = 0 gives.
+        let session = Session::a100();
+        let km_off = session.kmeans(KMeansConfig::new(3).with_seed(2));
+        let km_on = session.kmeans(
+            KMeansConfig::new(3)
+                .with_seed(2)
+                .with_reassignment_ratio(0.05),
+        );
+        let (mut a, mut b) = (None, None);
+        for s in 0..4u64 {
+            let batch = blobs(120, 4, 3, s);
+            a = Some(km_off.partial_fit(a, &batch).unwrap());
+            b = Some(km_on.partial_fit(b, &batch).unwrap());
+        }
+        let (a, b) = (a.unwrap(), b.unwrap());
+        let bits =
+            |m: &Matrix<f64>| -> Vec<u64> { m.as_slice().iter().map(|v| v.to_bits()).collect() };
+        assert_eq!(bits(&a.centroids), bits(&b.centroids));
+        assert_eq!(a.center_weights(), b.center_weights());
     }
 
     #[test]

@@ -130,6 +130,29 @@ fn memo_key<T: Scalar>(samples: &Matrix<T>) -> (usize, usize, usize, u64) {
     (s.as_ptr() as usize, samples.rows(), samples.cols(), hash)
 }
 
+/// Cloning a model is cheap: the device-resident centroid and
+/// centroid-norm buffers (and the cached quantized tables) are shared via
+/// device-pointer copies — no re-upload, no norm kernel re-run, no table
+/// rebuild. The fit outcome and learning-rate weights are host-side copies
+/// so the clone can continue a stream independently
+/// ([`crate::KMeans::partial_fit`] consumes its model), and the clone gets
+/// a *fresh* `PredictScratch` — counters, serving stats, and the memo
+/// start at zero, so per-clone metering never cross-talks.
+impl<T: Scalar> Clone for FittedModel<T> {
+    fn clone(&self) -> Self {
+        FittedModel {
+            session: self.session.clone(),
+            config: self.config.clone(),
+            data: self.data.centroids_only(),
+            result: self.result.clone(),
+            weights: self.weights.clone(),
+            batches: self.batches,
+            policy: self.policy,
+            scratch: PredictScratch::default(),
+        }
+    }
+}
+
 impl<T: Scalar> std::ops::Deref for FittedModel<T> {
     type Target = FitResult<T>;
 
@@ -261,6 +284,14 @@ impl<T: Scalar> FittedModel<T> {
     /// Only the query samples are uploaded; the resident centroid and
     /// centroid-norm buffers are shared (no re-upload, no centroid norm
     /// kernel re-run).
+    ///
+    /// **Thread safety.** `predict`/`score` take `&self` and are safe to
+    /// call from any number of threads concurrently: every
+    /// `PredictScratch` field is either atomic (counters) or
+    /// mutex-guarded, and the resident query buffer is handed to exactly
+    /// one in-flight call at a time via a take/park lease — an overlapping
+    /// caller allocates its own buffer rather than sharing device memory.
+    /// Steady-state single-caller serving still re-allocates nothing.
     pub fn predict(&self, samples: &Matrix<T>) -> Result<Vec<u32>, KMeansError> {
         Ok(self.assign(samples)?.0)
     }
@@ -316,22 +347,23 @@ impl<T: Scalar> FittedModel<T> {
                     // path launches no sample-norms kernel at all. The
                     // buffer itself is model-owned scratch, re-filled in
                     // place when the batch size repeats (steady-state
-                    // serving re-allocates nothing).
-                    let queries = {
-                        let mut cached = self.scratch.query_buf.lock();
-                        match cached.as_ref() {
-                            Some(buf) if buf.len() == samples.as_slice().len() => {
-                                buf.write_range(0, samples.as_slice());
-                                buf.clone()
-                            }
-                            _ => {
-                                let buf = GlobalBuffer::from_matrix(samples);
-                                *cached = Some(buf.clone());
-                                buf
-                            }
+                    // serving re-allocates nothing). The buffer is *leased*
+                    // out of the mutex for the duration of the launch:
+                    // a `GlobalBuffer` clone is a device-pointer copy, so
+                    // two overlapping predicts holding clones of one cached
+                    // buffer would overwrite each other's queries between
+                    // their uploads and launches. Taking the `Option` means
+                    // an overlapping caller simply allocates a fresh buffer;
+                    // whoever finishes last parks theirs for the next call.
+                    let leased = self.scratch.query_buf.lock().take();
+                    let queries = match leased {
+                        Some(buf) if buf.len() == samples.as_slice().len() => {
+                            buf.write_range(0, samples.as_slice());
+                            buf
                         }
+                        _ => GlobalBuffer::from_matrix(samples),
                     };
-                    predict_fused_assign(
+                    let out = predict_fused_assign(
                         device,
                         &queries,
                         &self.data.centroids,
@@ -340,7 +372,9 @@ impl<T: Scalar> FittedModel<T> {
                         self.data.dim,
                         &table,
                         counters,
-                    )?
+                    )?;
+                    *self.scratch.query_buf.lock() = Some(queries);
+                    out
                 }
                 None => {
                     // Upload only the query samples; the resident centroid
@@ -565,6 +599,73 @@ mod tests {
         assert!(model
             .quantized_table(crate::quant::QuantKind::Fp16)
             .verify());
+    }
+
+    #[test]
+    fn concurrent_predicts_share_scratch_without_corruption() {
+        // Regression test for the query-buffer lease: before it, two
+        // overlapping predicts of the same batch size cloned one cached
+        // device buffer and overwrote each other's queries between upload
+        // and launch. Eight threads hammer the same model with *different*
+        // same-sized matrices; every one must get its own reference labels.
+        let data = blobs(512, 6, 4);
+        let model = Session::a100()
+            .kmeans(KMeansConfig::new(4).with_seed(9))
+            .fit_model(&data)
+            .expect("fit")
+            .with_predict_policy(PredictPolicy::Int8);
+        model.quantized_table(crate::quant::QuantKind::Int8); // prebuild
+        std::thread::scope(|s| {
+            for t in 0..8usize {
+                let model = &model;
+                s.spawn(move || {
+                    let queries = Matrix::<f64>::from_fn(256, 6, |r, c| {
+                        ((r + t * 131) % 4 * 12) as f64 + ((r * 7 + c * 3 + t) % 5) as f64 * 0.05
+                    });
+                    let (want, _) = assign_reference(&queries, &model.centroids);
+                    for _ in 0..6 {
+                        assert_eq!(
+                            model.predict(&queries).unwrap(),
+                            want,
+                            "thread {t} read another caller's queries"
+                        );
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn clone_shares_device_state_with_fresh_scratch() {
+        let (data, model) = fitted(3);
+        let model = model.with_predict_policy(PredictPolicy::Fp16);
+        // warm the original's table cache and counters
+        let table = model.quantized_table(crate::quant::QuantKind::Fp16);
+        model.predict(&data).unwrap();
+        assert!(model.predict_counters().kernel_launches > 0);
+        let twin = model.clone();
+        // the quantized table cache is shared — no rebuild in the clone
+        assert!(Arc::ptr_eq(
+            &table,
+            &twin.quantized_table(crate::quant::QuantKind::Fp16)
+        ));
+        // but serving scratch is fresh: per-clone metering starts at zero
+        assert_eq!(twin.predict_counters(), CounterSnapshot::default());
+        assert_eq!(twin.predict_policy(), PredictPolicy::Fp16);
+        assert_eq!(twin.center_weights(), model.center_weights());
+        let fresh = blobs(30, 4, 3);
+        assert_eq!(
+            twin.predict(&fresh).unwrap(),
+            model.predict(&fresh).unwrap()
+        );
+        // a clone can continue a stream while the original keeps serving
+        let cont = twin
+            .session()
+            .kmeans(twin.config().clone())
+            .partial_fit(Some(twin), &fresh)
+            .expect("continue stream from clone");
+        assert_eq!(cont.batches_seen(), 1);
+        assert_eq!(model.batches_seen(), 0, "original untouched");
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! Serving-layer error type.
+
+use kmeans::KMeansError;
+
+/// Why a serving request failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// No model is registered under the requested name.
+    UnknownModel(String),
+    /// The server has shut down; the request was not served.
+    Shutdown,
+    /// A coalesced response failed the bit-identity check against the
+    /// unbatched path (only produced with
+    /// [`crate::ServerConfig::validate_batched`] on — it indicates a
+    /// serving-layer bug, never expected in production).
+    BatchMismatch {
+        /// Name the offending request was addressed to.
+        model: String,
+    },
+    /// The underlying estimator rejected the request (shape mismatch,
+    /// invalid configuration, device error, ...).
+    KMeans(KMeansError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownModel(name) => {
+                write!(f, "no model registered under {name:?}")
+            }
+            ServeError::Shutdown => write!(f, "server has shut down"),
+            ServeError::BatchMismatch { model } => write!(
+                f,
+                "coalesced response for model {model:?} diverged from the unbatched path"
+            ),
+            ServeError::KMeans(e) => write!(f, "estimator error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::KMeans(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<KMeansError> for ServeError {
+    fn from(e: KMeansError) -> Self {
+        ServeError::KMeans(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_name_the_failure() {
+        let e = ServeError::UnknownModel("tenant-a".into());
+        assert!(e.to_string().contains("tenant-a"));
+        assert!(ServeError::Shutdown.to_string().contains("shut down"));
+        let e = ServeError::BatchMismatch { model: "m".into() };
+        assert!(e.to_string().contains("unbatched"));
+    }
+
+    #[test]
+    fn kmeans_errors_convert_and_chain() {
+        let inner = KMeansError::InvalidConfig {
+            field: "k",
+            reason: "must be at least 1".into(),
+        };
+        let e: ServeError = inner.clone().into();
+        assert_eq!(e, ServeError::KMeans(inner));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,178 @@
+//! Named catalog of fitted models.
+
+use gpu_sim::Scalar;
+use kmeans::FittedModel;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A concurrently readable registry of named [`FittedModel`]s — the
+/// multi-tenant half of the serving layer.
+///
+/// Registration wraps the model in an [`Arc`]; lookups hand that `Arc`
+/// out, so a request holds its model alive even while a refit hot-swaps
+/// the name to a fresh one (the swap is atomic: in-flight requests finish
+/// against the model they resolved, new requests see the replacement).
+/// Model clones and registrations are cheap — the device-resident centroid
+/// buffers and cached quantized tables are Arc-aliased device-pointer
+/// copies, never re-uploaded. Each model carries its own
+/// [`kmeans::PredictPolicy`], so tenants with different latency budgets
+/// serve from different resident precisions side by side.
+///
+/// ```
+/// use gpu_sim::Matrix;
+/// use kmeans::{KMeansConfig, PredictPolicy, Session};
+/// use serve::ModelRegistry;
+///
+/// let session = Session::a100();
+/// let data = Matrix::<f64>::from_fn(60, 4, |r, c| (r % 3) as f64 * 9.0 + c as f64 * 0.1);
+/// let registry = ModelRegistry::new();
+/// registry.register(
+///     "tenant-a",
+///     session
+///         .kmeans(KMeansConfig::new(3).with_seed(1))
+///         .fit_model(&data)
+///         .unwrap()
+///         .with_predict_policy(PredictPolicy::Int8),
+/// );
+/// let model = registry.get("tenant-a").expect("registered");
+/// assert_eq!(model.predict(&data).unwrap().len(), 60);
+/// assert_eq!(registry.names(), ["tenant-a"]);
+/// ```
+pub struct ModelRegistry<T: Scalar> {
+    models: RwLock<HashMap<String, Arc<FittedModel<T>>>>,
+}
+
+impl<T: Scalar> ModelRegistry<T> {
+    /// An empty registry.
+    pub fn new() -> Self {
+        ModelRegistry {
+            models: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Register `model` under `name`, replacing any previous holder of the
+    /// name (in-flight requests keep serving from the displaced model
+    /// until their `Arc`s drop). Returns the shared handle.
+    pub fn register(&self, name: impl Into<String>, model: FittedModel<T>) -> Arc<FittedModel<T>> {
+        let model = Arc::new(model);
+        self.install(name, Arc::clone(&model));
+        model
+    }
+
+    /// Install an already-shared model under `name` — e.g. aliasing one
+    /// model under a second tenant name without cloning any state. Returns
+    /// the displaced model, if the name was taken.
+    pub fn install(
+        &self,
+        name: impl Into<String>,
+        model: Arc<FittedModel<T>>,
+    ) -> Option<Arc<FittedModel<T>>> {
+        self.models.write().insert(name.into(), model)
+    }
+
+    /// The model currently serving `name`.
+    pub fn get(&self, name: &str) -> Option<Arc<FittedModel<T>>> {
+        self.models.read().get(name).cloned()
+    }
+
+    /// Unregister `name`, returning the evicted model (in-flight requests
+    /// holding its `Arc` still complete).
+    pub fn remove(&self, name: &str) -> Option<Arc<FittedModel<T>>> {
+        self.models.write().remove(name)
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.models.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.models.read().len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.models.read().is_empty()
+    }
+}
+
+impl<T: Scalar> Default for ModelRegistry<T> {
+    fn default() -> Self {
+        ModelRegistry::new()
+    }
+}
+
+impl<T: Scalar> std::fmt::Debug for ModelRegistry<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelRegistry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::Matrix;
+    use kmeans::{KMeansConfig, PredictPolicy, Session};
+
+    fn blobs(m: usize) -> Matrix<f64> {
+        Matrix::from_fn(m, 4, |r, c| (r % 3) as f64 * 10.0 + c as f64 * 0.1)
+    }
+
+    fn model(seed: u64) -> FittedModel<f64> {
+        Session::a100()
+            .kmeans(KMeansConfig::new(3).with_seed(seed))
+            .fit_model(&blobs(90))
+            .expect("fit")
+    }
+
+    #[test]
+    fn register_get_remove_round_trip() {
+        let reg = ModelRegistry::new();
+        assert!(reg.is_empty());
+        assert!(reg.get("a").is_none());
+        let a = reg.register("a", model(1));
+        reg.register("b", model(2).with_predict_policy(PredictPolicy::Fp16));
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.names(), ["a", "b"]);
+        assert!(Arc::ptr_eq(&reg.get("a").unwrap(), &a));
+        assert_eq!(
+            reg.get("b").unwrap().predict_policy(),
+            PredictPolicy::Fp16,
+            "per-model policy survives registration"
+        );
+        let evicted = reg.remove("a").unwrap();
+        assert!(Arc::ptr_eq(&evicted, &a));
+        assert!(reg.get("a").is_none());
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn hot_swap_keeps_in_flight_handles_alive() {
+        let reg = ModelRegistry::new();
+        let old = reg.register("svc", model(1));
+        // a "request" resolved the model before the swap
+        let in_flight = reg.get("svc").unwrap();
+        let displaced = reg.install("svc", Arc::new(model(2))).unwrap();
+        assert!(Arc::ptr_eq(&displaced, &old));
+        // the in-flight handle still predicts against the old model
+        assert_eq!(in_flight.predict(&blobs(30)).unwrap().len(), 30);
+        assert!(!Arc::ptr_eq(&reg.get("svc").unwrap(), &old));
+    }
+
+    #[test]
+    fn aliased_names_share_one_model() {
+        let reg = ModelRegistry::new();
+        let m = reg.register("primary", model(3));
+        assert!(reg.install("alias", Arc::clone(&m)).is_none());
+        assert!(Arc::ptr_eq(
+            &reg.get("primary").unwrap(),
+            &reg.get("alias").unwrap()
+        ));
+    }
+}

@@ -42,8 +42,12 @@ pub use data;
 /// The K-means estimator and its kernel variants.
 pub use kmeans;
 
+/// Multi-tenant serving layer: model registry + micro-batching server.
+pub use serve;
+
 /// Kernel parameter space, feasibility, templates, tuner and selector.
 pub use codegen;
 
 pub use gpu_sim::{DeviceProfile, Precision};
 pub use kmeans::{FittedModel, KMeans, KMeansConfig, KMeansError, Session};
+pub use serve::{ModelRegistry, PredictResponse, ServeError, Server, ServerConfig};
