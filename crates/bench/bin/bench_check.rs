@@ -32,10 +32,14 @@
 //! * `FTK_BENCH_TOL`  — regression tolerance factor (default 2.5),
 //! * `FTK_BENCH_SERVE_M` — rows per serving scenario for the serve gate
 //!   (default 16384),
+//! * `FTK_BENCH_TRACE_M` — sample count for the trace gate's phase-profile
+//!   attribution check (default 131072, the committed-baseline scale: the
+//!   naive-vs-fused modeled ordering only emerges once distance-matrix
+//!   traffic outweighs launch overhead),
 //! * `FTK_CHECK_FIT=0` / `FTK_CHECK_PREDICT=0` / `FTK_CHECK_SERVE=0` /
-//!   `FTK_CHECK_FIGURES=0` / `FTK_CHECK_CAMPAIGN=0` — skip individual
-//!   gates (e.g. `FTK_CHECK_FIT=0` plus the other skips for a serve-only
-//!   CI leg).
+//!   `FTK_CHECK_TRACE=0` / `FTK_CHECK_FIGURES=0` / `FTK_CHECK_CAMPAIGN=0`
+//!   — skip individual gates (e.g. `FTK_CHECK_FIT=0` plus the other skips
+//!   for a serve-only CI leg).
 
 use bench_harness::campaign::{campaign_table, run_campaign, CampaignGrid};
 use bench_harness::drift::{check_campaign_exact, check_figure_schemas};
@@ -48,6 +52,8 @@ use bench_harness::regression::{
 use bench_harness::servebench::{
     as_fit_measurements, batching_speedup, parse_serve_baseline, run_serve_bench,
 };
+use bench_harness::tracebench::{run_trace_overhead, traced_fit, TRACE_PROFILE_M};
+use kmeans::Variant;
 use std::path::{Path, PathBuf};
 
 fn baselines_root() -> PathBuf {
@@ -300,6 +306,55 @@ fn check_serve() -> bool {
     !failed
 }
 
+/// Trace gate: attaching a recording sink must not push fit wall time out
+/// of the tolerance band, and the phase profiler's modeled-time attribution
+/// must reproduce the committed fit-throughput ordering (naive assignment
+/// costs more than fused) at the committed baseline scale.
+fn check_trace() -> bool {
+    let m = env_usize("FTK_BENCH_M", 16384);
+    let reps = env_usize("FTK_BENCH_REPS", 1);
+    let tol = env_f64("FTK_BENCH_TOL", DEFAULT_TOLERANCE);
+    let mut failed = false;
+
+    println!("bench_check: recording-sink overhead at m = {m} ({reps} rep(s)), tolerance {tol}x");
+    let o = run_trace_overhead(m, reps);
+    let pass = o.factor() <= tol;
+    println!(
+        "trace overhead  untraced {:>9.6} s  traced {:>9.6} s  {:>5.2}x  ({} events)  {}",
+        o.untraced_s,
+        o.traced_s,
+        o.factor(),
+        o.events,
+        if pass { "ok" } else { "REGRESSED" }
+    );
+    failed |= !pass;
+
+    let profile_m = env_usize("FTK_BENCH_TRACE_M", TRACE_PROFILE_M);
+    println!(
+        "bench_check: phase-profile attribution at m = {profile_m} (committed-baseline scale)"
+    );
+    let naive = traced_fit(profile_m, Variant::Naive).0.phase_profile();
+    let fused = traced_fit(profile_m, Variant::FusedV2).0.phase_profile();
+    let assignment = trace::phases::ASSIGNMENT;
+    let (na, fa) = (naive.modeled_s(assignment), fused.modeled_s(assignment));
+    let pass = na > fa && fa > 0.0;
+    println!(
+        "assignment modeled  naive {:>9.3} ms  fused_v2 {:>9.3} ms  {}",
+        na * 1e3,
+        fa * 1e3,
+        if pass { "ok" } else { "ORDER VIOLATED" }
+    );
+    failed |= !pass;
+    print!("{}", fused.to_table());
+
+    if failed {
+        eprintln!("bench_check: trace gate failed");
+    } else {
+        println!("bench_check: trace gate green — overhead bounded, attribution matches baseline ordering");
+    }
+    !failed
+}
+
 fn check_figures() -> bool {
     let dir = baselines_root().join("figures");
     println!(
@@ -358,6 +413,9 @@ fn main() {
     }
     if env_enabled("FTK_CHECK_SERVE") {
         ok &= check_serve();
+    }
+    if env_enabled("FTK_CHECK_TRACE") {
+        ok &= check_trace();
     }
     if env_enabled("FTK_CHECK_FIGURES") {
         ok &= check_figures();

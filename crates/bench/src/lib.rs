@@ -32,5 +32,6 @@ pub mod predictbench;
 pub mod regression;
 pub mod report;
 pub mod servebench;
+pub mod tracebench;
 
 pub use report::{FigureReport, ReportSink};

@@ -117,6 +117,41 @@ impl CampaignStats {
         }
     }
 
+    /// Emit the handling-path movement since `prev` as trace fault events
+    /// (one [`trace::TraceEvent::Fault`] per nonzero delta; zero deltas
+    /// cost nothing). Drivers call this host-side once per iteration —
+    /// worker threads never emit, which is what keeps pool-mode fault
+    /// streams count-identical to serial ones.
+    pub fn emit_trace_delta(&self, prev: &CampaignStats) {
+        if !trace::active() {
+            return;
+        }
+        trace::fault(
+            trace::faults::INJECTION,
+            self.injected.saturating_sub(prev.injected),
+        );
+        trace::fault(
+            trace::faults::DETECTED,
+            self.detected.saturating_sub(prev.detected),
+        );
+        trace::fault(
+            trace::faults::CORRECTED,
+            self.corrected.saturating_sub(prev.corrected),
+        );
+        trace::fault(
+            trace::faults::REBASELINED,
+            self.rebaselined.saturating_sub(prev.rebaselined),
+        );
+        trace::fault(
+            trace::faults::RECOMPUTED,
+            self.recomputed.saturating_sub(prev.recomputed),
+        );
+        trace::fault(
+            trace::faults::DMR_MISMATCH,
+            self.dmr_mismatches.saturating_sub(prev.dmr_mismatches),
+        );
+    }
+
     /// Merge another campaign's counts (elementwise sum — commutative and
     /// associative, so shards can be folded in any order).
     pub fn merge(&mut self, o: &CampaignStats) {

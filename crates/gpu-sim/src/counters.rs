@@ -195,6 +195,22 @@ macro_rules! counter_events {
                     $($ufield: self.$ufield.saturating_add(other.$ufield),)+
                 }
             }
+
+            /// The nonzero fields as `(name, value)` pairs in declaration
+            /// order — the flat form the `trace` crate consumes (it sits
+            /// below this crate, so it cannot see [`CounterSnapshot`]).
+            /// Declaration order is part of the trace byte-stability
+            /// contract.
+            pub fn nonzero_fields(&self) -> Vec<(&'static str, u64)> {
+                let mut out = Vec::new();
+                $(if self.$cfield != 0 {
+                    out.push((stringify!($cfield), self.$cfield));
+                })+
+                $(if self.$ufield != 0 {
+                    out.push((stringify!($ufield), self.$ufield));
+                })+
+                out
+            }
         }
     };
 }

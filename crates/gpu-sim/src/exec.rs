@@ -343,8 +343,49 @@ impl Executor {
     }
 
     /// Launch `kernel` over the grid described by `cfg`, charging `counters`
-    /// through per-worker [`CounterSink`]s (merged once per block).
+    /// through per-worker [`CounterSink`]s (merged once per block). Emits a
+    /// trace span under the generic label `"kernel"` when tracing is active;
+    /// use [`Executor::launch_labeled`] to name the kernel.
     pub fn launch<F>(
+        &self,
+        device: &DeviceProfile,
+        cfg: LaunchConfig,
+        counters: &Counters,
+        kernel: F,
+    ) -> Result<(), SimError>
+    where
+        F: Fn(&BlockCtx) + Sync,
+    {
+        self.launch_labeled(device, cfg, counters, "kernel", kernel)
+    }
+
+    /// [`Executor::launch`] with a kernel label for trace spans. When a
+    /// trace sink is active on the calling thread, the launch's counter
+    /// delta and its modeled duration (counter-roofline over the device's
+    /// calibrated ceilings) are emitted as a [`trace::TraceEvent::Launch`];
+    /// otherwise the only extra cost over [`Executor::launch`] is one flag
+    /// check.
+    pub fn launch_labeled<F>(
+        &self,
+        device: &DeviceProfile,
+        cfg: LaunchConfig,
+        counters: &Counters,
+        label: &'static str,
+        kernel: F,
+    ) -> Result<(), SimError>
+    where
+        F: Fn(&BlockCtx) + Sync,
+    {
+        if !trace::active() {
+            return self.launch_inner(device, cfg, counters, kernel);
+        }
+        let before = counters.snapshot();
+        self.launch_inner(device, cfg, counters, kernel)?;
+        emit_launch_span(device, &cfg, counters, label, &before);
+        Ok(())
+    }
+
+    fn launch_inner<F>(
         &self,
         device: &DeviceProfile,
         cfg: LaunchConfig,
@@ -385,11 +426,33 @@ impl Executor {
         device: &DeviceProfile,
         cfg: LaunchConfig,
         counters: &Counters,
+        kernel: F,
+    ) -> Result<(), SimError>
+    where
+        F: FnMut(&BlockCtx),
+    {
+        self.launch_serial_labeled(device, cfg, counters, "kernel", kernel)
+    }
+
+    /// [`Executor::launch_serial`] with a kernel label for trace spans
+    /// (see [`Executor::launch_labeled`]).
+    pub fn launch_serial_labeled<F>(
+        &self,
+        device: &DeviceProfile,
+        cfg: LaunchConfig,
+        counters: &Counters,
+        label: &'static str,
         mut kernel: F,
     ) -> Result<(), SimError>
     where
         F: FnMut(&BlockCtx),
     {
+        let traced = trace::active();
+        let before = if traced {
+            Some(counters.snapshot())
+        } else {
+            None
+        };
         validate(device, &cfg)?;
         counters.add_launch();
         let sink = CounterSink::new(counters);
@@ -404,6 +467,9 @@ impl Executor {
             };
             kernel(&ctx);
             sink.flush();
+        }
+        if let Some(before) = before {
+            emit_launch_span(device, &cfg, counters, label, &before);
         }
         Ok(())
     }
@@ -449,6 +515,26 @@ impl Executor {
             }
         });
     }
+}
+
+/// Emit a [`trace::TraceEvent::Launch`] span for a completed launch: the
+/// counter delta since `before`, the grid dims, and the modeled duration
+/// from the counter roofline. Called only when tracing is active.
+fn emit_launch_span(
+    device: &DeviceProfile,
+    cfg: &LaunchConfig,
+    counters: &Counters,
+    label: &'static str,
+    before: &crate::counters::CounterSnapshot,
+) {
+    let delta = counters.snapshot().since(before);
+    let modeled_s = crate::timing::counter_roofline(device, &delta);
+    trace::emit(trace::TraceEvent::Launch {
+        label,
+        grid: (cfg.grid.x, cfg.grid.y, cfg.grid.z),
+        modeled_s,
+        fields: delta.nonzero_fields(),
+    });
 }
 
 fn policy_from_env() -> ExecPolicy {

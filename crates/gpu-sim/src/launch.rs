@@ -79,6 +79,9 @@ pub(crate) fn validate(device: &DeviceProfile, cfg: &LaunchConfig) -> Result<(),
 ///
 /// The closure is invoked once per block with a fresh [`BlockCtx`]; any
 /// per-block state (pipelines, fragments) should be created inside it.
+/// Trace spans (when a sink is active) carry the generic label `"kernel"`;
+/// production kernels use [`launch_grid_labeled`] so the timeline and the
+/// phase profiler can name them.
 pub fn launch_grid<F>(
     device: &DeviceProfile,
     cfg: LaunchConfig,
@@ -89,6 +92,21 @@ where
     F: Fn(&BlockCtx) + Sync,
 {
     exec::with_current(|e| e.launch(device, cfg, counters, &kernel))
+}
+
+/// [`launch_grid`] with a kernel label for trace spans (counter delta +
+/// modeled roofline duration; see [`exec::Executor::launch_labeled`]).
+pub fn launch_grid_labeled<F>(
+    device: &DeviceProfile,
+    cfg: LaunchConfig,
+    counters: &Counters,
+    label: &'static str,
+    kernel: F,
+) -> Result<(), SimError>
+where
+    F: Fn(&BlockCtx) + Sync,
+{
+    exec::with_current(|e| e.launch_labeled(device, cfg, counters, label, &kernel))
 }
 
 /// Serial variant of [`launch_grid`] with a deterministic block order —
@@ -105,6 +123,20 @@ where
     F: FnMut(&BlockCtx),
 {
     exec::with_current(|e| e.launch_serial(device, cfg, counters, kernel))
+}
+
+/// [`launch_grid_serial`] with a kernel label for trace spans.
+pub fn launch_grid_serial_labeled<F>(
+    device: &DeviceProfile,
+    cfg: LaunchConfig,
+    counters: &Counters,
+    label: &'static str,
+    kernel: F,
+) -> Result<(), SimError>
+where
+    F: FnMut(&BlockCtx),
+{
+    exec::with_current(|e| e.launch_serial_labeled(device, cfg, counters, label, kernel))
 }
 
 #[cfg(test)]

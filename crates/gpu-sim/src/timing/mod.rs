@@ -14,9 +14,11 @@
 pub mod calibration;
 pub mod model;
 pub mod occupancy;
+pub mod roofline;
 
 pub use calibration::Calibration;
 pub use model::{
     estimate, estimate_with, FtMode, GemmShape, KernelClass, KernelTiming, TileConfig, TimingInput,
 };
 pub use occupancy::{occupancy, OccupancyResult};
+pub use roofline::counter_roofline;

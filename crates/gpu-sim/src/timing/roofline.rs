@@ -1,0 +1,104 @@
+//! Counter-delta roofline: modeled time for an *arbitrary* launch.
+//!
+//! The full model ([`crate::timing::model::estimate`]) prices a kernel from
+//! its structural description (tile shape, GEMM dims, FT mode) — which the
+//! execution engine does not have when it finishes a launch. What it does
+//! have is the launch's [`CounterSnapshot`] delta: bytes moved, FMA/MMA
+//! issue counts, atomics. [`counter_roofline`] turns that delta into a
+//! modeled duration by taking the binding leg of a simple roofline over the
+//! device's calibrated ceilings. This is what per-launch trace spans carry.
+//!
+//! Approximations, by design:
+//!
+//! * FP32 ceilings are used throughout — the counter delta does not record
+//!   precision, and every production kernel in this workspace runs fp32.
+//! * Atomics and launch overhead are charged as additive serialized terms.
+//! * Occupancy/tile-efficiency effects are ignored; for the kernels here
+//!   (memory- or issue-bound at large M) the binding-leg estimate tracks
+//!   the full model's ordering, which is all the phase profiler needs.
+
+use crate::counters::CounterSnapshot;
+use crate::device::{DeviceProfile, Precision};
+use crate::timing::Calibration;
+
+/// FLOPs per warp-level `mma` instruction (16×8×8 shape, 2 flops per MAC).
+const FLOPS_PER_MMA: f64 = 2.0 * 16.0 * 8.0 * 8.0;
+
+/// Modeled duration in seconds of a launch that produced `delta`.
+///
+/// Roofline over the calibrated fp32 ceilings: the binding leg of
+/// {memory traffic, CUDA-core FMA issue, tensor-pipe MMA issue}, plus
+/// serialized atomic-merge and launch-overhead terms.
+pub fn counter_roofline(device: &DeviceProfile, delta: &CounterSnapshot) -> f64 {
+    let cal = Calibration::for_device(device, Precision::Fp32);
+    let t_mem = delta.total_bytes() as f64 / (device.mem_bw_gbs * 1e9 * cal.mem_efficiency);
+    let cuda_flops = (delta.fma_ops + delta.ft_cuda_ops) as f64 * 2.0;
+    let t_cuda = cuda_flops / (device.cuda_fp32_gflops * 1e9);
+    let tensor_flops = (delta.mma_ops + delta.ft_mma_ops) as f64 * FLOPS_PER_MMA;
+    let t_tensor = tensor_flops / (device.tensor_fp32_gflops * 1e9);
+    let t_atomic = delta.atomic_ops as f64 * cal.atomic_merge_ns * 1e-9;
+    let t_launch = delta.kernel_launches as f64 * device.launch_overhead_us * 1e-6;
+    t_mem.max(t_cuda).max(t_tensor) + t_atomic + t_launch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_bound_delta_prices_by_bandwidth() {
+        let dev = DeviceProfile::a100();
+        let delta = CounterSnapshot {
+            bytes_loaded: 1_000_000_000,
+            kernel_launches: 1,
+            ..Default::default()
+        };
+        let t = counter_roofline(&dev, &delta);
+        let cal = Calibration::for_device(&dev, Precision::Fp32);
+        let t_mem = 1e9 / (dev.mem_bw_gbs * 1e9 * cal.mem_efficiency);
+        assert!((t - (t_mem + dev.launch_overhead_us * 1e-6)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compute_bound_delta_prices_by_the_binding_leg() {
+        let dev = DeviceProfile::a100();
+        let fma_heavy = CounterSnapshot {
+            bytes_loaded: 1024,
+            fma_ops: 1_000_000_000,
+            ..Default::default()
+        };
+        let mma_heavy = CounterSnapshot {
+            bytes_loaded: 1024,
+            mma_ops: 1_000_000_000,
+            ..Default::default()
+        };
+        let t_fma = counter_roofline(&dev, &fma_heavy);
+        let t_mma = counter_roofline(&dev, &mma_heavy);
+        // Same op count: tensor-core MMAs carry 1024x the flops but the
+        // tensor pipe is nowhere near 1024x faster than the CUDA cores.
+        assert!(t_mma > t_fma);
+        assert!(t_fma > 0.0);
+    }
+
+    #[test]
+    fn empty_delta_costs_nothing() {
+        let dev = DeviceProfile::t4();
+        assert_eq!(counter_roofline(&dev, &CounterSnapshot::default()), 0.0);
+    }
+
+    #[test]
+    fn more_work_never_gets_cheaper() {
+        let dev = DeviceProfile::a100();
+        let small = CounterSnapshot {
+            bytes_loaded: 1 << 20,
+            fma_ops: 1 << 20,
+            atomic_ops: 100,
+            kernel_launches: 1,
+            ..Default::default()
+        };
+        let mut big = small;
+        big.bytes_loaded *= 4;
+        big.fma_ops *= 4;
+        assert!(counter_roofline(&dev, &big) > counter_roofline(&dev, &small));
+    }
+}

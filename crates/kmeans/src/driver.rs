@@ -14,6 +14,7 @@ use crate::error::KMeansError;
 use crate::init::{init_centroids, reseed_empty_clusters};
 use crate::minibatch;
 use crate::model::FittedModel;
+use crate::phase;
 use crate::session::Session;
 use crate::update::{centroid_drift, update_centroids};
 use crate::variants::hamerly;
@@ -310,17 +311,21 @@ fn lloyd_core<T: Scalar>(
     let stats = Mutex::new(CampaignStats::default());
     let mut dmr_total = DmrStats::default();
 
-    let mut centroids = match warm_start {
-        Some(init) => init.clone(),
-        None => init_centroids(samples, cfg.k, cfg.seed, cfg.init),
-    };
-    let mut data = DeviceData::upload(device, samples, &centroids, &counters)?;
-    if cfg.variant == Variant::Hamerly {
-        // Vacuous bounds (u = +∞) make the first pruned pass a full scan;
-        // the half-separations must exist before any assignment runs.
-        data.ensure_bounds();
-        hamerly::compute_s_half(device, &data, &counters)?;
-    }
+    let (mut centroids, mut data) = phase::traced(trace::phases::INIT, 0, &counters, || {
+        let centroids = match warm_start {
+            Some(init) => init.clone(),
+            None => init_centroids(samples, cfg.k, cfg.seed, cfg.init),
+        };
+        let mut data = DeviceData::upload(device, samples, &centroids, &counters)?;
+        if cfg.variant == Variant::Hamerly {
+            // Vacuous bounds (u = +∞) make the first pruned pass a full
+            // scan; the half-separations must exist before any assignment
+            // runs.
+            data.ensure_bounds();
+            hamerly::compute_s_half(device, &data, &counters)?;
+        }
+        Ok::<_, KMeansError>((centroids, data))
+    })?;
 
     let injector = build_injector::<T>(device, cfg, m, dim, cfg.max_iter);
     let hook: &dyn FaultHook<T> = match injector.as_ref() {
@@ -336,6 +341,11 @@ fn lloyd_core<T: Scalar>(
     let mut converged = false;
     let mut iterations = 0;
     let mut history = Vec::with_capacity(cfg.max_iter);
+    // Baseline for per-iteration fault-event deltas: the campaign ledger
+    // plus the authoritative injector and DMR counts folded in, so trace
+    // streams see every handling-path movement exactly once per iteration
+    // (host-side emission keeps pool runs count-identical to serial).
+    let mut fault_base = CampaignStats::default();
 
     for it in 0..cfg.max_iter {
         iterations = it + 1;
@@ -343,15 +353,18 @@ fn lloyd_core<T: Scalar>(
             i.begin_launch();
             stats.lock().note_injection_launch(rate_saturated);
         }
-        let assignment: AssignmentResult<T> = run_assignment(
-            device,
-            &data,
-            cfg.variant,
-            cfg.ft.scheme,
-            hook,
-            &counters,
-            &stats,
-        )?;
+        let assignment: AssignmentResult<T> =
+            phase::traced(trace::phases::ASSIGNMENT, it as u64, &counters, || {
+                run_assignment(
+                    device,
+                    &data,
+                    cfg.variant,
+                    cfg.ft.scheme,
+                    hook,
+                    &counters,
+                    &stats,
+                )
+            })?;
         // Hamerly protection: periodic exact revalidation of the resident
         // bound state, widened to the whole population on the final
         // iteration so no corrupted bound survives the fit. Under a
@@ -366,28 +379,32 @@ fn lloyd_core<T: Scalar>(
             let last = it + 1 == cfg.max_iter;
             let periodic = cfg.ft.revalidate_every > 0 && (it + 1) % cfg.ft.revalidate_every == 0;
             if last || periodic {
-                if last || cfg.ft.scheme != abft::SchemeKind::None {
-                    let (violations, exact) =
-                        hamerly::revalidate_and_repair(device, &data, &counters)?;
-                    stats.lock().note_revalidation(violations);
-                    if violations > 0 {
-                        stats.lock().recomputed += violations;
-                    }
-                    exact
-                } else {
-                    let r = hamerly::REVALIDATE_STRIDE;
-                    let phase = (it + 1) / cfg.ft.revalidate_every % r;
-                    let violations = hamerly::revalidate(device, &data, r, phase, &counters)?;
-                    stats.lock().note_revalidation(violations);
-                    if violations > 0 {
-                        let repaired =
-                            hamerly::hamerly_assign(device, &data, true, &NoFault, &counters)?;
-                        stats.lock().recomputed += violations;
-                        repaired
+                phase::traced(trace::phases::REVALIDATION, it as u64, &counters, || {
+                    if last || cfg.ft.scheme != abft::SchemeKind::None {
+                        let (violations, exact) =
+                            hamerly::revalidate_and_repair(device, &data, &counters)?;
+                        stats.lock().note_revalidation(violations);
+                        if violations > 0 {
+                            stats.lock().recomputed += violations;
+                            trace::fault(trace::faults::REVAL_REPAIR, violations);
+                        }
+                        Ok::<_, KMeansError>(exact)
                     } else {
-                        assignment
+                        let r = hamerly::REVALIDATE_STRIDE;
+                        let stratum = (it + 1) / cfg.ft.revalidate_every % r;
+                        let violations = hamerly::revalidate(device, &data, r, stratum, &counters)?;
+                        stats.lock().note_revalidation(violations);
+                        if violations > 0 {
+                            let repaired =
+                                hamerly::hamerly_assign(device, &data, true, &NoFault, &counters)?;
+                            stats.lock().recomputed += violations;
+                            trace::fault(trace::faults::REVAL_REPAIR, violations);
+                            Ok(repaired)
+                        } else {
+                            Ok(assignment)
+                        }
                     }
-                }
+                })?
             } else {
                 assignment
             }
@@ -414,17 +431,19 @@ fn lloyd_core<T: Scalar>(
             i.begin_launch();
             stats.lock().note_injection_launch(rate_saturated);
         }
-        let update = update_centroids(
-            device,
-            &data.samples,
-            m,
-            dim,
-            &labels,
-            &centroids,
-            cfg.ft.dmr_update,
-            hook,
-            &counters,
-        )?;
+        let update = phase::traced(trace::phases::UPDATE, it as u64, &counters, || {
+            update_centroids(
+                device,
+                &data.samples,
+                m,
+                dim,
+                &labels,
+                &centroids,
+                cfg.ft.dmr_update,
+                hook,
+                &counters,
+            )
+        })?;
         dmr_total.merge(&update.dmr);
         if update.oob_labels > 0 {
             // Corrupted (out-of-range) labels caught by the update
@@ -450,24 +469,38 @@ fn lloyd_core<T: Scalar>(
             &assignment.distances,
         );
 
-        let old_centroids = data.bounds.is_some().then(|| data.centroids.clone());
-        data.refresh_centroids(device, &centroids, &counters)?;
-        if let (Some(old), Some(bounds)) = (old_centroids, data.bounds.as_ref()) {
-            // The update-phase fold-in of the Hamerly variant: measure how
-            // far each centroid moved (including reseeds), refresh the
-            // half-separations, and loosen the bounds eagerly so they stay
-            // current against the refreshed centroids.
-            let max_drift = centroid_drift(
-                device,
-                &old,
-                &data.centroids,
-                cfg.k,
-                dim,
-                &bounds.drift,
-                &counters,
-            )?;
-            hamerly::compute_s_half(device, &data, &counters)?;
-            hamerly::apply_drift(device, &data, max_drift, &counters)?;
+        phase::traced(trace::phases::DRIFT, it as u64, &counters, || {
+            let old_centroids = data.bounds.is_some().then(|| data.centroids.clone());
+            data.refresh_centroids(device, &centroids, &counters)?;
+            if let (Some(old), Some(bounds)) = (old_centroids, data.bounds.as_ref()) {
+                // The update-phase fold-in of the Hamerly variant: measure
+                // how far each centroid moved (including reseeds), refresh
+                // the half-separations, and loosen the bounds eagerly so
+                // they stay current against the refreshed centroids.
+                let max_drift = centroid_drift(
+                    device,
+                    &old,
+                    &data.centroids,
+                    cfg.k,
+                    dim,
+                    &bounds.drift,
+                    &counters,
+                )?;
+                hamerly::compute_s_half(device, &data, &counters)?;
+                hamerly::apply_drift(device, &data, max_drift, &counters)?;
+            }
+            Ok::<_, KMeansError>(())
+        })?;
+
+        if trace::active() {
+            // Fold the authoritative injector and DMR counts into a copy of
+            // the campaign ledger, then emit only the movement since the
+            // previous iteration as fault events.
+            let mut cur = *stats.lock();
+            cur.injected = injector.as_ref().map_or(0, |i| i.injected_count());
+            cur.dmr_mismatches = dmr_total.mismatches;
+            cur.emit_trace_delta(&fault_base);
+            fault_base = cur;
         }
 
         let rel = if prev_inertia.is_finite() && prev_inertia > 0.0 {

@@ -76,6 +76,7 @@ pub mod metrics;
 mod minibatch;
 pub mod model;
 pub mod norms;
+mod phase;
 pub mod quant;
 pub mod reference;
 pub mod session;

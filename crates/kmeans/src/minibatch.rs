@@ -30,6 +30,7 @@ use crate::driver::{build_injector, FitResult, IterationEvent};
 use crate::error::KMeansError;
 use crate::init::init_centroids;
 use crate::model::FittedModel;
+use crate::phase;
 use crate::session::Session;
 use crate::update::update_centroids;
 use crate::{assign::run_assignment, metrics};
@@ -138,14 +139,21 @@ pub(crate) fn partial_fit_step<T: Scalar>(
             i.begin_launch();
             stats.lock().note_injection_launch(rate_saturated);
         }
-        let assignment = run_assignment(
-            device,
-            &data,
-            cfg.variant,
-            cfg.ft.scheme,
-            hook,
+        let assignment = phase::traced(
+            trace::phases::BATCH_ASSIGN,
+            batches as u64,
             &counters,
-            &stats,
+            || {
+                run_assignment(
+                    device,
+                    &data,
+                    cfg.variant,
+                    cfg.ft.scheme,
+                    hook,
+                    &counters,
+                    &stats,
+                )
+            },
         )?;
         let labels = assignment.labels;
         let distances = assignment.distances;
@@ -158,19 +166,26 @@ pub(crate) fn partial_fit_step<T: Scalar>(
         // order (see the module docs: float atomicAdd order must not depend
         // on the pool schedule, or centroids would differ across policies).
         let serial = Executor::serial();
-        let update = exec::with_executor(&serial, || {
-            update_centroids(
-                device,
-                &data.samples,
-                mb,
-                dim,
-                &labels,
-                &result.centroids,
-                cfg.ft.dmr_update,
-                hook,
-                &counters,
-            )
-        })?;
+        let update = phase::traced(
+            trace::phases::BATCH_UPDATE,
+            batches as u64,
+            &counters,
+            || {
+                exec::with_executor(&serial, || {
+                    update_centroids(
+                        device,
+                        &data.samples,
+                        mb,
+                        dim,
+                        &labels,
+                        &result.centroids,
+                        cfg.ft.dmr_update,
+                        hook,
+                        &counters,
+                    )
+                })
+            },
+        )?;
         if update.oob_labels > 0 {
             stats.lock().detected += update.oob_labels;
         }
@@ -249,6 +264,11 @@ pub(crate) fn partial_fit_step<T: Scalar>(
         let inertia = metrics::inertia(batch, &centroids, &labels);
         let mut batch_stats = *stats.lock();
         batch_stats.injected = injector.as_ref().map_or(0, |i| i.injected_count());
+        // Each batch's ledger starts from zero, so the whole thing is the
+        // delta; DMR mismatches ride the update result rather than the
+        // campaign ledger and are emitted from their own stats block.
+        batch_stats.emit_trace_delta(&CampaignStats::default());
+        update.dmr.emit_trace_delta(&DmrStats::default());
         result.ft_stats.merge(&batch_stats);
         result.injected = result.ft_stats.injected;
         result.dmr.merge(&update.dmr);

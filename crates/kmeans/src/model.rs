@@ -17,6 +17,7 @@ use crate::config::{KMeansConfig, PredictPolicy};
 use crate::device_data::DeviceData;
 use crate::driver::FitResult;
 use crate::error::KMeansError;
+use crate::phase;
 use crate::quant::{fnv1a64, QuantKind, QuantizedCentroids};
 use crate::session::Session;
 use crate::variants::predict_fused::predict_fused_assign;
@@ -24,6 +25,7 @@ use fault::CampaignStats;
 use gpu_sim::mma::NoFault;
 use gpu_sim::{CounterSnapshot, Counters, GlobalBuffer, Matrix, Scalar};
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A fitted K-means model owning its device-resident state.
@@ -81,6 +83,10 @@ struct PredictScratch<T: Scalar> {
     stats: Mutex<CampaignStats>,
     memo: Mutex<Option<AssignMemo>>,
     query_buf: Mutex<Option<GlobalBuffer<T>>>,
+    /// Monotone predict sequence number — the trace-span index of each
+    /// served (non-memoized) predict, so timelines stay deterministic
+    /// without wall-clock identifiers.
+    predict_seq: AtomicU64,
 }
 
 impl<T: Scalar> Default for PredictScratch<T> {
@@ -90,6 +96,7 @@ impl<T: Scalar> Default for PredictScratch<T> {
             stats: Mutex::new(CampaignStats::default()),
             memo: Mutex::new(None),
             query_buf: Mutex::new(None),
+            predict_seq: AtomicU64::new(0),
         }
     }
 }
@@ -326,75 +333,86 @@ impl<T: Scalar> FittedModel<T> {
         let counters = &self.scratch.counters;
         let (labels, inertia) = self.session.run(|| {
             let device = self.session.device();
-            let out = match self.policy.quant_kind() {
-                Some(kind) => {
-                    // Integrity guard: the digest must match before the
-                    // quantized table serves a query; a corrupted table is
-                    // detected here and rebuilt from the fp centroids.
-                    let mut table = self.quantized_table(kind);
-                    if !table.verify() {
-                        self.scratch.stats.lock().detected += 1;
-                        table = self.data.quant.rebuild(
-                            kind,
+            let seq = self.scratch.predict_seq.fetch_add(1, Ordering::Relaxed);
+            phase::traced(trace::phases::PREDICT, seq, counters, || {
+                let fallbacks_before = trace::active().then(|| counters.snapshot().quant_fallbacks);
+                let out = match self.policy.quant_kind() {
+                    Some(kind) => {
+                        // Integrity guard: the digest must match before the
+                        // quantized table serves a query; a corrupted table is
+                        // detected here and rebuilt from the fp centroids.
+                        let mut table = self.quantized_table(kind);
+                        if !table.verify() {
+                            self.scratch.stats.lock().detected += 1;
+                            trace::fault(trace::faults::QUANT_DIGEST_MISMATCH, 1);
+                            table = self.data.quant.rebuild(
+                                kind,
+                                &self.data.centroids,
+                                self.data.k,
+                                self.data.dim,
+                                counters,
+                            );
+                        }
+                        // Only the raw query buffer is uploaded — the fused
+                        // kernel folds ‖x‖² into its distance pass, so this
+                        // path launches no sample-norms kernel at all. The
+                        // buffer itself is model-owned scratch, re-filled in
+                        // place when the batch size repeats (steady-state
+                        // serving re-allocates nothing). The buffer is *leased*
+                        // out of the mutex for the duration of the launch:
+                        // a `GlobalBuffer` clone is a device-pointer copy, so
+                        // two overlapping predicts holding clones of one cached
+                        // buffer would overwrite each other's queries between
+                        // their uploads and launches. Taking the `Option` means
+                        // an overlapping caller simply allocates a fresh buffer;
+                        // whoever finishes last parks theirs for the next call.
+                        let leased = self.scratch.query_buf.lock().take();
+                        let queries = match leased {
+                            Some(buf) if buf.len() == samples.as_slice().len() => {
+                                buf.write_range(0, samples.as_slice());
+                                buf
+                            }
+                            _ => GlobalBuffer::from_matrix(samples),
+                        };
+                        let out = predict_fused_assign(
+                            device,
+                            &queries,
                             &self.data.centroids,
+                            samples.rows(),
                             self.data.k,
                             self.data.dim,
+                            &table,
                             counters,
-                        );
+                        )?;
+                        *self.scratch.query_buf.lock() = Some(queries);
+                        out
                     }
-                    // Only the raw query buffer is uploaded — the fused
-                    // kernel folds ‖x‖² into its distance pass, so this
-                    // path launches no sample-norms kernel at all. The
-                    // buffer itself is model-owned scratch, re-filled in
-                    // place when the batch size repeats (steady-state
-                    // serving re-allocates nothing). The buffer is *leased*
-                    // out of the mutex for the duration of the launch:
-                    // a `GlobalBuffer` clone is a device-pointer copy, so
-                    // two overlapping predicts holding clones of one cached
-                    // buffer would overwrite each other's queries between
-                    // their uploads and launches. Taking the `Option` means
-                    // an overlapping caller simply allocates a fresh buffer;
-                    // whoever finishes last parks theirs for the next call.
-                    let leased = self.scratch.query_buf.lock().take();
-                    let queries = match leased {
-                        Some(buf) if buf.len() == samples.as_slice().len() => {
-                            buf.write_range(0, samples.as_slice());
-                            buf
-                        }
-                        _ => GlobalBuffer::from_matrix(samples),
-                    };
-                    let out = predict_fused_assign(
-                        device,
-                        &queries,
-                        &self.data.centroids,
-                        samples.rows(),
-                        self.data.k,
-                        self.data.dim,
-                        &table,
-                        counters,
-                    )?;
-                    *self.scratch.query_buf.lock() = Some(queries);
-                    out
+                    None => {
+                        // Upload only the query samples; the resident centroid
+                        // and centroid-norm buffers are shared, not re-uploaded.
+                        let data = self
+                            .data
+                            .upload_samples_sharing_centroids(device, samples, counters)?;
+                        run_assignment(
+                            device,
+                            &data,
+                            self.config.variant,
+                            self.config.ft.scheme,
+                            &NoFault,
+                            counters,
+                            &self.scratch.stats,
+                        )?
+                    }
+                };
+                if let Some(before) = fallbacks_before {
+                    trace::fault(
+                        trace::faults::QUANT_FALLBACK,
+                        counters.snapshot().quant_fallbacks.saturating_sub(before),
+                    );
                 }
-                None => {
-                    // Upload only the query samples; the resident centroid
-                    // and centroid-norm buffers are shared, not re-uploaded.
-                    let data = self
-                        .data
-                        .upload_samples_sharing_centroids(device, samples, counters)?;
-                    run_assignment(
-                        device,
-                        &data,
-                        self.config.variant,
-                        self.config.ft.scheme,
-                        &NoFault,
-                        counters,
-                        &self.scratch.stats,
-                    )?
-                }
-            };
-            let inertia = out.distances.iter().map(|d| d.to_f64().max(0.0)).sum();
-            Ok::<_, KMeansError>((out.labels, inertia))
+                let inertia = out.distances.iter().map(|d| d.to_f64().max(0.0)).sum();
+                Ok::<_, KMeansError>((out.labels, inertia))
+            })
         })?;
         *self.scratch.memo.lock() = Some(AssignMemo {
             key,

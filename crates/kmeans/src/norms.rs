@@ -5,8 +5,8 @@
 //! launching two simple kernels." — one thread per row, streaming reads.
 
 use gpu_sim::{
-    launch_grid, Counters, DeviceProfile, Dim3, GlobalBuffer, LaunchConfig, Scalar, ScratchBuf,
-    SimError,
+    launch_grid_labeled, Counters, DeviceProfile, Dim3, GlobalBuffer, LaunchConfig, Scalar,
+    ScratchBuf, SimError,
 };
 
 /// Rows handled per threadblock.
@@ -33,7 +33,7 @@ pub fn row_sq_norms_kernel<T: Scalar>(
         threads_per_block: ROWS_PER_BLOCK.min(1024),
         smem_bytes: 0,
     };
-    launch_grid(device, cfg, counters, |ctx| {
+    launch_grid_labeled(device, cfg, counters, "row_sq_norms", |ctx| {
         let row0 = ctx.bx * ROWS_PER_BLOCK;
         let nrows = ROWS_PER_BLOCK.min(rows.saturating_sub(row0));
         if nrows == 0 {

@@ -1,0 +1,31 @@
+//! Phase-span helper: wraps a driver phase in a `trace` begin/end pair
+//! carrying the counter delta the phase produced.
+//!
+//! The helper snapshots the launch [`Counters`] before running the phase
+//! body and attaches `delta.nonzero_fields()` to the closing event, so a
+//! [`trace::PhaseProfile`](trace::profile::PhaseProfile) can attribute
+//! bytes/ops per phase without the driver threading snapshots around by
+//! hand. When no sink is active the body runs directly — no snapshot, no
+//! allocation.
+
+use gpu_sim::Counters;
+
+/// Run `f` inside a `phase` span (when tracing is active), attaching the
+/// counter delta accumulated by the body to the `PhaseEnd` event.
+pub(crate) fn traced<R>(
+    phase: &'static str,
+    index: u64,
+    counters: &Counters,
+    f: impl FnOnce() -> R,
+) -> R {
+    if !trace::active() {
+        return f();
+    }
+    let before = counters.snapshot();
+    trace::phase_begin(phase, index);
+    let out = f();
+    trace::phase_end(phase, index, || {
+        counters.snapshot().since(&before).nonzero_fields()
+    });
+    out
+}

@@ -381,8 +381,15 @@ impl<T: Scalar> QuantCache<T> {
         if let Some(table) = slot {
             return Arc::clone(table);
         }
-        counters.add_loaded((k * dim * std::mem::size_of::<T>()) as u64);
-        let table = Arc::new(QuantizedCentroids::build(centroids, k, dim, kind));
+        let table = crate::phase::traced(
+            trace::phases::QUANT_BUILD,
+            Self::slot(kind) as u64,
+            counters,
+            || {
+                counters.add_loaded((k * dim * std::mem::size_of::<T>()) as u64);
+                Arc::new(QuantizedCentroids::build(centroids, k, dim, kind))
+            },
+        );
         *slot = Some(Arc::clone(&table));
         table
     }

@@ -52,13 +52,25 @@ pub const SELECTOR_CACHE_ENV: &str = "FTK_SELECTOR_CACHE";
 /// let labels = model.predict(&data).unwrap();
 /// assert_eq!(labels, model.labels);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Session {
     device: DeviceProfile,
     exec: Option<Arc<Executor>>,
+    trace: Option<Arc<dyn trace::TraceSink>>,
     cache_dir: Option<PathBuf>,
     /// Lazily-built selectors, indexed `[fp32, fp64]`; shared across clones.
     selectors: Arc<Mutex<[Option<Arc<KernelSelector>>; 2]>>,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("device", &self.device)
+            .field("exec", &self.exec)
+            .field("trace", &self.trace.as_ref().map(|_| "TraceSink"))
+            .field("cache_dir", &self.cache_dir)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Session {
@@ -73,6 +85,7 @@ impl Session {
         Session {
             device,
             exec: None,
+            trace: None,
             cache_dir,
             selectors: Arc::new(Mutex::new([None, None])),
         }
@@ -103,6 +116,31 @@ impl Session {
         self
     }
 
+    /// Attach a trace sink: every fit, `partial_fit` batch and predict
+    /// call derived from this session emits its spans (driver phases,
+    /// labeled kernel launches, fault events) into `sink` via a
+    /// [`trace::with_sink`] scope around the session's work. Without a
+    /// sink (and without `FTK_TRACE`), instrumentation costs one flag
+    /// check per emission site.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use gpu_sim::{DeviceProfile, Matrix};
+    /// use kmeans::{KMeansConfig, Session};
+    ///
+    /// let sink = Arc::new(trace::RecordingSink::default());
+    /// let session = Session::new(DeviceProfile::a100()).with_trace_sink(sink.clone());
+    /// let km = session.kmeans(KMeansConfig::new(2).with_seed(7));
+    /// let data = Matrix::<f32>::from_fn(64, 4, |r, c| (r % 2) as f32 * 6.0 + c as f32 * 0.1);
+    /// km.fit_model(&data).unwrap();
+    /// let profile = sink.phase_profile();
+    /// assert!(profile.get(trace::phases::ASSIGNMENT).is_some());
+    /// ```
+    pub fn with_trace_sink(mut self, sink: Arc<dyn trace::TraceSink>) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+
     /// The device this session runs on.
     pub fn device(&self) -> &DeviceProfile {
         &self.device
@@ -113,12 +151,16 @@ impl Session {
         self.cache_dir.as_deref()
     }
 
-    /// Run `f` under this session's executor scope (a no-op wrapper when no
-    /// executor handle was attached).
+    /// Run `f` under this session's executor and trace-sink scopes (a
+    /// no-op wrapper when neither was attached).
     pub fn run<R>(&self, f: impl FnOnce() -> R) -> R {
-        match &self.exec {
+        let inner = || match &self.exec {
             Some(e) => exec::with_executor(e, f),
             None => f(),
+        };
+        match &self.trace {
+            Some(sink) => trace::with_sink(Arc::clone(sink), inner),
+            None => inner(),
         }
     }
 

@@ -9,7 +9,7 @@ use abft::dmr::{protected, DmrStats};
 use gpu_sim::memory::GlobalIndexBuffer;
 use gpu_sim::mma::{FaultHook, MmaSite};
 use gpu_sim::{
-    launch_grid, Counters, DeviceProfile, Dim3, GlobalBuffer, LaunchConfig, Matrix, Scalar,
+    launch_grid_labeled, Counters, DeviceProfile, Dim3, GlobalBuffer, LaunchConfig, Matrix, Scalar,
     ScratchBuf, SimError,
 };
 use parking_lot::Mutex;
@@ -70,7 +70,7 @@ pub fn update_centroids<T: Scalar>(
         threads_per_block: 256,
         smem_bytes: 0,
     };
-    launch_grid(device, cfg, counters, |ctx| {
+    launch_grid_labeled(device, cfg, counters, "update_accumulate", |ctx| {
         let row0 = ctx.bx * SAMPLES_PER_BLOCK;
         let mut local_dmr = DmrStats::default();
         // Sample rows stream through block-local scratch as contiguous runs;
@@ -126,7 +126,7 @@ pub fn update_centroids<T: Scalar>(
         smem_bytes: 0,
     };
     let old = GlobalBuffer::from_matrix(old_centroids);
-    launch_grid(device, cfg2, counters, |ctx| {
+    launch_grid_labeled(device, cfg2, counters, "update_divide", |ctx| {
         let e0 = ctx.bx * ELEMS_PER_BLOCK;
         let mut local_dmr = DmrStats::default();
         for e in e0..(e0 + ELEMS_PER_BLOCK).min(k * dim) {
@@ -202,7 +202,7 @@ pub fn update_centroids_naive<T: Scalar>(
             threads_per_block: 256,
             smem_bytes: 0,
         };
-        launch_grid(device, cfg, counters, |ctx| {
+        launch_grid_labeled(device, cfg, counters, "update_naive_scan", |ctx| {
             let row0 = ctx.bx * SAMPLES_PER_BLOCK;
             for i in row0..(row0 + SAMPLES_PER_BLOCK).min(m) {
                 // the label read happens regardless of membership
@@ -227,7 +227,7 @@ pub fn update_centroids_naive<T: Scalar>(
         smem_bytes: 0,
     };
     let old = GlobalBuffer::from_matrix(old_centroids);
-    launch_grid(device, cfg2, counters, |ctx| {
+    launch_grid_labeled(device, cfg2, counters, "update_naive_divide", |ctx| {
         let c0 = ctx.bx * SAMPLES_PER_BLOCK;
         for c in c0..(c0 + SAMPLES_PER_BLOCK).min(k) {
             let n = count_buf.load(c);
@@ -278,7 +278,7 @@ pub fn centroid_drift<T: Scalar>(
         threads_per_block: 32,
         smem_bytes: 0,
     };
-    launch_grid(device, cfg, counters, |ctx| {
+    launch_grid_labeled(device, cfg, counters, "centroid_drift", |ctx| {
         let j = ctx.bx;
         if j >= k {
             return;

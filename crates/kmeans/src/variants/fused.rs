@@ -12,8 +12,8 @@ use crate::variants::staged_block_row_min;
 use gpu_sim::memory::GlobalIndexBuffer;
 use gpu_sim::mma::FaultHook;
 use gpu_sim::{
-    launch_grid, Counters, DeviceProfile, Dim3, GlobalBuffer, LaunchConfig, Scalar, ScratchBuf,
-    SimError,
+    launch_grid_labeled, Counters, DeviceProfile, Dim3, GlobalBuffer, LaunchConfig, Scalar,
+    ScratchBuf, SimError,
 };
 
 /// Rows per block in the partial-fold kernel.
@@ -70,7 +70,7 @@ pub fn fused_assign<T: Scalar>(
         threads_per_block: 256,
         smem_bytes: 0,
     };
-    launch_grid(device, cfg, counters, |ctx| {
+    launch_grid_labeled(device, cfg, counters, "fused_assign", |ctx| {
         let row0 = ctx.bx * FOLD_ROWS_PER_BLOCK;
         let rows = FOLD_ROWS_PER_BLOCK.min(m.saturating_sub(row0));
         if rows == 0 {

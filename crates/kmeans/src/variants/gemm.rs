@@ -12,8 +12,8 @@ use gpu_sim::memory::GlobalIndexBuffer;
 use gpu_sim::mma::{FaultHook, MmaSite};
 use gpu_sim::shared::SharedTile;
 use gpu_sim::{
-    launch_grid, Counters, DeviceProfile, Dim3, GlobalBuffer, LaunchConfig, Scalar, ScratchBuf,
-    SimError,
+    launch_grid_labeled, Counters, DeviceProfile, Dim3, GlobalBuffer, LaunchConfig, Scalar,
+    ScratchBuf, SimError,
 };
 
 /// SIMT threadblock tile (fixed for the hand-written V1–V3 kernels).
@@ -45,7 +45,7 @@ pub(crate) fn simt_gemm_driver<T: Scalar>(
         smem_bytes: smem,
     };
 
-    launch_grid(device, cfg, counters, |ctx| {
+    launch_grid_labeled(device, cfg, counters, "simt_gemm", |ctx| {
         let row0 = ctx.by * TB_M;
         let col0 = ctx.bx * TB_N;
         let rows = TB_M.min(m.saturating_sub(row0));
@@ -131,7 +131,7 @@ pub fn gemm_assign<T: Scalar>(
         smem_bytes: 0,
     };
     let two = T::ONE + T::ONE;
-    launch_grid(device, cfg, counters, |ctx| {
+    launch_grid_labeled(device, cfg, counters, "gemm_reduce", |ctx| {
         let row0 = ctx.bx * REDUCE_ROWS_PER_BLOCK;
         let rows = REDUCE_ROWS_PER_BLOCK.min(m.saturating_sub(row0));
         if rows == 0 {

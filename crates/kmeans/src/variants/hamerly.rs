@@ -35,8 +35,8 @@ use abft::BoundPolicy;
 use gpu_sim::memory::GlobalIndexBuffer;
 use gpu_sim::mma::{FaultHook, MmaSite};
 use gpu_sim::{
-    launch_grid, Counters, DeviceProfile, Dim3, GlobalBuffer, LaunchConfig, Scalar, ScratchBuf,
-    SimError,
+    launch_grid_labeled, Counters, DeviceProfile, Dim3, GlobalBuffer, LaunchConfig, Scalar,
+    ScratchBuf, SimError,
 };
 
 /// Samples per threadblock (matches the naive kernel's blocking).
@@ -78,7 +78,7 @@ pub fn hamerly_assign<T: Scalar>(
         smem_bytes: 0,
     };
 
-    launch_grid(device, cfg, counters, |ctx| {
+    launch_grid_labeled(device, cfg, counters, "hamerly_assign", |ctx| {
         let row0 = ctx.bx * SAMPLES_PER_BLOCK;
         let rows = SAMPLES_PER_BLOCK.min(m.saturating_sub(row0));
         if rows == 0 {
@@ -224,7 +224,7 @@ pub fn compute_s_half<T: Scalar>(
         threads_per_block: 32,
         smem_bytes: 0,
     };
-    launch_grid(device, cfg, counters, |ctx| {
+    launch_grid_labeled(device, cfg, counters, "hamerly_s_half", |ctx| {
         let j = ctx.bx;
         if j >= k {
             return;
@@ -275,7 +275,7 @@ pub fn apply_drift<T: Scalar>(
         threads_per_block: SAMPLES_PER_BLOCK,
         smem_bytes: 0,
     };
-    launch_grid(device, cfg, counters, |ctx| {
+    launch_grid_labeled(device, cfg, counters, "hamerly_apply_drift", |ctx| {
         let row0 = ctx.bx * SAMPLES_PER_BLOCK;
         let rows = SAMPLES_PER_BLOCK.min(m.saturating_sub(row0));
         if rows == 0 {
@@ -324,7 +324,7 @@ pub fn revalidate<T: Scalar>(
         threads_per_block: SAMPLES_PER_BLOCK,
         smem_bytes: 0,
     };
-    launch_grid(device, cfg, counters, |ctx| {
+    launch_grid_labeled(device, cfg, counters, "hamerly_revalidate", |ctx| {
         let row0 = ctx.bx * SAMPLES_PER_BLOCK;
         let rows = SAMPLES_PER_BLOCK.min(m.saturating_sub(row0));
         let mut x = ScratchBuf::<T, 256>::filled(dim, T::ZERO);
@@ -404,7 +404,7 @@ pub fn revalidate_and_repair<T: Scalar>(
         threads_per_block: SAMPLES_PER_BLOCK,
         smem_bytes: 0,
     };
-    launch_grid(device, cfg, counters, |ctx| {
+    launch_grid_labeled(device, cfg, counters, "hamerly_reval_repair", |ctx| {
         let row0 = ctx.bx * SAMPLES_PER_BLOCK;
         let rows = SAMPLES_PER_BLOCK.min(m.saturating_sub(row0));
         if rows == 0 {

@@ -11,8 +11,8 @@ use crate::device_data::DeviceData;
 use gpu_sim::memory::GlobalIndexBuffer;
 use gpu_sim::mma::{FaultHook, MmaSite};
 use gpu_sim::{
-    launch_grid, Counters, DeviceProfile, Dim3, GlobalBuffer, LaunchConfig, Scalar, ScratchBuf,
-    SimError,
+    launch_grid_labeled, Counters, DeviceProfile, Dim3, GlobalBuffer, LaunchConfig, Scalar,
+    ScratchBuf, SimError,
 };
 
 /// Samples per threadblock.
@@ -35,7 +35,7 @@ pub fn naive_assign<T: Scalar>(
         smem_bytes: 0,
     };
 
-    launch_grid(device, cfg, counters, |ctx| {
+    launch_grid_labeled(device, cfg, counters, "naive_assign", |ctx| {
         let row0 = ctx.bx * SAMPLES_PER_BLOCK;
         let rows = SAMPLES_PER_BLOCK.min(m.saturating_sub(row0));
         if rows == 0 {

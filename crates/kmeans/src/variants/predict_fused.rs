@@ -28,8 +28,8 @@ use crate::assign::AssignmentResult;
 use crate::quant::QuantizedCentroids;
 use gpu_sim::memory::GlobalIndexBuffer;
 use gpu_sim::{
-    launch_grid, Counters, DeviceProfile, Dim3, GlobalBuffer, LaunchConfig, Scalar, ScratchBuf,
-    SimError,
+    launch_grid_labeled, Counters, DeviceProfile, Dim3, GlobalBuffer, LaunchConfig, Scalar,
+    ScratchBuf, SimError,
 };
 
 /// Samples per threadblock (matches the naive kernel's block shape so the
@@ -103,7 +103,7 @@ pub fn predict_fused_assign<T: Scalar>(
     };
     let margin = table.margin;
 
-    launch_grid(device, cfg, counters, |ctx| {
+    launch_grid_labeled(device, cfg, counters, "predict_fused", |ctx| {
         let row0 = ctx.bx * SAMPLES_PER_BLOCK;
         let rows = SAMPLES_PER_BLOCK.min(m.saturating_sub(row0));
         if rows == 0 {

@@ -36,8 +36,8 @@ use gpu_sim::mma::{shapes, FaultHook, FragmentMma, MmaSite};
 use gpu_sim::timing::TileConfig;
 use gpu_sim::warp::{load_a_fragment, load_b_fragment};
 use gpu_sim::{
-    launch_grid, AsyncPipeline, CopyPath, Counters, DeviceProfile, Dim3, LaunchConfig, Precision,
-    Scalar, ScratchBuf, SimError,
+    launch_grid_labeled, AsyncPipeline, CopyPath, Counters, DeviceProfile, Dim3, LaunchConfig,
+    Precision, Scalar, ScratchBuf, SimError,
 };
 use parking_lot::Mutex;
 
@@ -125,7 +125,7 @@ pub fn tensor_assign<T: Scalar>(
         smem_bytes: tile.smem_bytes(T::PRECISION),
     };
 
-    launch_grid(device, cfg, counters, |ctx| {
+    launch_grid_labeled(device, cfg, counters, "tensor_assign", |ctx| {
         let row0 = ctx.by * tile.tb_m;
         let col0 = ctx.bx * tile.tb_n;
         let rows_valid = tile.tb_m.min(m.saturating_sub(row0));

@@ -28,6 +28,7 @@
 //! latency/throughput bench.
 
 mod error;
+mod metrics;
 mod registry;
 mod server;
 

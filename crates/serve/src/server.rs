@@ -26,6 +26,7 @@
 //! [`gpu_sim::Counters::add_snapshot`].
 
 use crate::error::ServeError;
+use crate::metrics::ServeMetrics;
 use crate::registry::ModelRegistry;
 use gpu_sim::{CounterSnapshot, Counters, Matrix, Scalar};
 use kmeans::{FittedModel, KMeansConfig, KMeansError, PredictPolicy, Session};
@@ -105,6 +106,15 @@ pub struct ServerStats {
     /// Warm refits and streaming updates admitted via [`Server::refit`] /
     /// [`Server::partial_fit`].
     pub refits: u64,
+    /// Requests that went through the micro-batching queue (direct/bypass
+    /// requests never wait and are not counted here).
+    pub queued_requests: u64,
+    /// Summed enqueue-to-dispatch wait of queued requests, microseconds;
+    /// `queue_delay_us_total / queued_requests` is the mean queue delay.
+    pub queue_delay_us_total: u64,
+    /// Largest single enqueue-to-dispatch wait observed, microseconds —
+    /// bounded by [`ServerConfig::max_delay_us`] plus scheduling noise.
+    pub queue_delay_us_max: u64,
 }
 
 struct ResponseSlot {
@@ -141,6 +151,9 @@ struct Pending<T: Scalar> {
     model: Arc<FittedModel<T>>,
     queries: Matrix<T>,
     slot: Arc<ResponseSlot>,
+    /// When the request entered the queue — the enqueue side of the
+    /// queue-delay accounting closed out at dispatch.
+    enqueued: Instant,
 }
 
 struct QueueState<T: Scalar> {
@@ -160,6 +173,8 @@ struct ServerInner<T: Scalar> {
     /// Incremented once per executed dispatch group; cheap enough for the
     /// hot path and lets `predict` callers meter coalescing without locks.
     groups: AtomicU64,
+    /// Prometheus-style instruments (see [`Server::metrics_text`]).
+    metrics: ServeMetrics,
 }
 
 /// A multi-tenant serving front-end over a [`ModelRegistry`].
@@ -215,6 +230,7 @@ impl<T: Scalar> Server<T> {
             fit_counters: Counters::new(),
             stats: parking_lot::Mutex::new(ServerStats::default()),
             groups: AtomicU64::new(0),
+            metrics: ServeMetrics::new(),
         });
         let dispatcher = {
             let inner = Arc::clone(&inner);
@@ -264,6 +280,7 @@ impl<T: Scalar> Server<T> {
     /// request, when batching is disabled — run directly on the calling
     /// thread. Blocks until the response is ready.
     pub fn predict(&self, name: &str, queries: &Matrix<T>) -> Result<PredictResponse, ServeError> {
+        let start = Instant::now();
         let model = self
             .inner
             .registry
@@ -285,26 +302,64 @@ impl<T: Scalar> Server<T> {
                 coalesced_with: 1,
             });
         }
-        if self.inner.config.max_batch_rows <= 1
+        let out = if self.inner.config.max_batch_rows <= 1
             || queries.rows() >= self.inner.config.max_batch_rows
         {
-            return self.inner.serve_direct(&model, queries);
-        }
-        let slot = Arc::new(ResponseSlot::new());
-        {
-            let mut q = self.inner.queue.lock().unwrap();
-            if q.shutdown {
-                return Err(ServeError::Shutdown);
+            self.inner.serve_direct(name, &model, queries)
+        } else {
+            let slot = Arc::new(ResponseSlot::new());
+            {
+                let mut q = self.inner.queue.lock().unwrap();
+                if q.shutdown {
+                    return Err(ServeError::Shutdown);
+                }
+                q.pending.push(Pending {
+                    name: name.to_string(),
+                    model,
+                    queries: queries.clone(),
+                    slot: Arc::clone(&slot),
+                    enqueued: Instant::now(),
+                });
+                self.inner.arrived.notify_all();
             }
-            q.pending.push(Pending {
-                name: name.to_string(),
-                model,
-                queries: queries.clone(),
-                slot: Arc::clone(&slot),
-            });
-            self.inner.arrived.notify_all();
+            slot.wait()
+        };
+        if out.is_ok() {
+            self.inner.metrics.request(
+                name,
+                queries.rows() as u64,
+                start.elapsed().as_micros() as u64,
+            );
         }
-        slot.wait()
+        out
+    }
+
+    /// Prometheus text-exposition snapshot of the server's serving
+    /// metrics: per-tenant request/row/fallback counters, per-tenant
+    /// predict-latency histograms (derive p50/p99 from the bucket counts),
+    /// the queue-delay histogram, and batch-occupancy gauges. Serve it
+    /// from a `/metrics` endpoint or dump it after a bench run.
+    ///
+    /// ```
+    /// use gpu_sim::Matrix;
+    /// use kmeans::{KMeansConfig, Session};
+    /// use serve::{ModelRegistry, Server, ServerConfig};
+    ///
+    /// let session = Session::a100();
+    /// let data = Matrix::<f64>::from_fn(60, 4, |r, c| (r % 3) as f64 * 9.0 + c as f64 * 0.1);
+    /// let registry = ModelRegistry::new();
+    /// registry.register(
+    ///     "svc",
+    ///     session.kmeans(KMeansConfig::new(3).with_seed(1)).fit_model(&data).unwrap(),
+    /// );
+    /// let server = Server::new(session, registry, ServerConfig::default());
+    /// server.predict("svc", &data).unwrap();
+    /// let text = server.metrics_text();
+    /// assert!(text.contains(r#"ftk_serve_requests_total{model="svc"} 1"#));
+    /// assert!(text.contains("# TYPE ftk_serve_predict_latency_us histogram"));
+    /// ```
+    pub fn metrics_text(&self) -> String {
+        self.inner.metrics.render()
     }
 
     /// Fit a new model on the server's session and register it under
@@ -398,10 +453,20 @@ impl<T: Scalar> ServerInner<T> {
     /// Unbatched path: one request, one predict, caller's thread.
     fn serve_direct(
         &self,
+        name: &str,
         model: &FittedModel<T>,
         queries: &Matrix<T>,
     ) -> Result<PredictResponse, ServeError> {
+        let fallbacks_before = model.predict_counters().quant_fallbacks;
         let labels = model.predict(queries)?;
+        self.metrics.fallbacks(
+            name,
+            model
+                .predict_counters()
+                .quant_fallbacks
+                .saturating_sub(fallbacks_before),
+        );
+        self.metrics.group(1, queries.rows());
         self.groups.fetch_add(1, Ordering::Relaxed);
         {
             let mut s = self.stats.lock();
@@ -418,6 +483,20 @@ impl<T: Scalar> ServerInner<T> {
     fn execute_group(&self, batch: Vec<Pending<T>>) {
         let coalesced = batch.len();
         let total_rows: usize = batch.iter().map(|p| p.queries.rows()).sum();
+        // Close out the queue-delay accounting: every member waited from
+        // its enqueue until this dispatch moment.
+        let dispatched = Instant::now();
+        {
+            let mut s = self.stats.lock();
+            for p in &batch {
+                let delay = dispatched.duration_since(p.enqueued).as_micros() as u64;
+                self.metrics.queue_delay(delay);
+                s.queued_requests += 1;
+                s.queue_delay_us_total += delay;
+                s.queue_delay_us_max = s.queue_delay_us_max.max(delay);
+            }
+        }
+        let fallbacks_before = batch[0].model.predict_counters().quant_fallbacks;
         let outcome: Result<Vec<Vec<u32>>, ServeError> = (|| {
             if coalesced == 1 {
                 return Ok(vec![batch[0].model.predict(&batch[0].queries)?]);
@@ -439,6 +518,15 @@ impl<T: Scalar> ServerInner<T> {
             }
             Ok(per_request)
         })();
+        self.metrics.fallbacks(
+            &batch[0].name,
+            batch[0]
+                .model
+                .predict_counters()
+                .quant_fallbacks
+                .saturating_sub(fallbacks_before),
+        );
+        self.metrics.group(coalesced, total_rows);
         self.groups.fetch_add(1, Ordering::Relaxed);
         {
             let mut s = self.stats.lock();
@@ -638,6 +726,40 @@ mod tests {
             "some coalescing must happen: {stats:?}"
         );
         assert!(stats.coalesced_requests > 0);
+    }
+
+    #[test]
+    fn window_expiry_reports_nonzero_bounded_queue_delay() {
+        let (session, registry) = serving_pair();
+        let max_delay_us = 3_000u64;
+        let server = Server::new(
+            session,
+            registry,
+            ServerConfig {
+                max_batch_rows: 4096, // never filled by one small request
+                max_delay_us,
+                validate_batched: false,
+            },
+        );
+        // A lone queued request can only be released by window expiry, so
+        // its dispatch wait is at least the window (minus timer coarseness)
+        // and — absent pathological scheduling — well under a second.
+        let resp = server.predict("svc", &blobs(8, 3)).unwrap();
+        assert_eq!(resp.coalesced_with, 1);
+        let stats = server.stats();
+        assert_eq!(stats.queued_requests, 1);
+        assert!(
+            stats.queue_delay_us_total > 0,
+            "a window-expired request must report a nonzero queue delay: {stats:?}"
+        );
+        assert_eq!(stats.queue_delay_us_total, stats.queue_delay_us_max);
+        assert!(
+            stats.queue_delay_us_max < 1_000_000,
+            "queue delay must stay near the window bound: {stats:?}"
+        );
+        let text = server.metrics_text();
+        assert!(text.contains("# TYPE ftk_serve_queue_delay_us histogram"));
+        assert!(text.contains("ftk_serve_queue_delay_us_count 1"));
     }
 
     #[test]

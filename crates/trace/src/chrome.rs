@@ -1,0 +1,227 @@
+//! Chrome `chrome://tracing` (Trace Event Format) export.
+//!
+//! Timestamps are **modeled**, not wall-clock: each track keeps a clock
+//! that a [`TraceEvent::Launch`] advances by its modeled duration, so the
+//! timeline you open in `chrome://tracing` or Perfetto shows where the
+//! *modeled device time* went — the same currency as the bench figures.
+//! Phase B/E markers and fault instants land at the track clock's current
+//! position.
+
+use crate::event::{Record, TraceEvent};
+use crate::TraceSink;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Per-track modeled clock used while converting records to trace-event
+/// JSON objects. Shared by the batch exporter and the streaming sink.
+#[derive(Default)]
+struct ChromeClock {
+    clock_us: HashMap<u32, f64>,
+}
+
+impl ChromeClock {
+    /// Append the JSON object (no trailing comma) for one record.
+    fn write_record(&mut self, out: &mut String, record: &Record) {
+        let tid = record.track;
+        let now = self.clock_us.entry(tid).or_insert(0.0);
+        match &record.event {
+            TraceEvent::PhaseBegin { phase, index } => {
+                let _ = write!(
+                    out,
+                    r#"{{"name":"{}","ph":"B","ts":{:.3},"pid":0,"tid":{tid},"args":{{"index":{index}}}}}"#,
+                    escape(phase),
+                    *now
+                );
+            }
+            TraceEvent::PhaseEnd { phase, fields, .. } => {
+                let _ = write!(
+                    out,
+                    r#"{{"name":"{}","ph":"E","ts":{:.3},"pid":0,"tid":{tid},"args":{}}}"#,
+                    escape(phase),
+                    *now,
+                    fields_json(fields)
+                );
+            }
+            TraceEvent::Launch {
+                label,
+                grid,
+                modeled_s,
+                fields,
+            } => {
+                let dur_us = modeled_s * 1e6;
+                let _ = write!(
+                    out,
+                    r#"{{"name":"{}","ph":"X","ts":{:.3},"dur":{:.3},"pid":0,"tid":{tid},"args":{{"grid":"({},{},{})","counters":{}}}}}"#,
+                    escape(label),
+                    *now,
+                    dur_us,
+                    grid.0,
+                    grid.1,
+                    grid.2,
+                    fields_json(fields)
+                );
+                *now += dur_us;
+            }
+            TraceEvent::Fault { kind, count } => {
+                let _ = write!(
+                    out,
+                    r#"{{"name":"fault:{}","ph":"i","ts":{:.3},"pid":0,"tid":{tid},"s":"t","args":{{"count":{count}}}}}"#,
+                    escape(kind),
+                    *now
+                );
+            }
+            TraceEvent::Mark { label, value } => {
+                let _ = write!(
+                    out,
+                    r#"{{"name":"{}","ph":"i","ts":{:.3},"pid":0,"tid":{tid},"s":"t","args":{{"value":{value}}}}}"#,
+                    escape(label),
+                    *now
+                );
+            }
+        }
+    }
+}
+
+fn fields_json(fields: &[(&'static str, u64)]) -> String {
+    let mut out = String::from("{");
+    for (i, (name, value)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, r#""{}":{value}"#, escape(name));
+    }
+    out.push('}');
+    out
+}
+
+fn escape(s: &str) -> String {
+    // Labels are static identifiers in practice; escape defensively anyway.
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Convert a record slice to a complete Chrome trace JSON array.
+pub fn chrome_json(records: &[Record]) -> String {
+    let mut clock = ChromeClock::default();
+    let mut out = String::from("[\n");
+    for (i, record) in records.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        clock.write_record(&mut out, record);
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// A sink that streams Chrome trace JSON to a file as records arrive.
+///
+/// This is what `FTK_TRACE=<path>` installs. The array is left
+/// unterminated if the process exits without [`flush`](Self::flush) —
+/// `chrome://tracing` and Perfetto both tolerate a truncated array, so a
+/// crashed run still yields a loadable timeline.
+pub struct ChromeWriterSink {
+    inner: Mutex<Writer>,
+}
+
+struct Writer {
+    out: BufWriter<File>,
+    clock: ChromeClock,
+    any: bool,
+}
+
+impl ChromeWriterSink {
+    /// Create (truncate) `path` and write the array opener.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let mut out = BufWriter::new(File::create(path)?);
+        out.write_all(b"[\n")?;
+        Ok(ChromeWriterSink {
+            inner: Mutex::new(Writer {
+                out,
+                clock: ChromeClock::default(),
+                any: false,
+            }),
+        })
+    }
+
+    /// Flush buffered records to the file (the array stays open for more).
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.inner.lock().unwrap().out.flush()
+    }
+}
+
+impl TraceSink for ChromeWriterSink {
+    fn record(&self, record: Record) {
+        let mut w = self.inner.lock().unwrap();
+        let mut line = String::new();
+        if w.any {
+            line.push_str(",\n");
+        }
+        w.clock.write_record(&mut line, &record);
+        w.any = true;
+        // Best-effort: a full disk should not take the workload down.
+        // Flush per record: the `FTK_TRACE` global sink lives in a static
+        // that is never dropped, so buffered bytes would otherwise be lost
+        // at process exit. Event volume is low (spans, not samples), so
+        // one write syscall per record is cheap.
+        let _ = w.out.write_all(line.as_bytes());
+        let _ = w.out.flush();
+    }
+}
+
+impl Drop for ChromeWriterSink {
+    fn drop(&mut self) {
+        if let Ok(mut w) = self.inner.lock() {
+            let _ = w.out.write_all(b"\n]\n");
+            let _ = w.out.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn launch_advances_the_track_clock() {
+        let records = vec![
+            Record {
+                track: 0,
+                event: TraceEvent::PhaseBegin {
+                    phase: "assignment",
+                    index: 0,
+                },
+            },
+            Record {
+                track: 0,
+                event: TraceEvent::Launch {
+                    label: "assign_naive",
+                    grid: (8, 1, 1),
+                    modeled_s: 2e-6,
+                    fields: vec![("fma_ops", 64)],
+                },
+            },
+            Record {
+                track: 0,
+                event: TraceEvent::PhaseEnd {
+                    phase: "assignment",
+                    index: 0,
+                    fields: vec![("fma_ops", 64)],
+                },
+            },
+        ];
+        let json = chrome_json(&records);
+        assert!(json.starts_with("[\n"));
+        assert!(json.trim_end().ends_with(']'));
+        // Launch lasts 2 µs, so the phase end sits at ts=2.000.
+        assert!(
+            json.contains(r#""ph":"X","ts":0.000,"dur":2.000"#),
+            "{json}"
+        );
+        assert!(json.contains(r#""ph":"E","ts":2.000"#), "{json}");
+        assert!(json.contains(r#""grid":"(8,1,1)""#), "{json}");
+    }
+}

@@ -1,0 +1,167 @@
+//! The typed record model: [`TraceEvent`], its [`Fields`] payload, and the
+//! byte-stable text serialization used by the determinism tests.
+
+use std::fmt::Write as _;
+
+/// A flat counter delta: `(field name, value)` pairs, zero entries elided
+/// by the producer (`CounterSnapshot::nonzero_fields` in `gpu-sim`).
+///
+/// Kept as a plain vector rather than a map so ordering is exactly the
+/// producer's declaration order — part of the byte-stability contract.
+pub type Fields = Vec<(&'static str, u64)>;
+
+/// One trace record: the emitting thread's track plus the event payload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Record {
+    /// Deterministic small thread id (see [`crate::thread_track`]).
+    pub track: u32,
+    /// The event payload.
+    pub event: TraceEvent,
+}
+
+/// A typed span or instant event.
+///
+/// Events carry *modeled* time and deterministic indices only — never
+/// wall-clock — so recorded streams are reproducible. Wall-clock serving
+/// quantities live in [`crate::metrics`] instead.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// A named phase opened (driver phases: see [`crate::phases`]).
+    PhaseBegin {
+        /// Phase name (one of [`crate::phases`] for the built-in producers).
+        phase: &'static str,
+        /// Producer-scoped ordinal (e.g. Lloyd iteration number).
+        index: u64,
+    },
+    /// The matching phase closed; `fields` is the phase's counter delta.
+    PhaseEnd {
+        /// Phase name, matching the open span.
+        phase: &'static str,
+        /// Producer-scoped ordinal, matching the open span.
+        index: u64,
+        /// Counter delta accumulated across the phase.
+        fields: Fields,
+    },
+    /// One kernel launch: label, grid dims, counter delta, and modeled
+    /// time from the calibrated timing model (roofline over the delta).
+    Launch {
+        /// Kernel label (e.g. `"assign_fused_v2"`).
+        label: &'static str,
+        /// Grid dimensions `(x, y, z)` in blocks.
+        grid: (usize, usize, usize),
+        /// Modeled execution time in seconds.
+        modeled_s: f64,
+        /// Counter delta charged by this launch.
+        fields: Fields,
+    },
+    /// A fault-path instant: `count` occurrences of `kind` (see
+    /// [`crate::faults`]) since the previous report.
+    Fault {
+        /// Fault kind.
+        kind: &'static str,
+        /// Occurrences since the last report (producers elide zero).
+        count: u64,
+    },
+    /// A free-form instant marker with a numeric payload.
+    Mark {
+        /// Marker label.
+        label: &'static str,
+        /// Numeric payload.
+        value: u64,
+    },
+}
+
+impl Record {
+    /// Append the canonical single-line text form (newline-terminated).
+    ///
+    /// This serialization is byte-stable for deterministic streams: field
+    /// order is producer order and floats print with fixed precision.
+    pub fn write_log_line(&self, out: &mut String) {
+        let _ = write!(out, "[t{}] ", self.track);
+        match &self.event {
+            TraceEvent::PhaseBegin { phase, index } => {
+                let _ = writeln!(out, "phase_begin {phase} #{index}");
+            }
+            TraceEvent::PhaseEnd {
+                phase,
+                index,
+                fields,
+            } => {
+                let _ = write!(out, "phase_end {phase} #{index} ");
+                write_fields(out, fields);
+                out.push('\n');
+            }
+            TraceEvent::Launch {
+                label,
+                grid,
+                modeled_s,
+                fields,
+            } => {
+                let _ = write!(
+                    out,
+                    "launch {label} grid=({},{},{}) modeled_us={:.3} ",
+                    grid.0,
+                    grid.1,
+                    grid.2,
+                    modeled_s * 1e6
+                );
+                write_fields(out, fields);
+                out.push('\n');
+            }
+            TraceEvent::Fault { kind, count } => {
+                let _ = writeln!(out, "fault {kind} x{count}");
+            }
+            TraceEvent::Mark { label, value } => {
+                let _ = writeln!(out, "mark {label}={value}");
+            }
+        }
+    }
+}
+
+fn write_fields(out: &mut String, fields: &Fields) {
+    out.push_str("fields{");
+    for (i, (name, value)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{name}={value}");
+    }
+    out.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_line_format_is_stable() {
+        let mut out = String::new();
+        Record {
+            track: 0,
+            event: TraceEvent::Launch {
+                label: "assign_fused_v2",
+                grid: (128, 1, 1),
+                modeled_s: 1.5e-4,
+                fields: vec![("bytes_loaded", 4096), ("fma_ops", 512)],
+            },
+        }
+        .write_log_line(&mut out);
+        assert_eq!(
+            out,
+            "[t0] launch assign_fused_v2 grid=(128,1,1) modeled_us=150.000 \
+             fields{bytes_loaded=4096,fma_ops=512}\n"
+        );
+
+        out.clear();
+        Record {
+            track: 2,
+            event: TraceEvent::PhaseEnd {
+                phase: "update",
+                index: 3,
+                fields: vec![],
+            },
+        }
+        .write_log_line(&mut out);
+        assert_eq!(out, "[t2] phase_end update #3 fields{}\n");
+    }
+}

@@ -1,0 +1,243 @@
+//! Phase profiler: folds a recorded stream into a per-phase modeled-time
+//! breakdown (the per-phase witness for the paper's §III cost ordering).
+
+use crate::event::{Record, TraceEvent};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+
+/// Launches emitted outside any open phase land under this pseudo-phase.
+pub const UNATTRIBUTED: &str = "(unattributed)";
+
+/// Aggregated statistics for one phase name.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PhaseStats {
+    /// Completed spans (matched `PhaseEnd` events).
+    pub spans: u64,
+    /// Kernel launches attributed to this phase (innermost-open wins).
+    pub launches: u64,
+    /// Total modeled time of those launches, seconds.
+    pub modeled_s: f64,
+    /// Summed counter deltas from the phase's `PhaseEnd` records.
+    pub fields: BTreeMap<&'static str, u64>,
+}
+
+/// Order-independent slice of [`PhaseStats`] used by the serial-vs-pool
+/// determinism tests: span counts, launch counts, and counter-delta sums
+/// are identical across execution modes; modeled-time float totals (whose
+/// summation order may differ) are deliberately excluded.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PhaseCounts {
+    /// Completed spans.
+    pub spans: u64,
+    /// Launches attributed to the phase.
+    pub launches: u64,
+    /// Summed counter deltas.
+    pub fields: BTreeMap<&'static str, u64>,
+}
+
+/// Per-phase aggregation of a recorded stream.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseProfile {
+    phases: BTreeMap<&'static str, PhaseStats>,
+}
+
+impl PhaseProfile {
+    /// Fold `records` into per-phase stats. Launches are attributed to the
+    /// innermost phase open *on their own track* at the time they appear;
+    /// unmatched ends and orphan launches are tolerated (ring-buffer
+    /// eviction can clip span opens).
+    pub fn from_records(records: &[Record]) -> Self {
+        let mut phases: BTreeMap<&'static str, PhaseStats> = BTreeMap::new();
+        let mut open: HashMap<u32, Vec<&'static str>> = HashMap::new();
+        for record in records {
+            let stack = open.entry(record.track).or_default();
+            match &record.event {
+                TraceEvent::PhaseBegin { phase, .. } => stack.push(phase),
+                TraceEvent::PhaseEnd { phase, fields, .. } => {
+                    if let Some(pos) = stack.iter().rposition(|p| p == phase) {
+                        stack.truncate(pos);
+                    }
+                    let stats = phases.entry(phase).or_default();
+                    stats.spans += 1;
+                    for (name, value) in fields {
+                        *stats.fields.entry(name).or_default() += value;
+                    }
+                }
+                TraceEvent::Launch { modeled_s, .. } => {
+                    let phase = stack.last().copied().unwrap_or(UNATTRIBUTED);
+                    let stats = phases.entry(phase).or_default();
+                    stats.launches += 1;
+                    stats.modeled_s += modeled_s;
+                }
+                TraceEvent::Fault { .. } | TraceEvent::Mark { .. } => {}
+            }
+        }
+        PhaseProfile { phases }
+    }
+
+    /// Stats for one phase, if any record mentioned it.
+    pub fn get(&self, phase: &str) -> Option<&PhaseStats> {
+        self.phases.get(phase)
+    }
+
+    /// Total modeled launch time attributed to `phase`, seconds (0.0 when
+    /// the phase never appeared).
+    pub fn modeled_s(&self, phase: &str) -> f64 {
+        self.get(phase).map_or(0.0, |s| s.modeled_s)
+    }
+
+    /// Summed counter-delta value of `field` across `phase`'s spans.
+    pub fn field_total(&self, phase: &str, field: &str) -> u64 {
+        self.get(phase)
+            .and_then(|s| s.fields.get(field).copied())
+            .unwrap_or(0)
+    }
+
+    /// Iterate phases in name order.
+    pub fn phases(&self) -> impl Iterator<Item = (&'static str, &PhaseStats)> {
+        self.phases.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Total modeled launch time across all phases, seconds.
+    pub fn total_modeled_s(&self) -> f64 {
+        self.phases.values().map(|s| s.modeled_s).sum()
+    }
+
+    /// The order-independent count/delta view (see [`PhaseCounts`]).
+    pub fn counts(&self) -> BTreeMap<&'static str, PhaseCounts> {
+        self.phases
+            .iter()
+            .map(|(phase, s)| {
+                (
+                    *phase,
+                    PhaseCounts {
+                        spans: s.spans,
+                        launches: s.launches,
+                        fields: s.fields.clone(),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Render a text table, phases sorted by modeled time (descending).
+    ///
+    /// `bytes` is the sum of the phase's `bytes_loaded` + `bytes_stored`
+    /// counter deltas when the producer reported them.
+    pub fn to_table(&self) -> String {
+        let mut rows: Vec<(&'static str, &PhaseStats)> =
+            self.phases.iter().map(|(k, v)| (*k, v)).collect();
+        rows.sort_by(|a, b| {
+            b.1.modeled_s
+                .partial_cmp(&a.1.modeled_s)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(b.0))
+        });
+        let total = self.total_modeled_s().max(f64::MIN_POSITIVE);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<16} {:>6} {:>9} {:>12} {:>7} {:>14}",
+            "phase", "spans", "launches", "modeled_ms", "share", "bytes"
+        );
+        for (phase, s) in &rows {
+            let bytes = s.fields.get("bytes_loaded").copied().unwrap_or(0)
+                + s.fields.get("bytes_stored").copied().unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "{:<16} {:>6} {:>9} {:>12.3} {:>6.1}% {:>14}",
+                phase,
+                s.spans,
+                s.launches,
+                s.modeled_s * 1e3,
+                s.modeled_s / total * 100.0,
+                bytes
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<16} {:>6} {:>9} {:>12.3} {:>6.1}% {:>14}",
+            "total",
+            "-",
+            rows.iter().map(|(_, s)| s.launches).sum::<u64>(),
+            self.total_modeled_s() * 1e3,
+            100.0,
+            "-"
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(event: TraceEvent) -> Record {
+        Record { track: 0, event }
+    }
+
+    #[test]
+    fn launches_attribute_to_innermost_phase() {
+        let records = vec![
+            rec(TraceEvent::PhaseBegin {
+                phase: "assignment",
+                index: 0,
+            }),
+            rec(TraceEvent::Launch {
+                label: "assign",
+                grid: (1, 1, 1),
+                modeled_s: 3e-3,
+                fields: vec![],
+            }),
+            rec(TraceEvent::PhaseEnd {
+                phase: "assignment",
+                index: 0,
+                fields: vec![("bytes_loaded", 100), ("bytes_stored", 20)],
+            }),
+            rec(TraceEvent::PhaseBegin {
+                phase: "update",
+                index: 0,
+            }),
+            rec(TraceEvent::Launch {
+                label: "update",
+                grid: (1, 1, 1),
+                modeled_s: 1e-3,
+                fields: vec![],
+            }),
+            rec(TraceEvent::PhaseEnd {
+                phase: "update",
+                index: 0,
+                fields: vec![("bytes_stored", 40)],
+            }),
+            // Orphan launch outside any phase.
+            rec(TraceEvent::Launch {
+                label: "stray",
+                grid: (1, 1, 1),
+                modeled_s: 5e-4,
+                fields: vec![],
+            }),
+        ];
+        let profile = PhaseProfile::from_records(&records);
+        assert_eq!(profile.get("assignment").unwrap().launches, 1);
+        assert!(profile.modeled_s("assignment") > profile.modeled_s("update"));
+        assert_eq!(profile.field_total("assignment", "bytes_loaded"), 100);
+        assert_eq!(profile.field_total("update", "bytes_stored"), 40);
+        assert_eq!(profile.get(UNATTRIBUTED).unwrap().launches, 1);
+        let table = profile.to_table();
+        assert!(table.contains("assignment"), "{table}");
+        assert!(table.contains("total"), "{table}");
+        // Counts view is comparable across runs.
+        assert_eq!(profile.counts(), profile.clone().counts());
+    }
+
+    #[test]
+    fn unmatched_end_is_tolerated() {
+        let records = vec![rec(TraceEvent::PhaseEnd {
+            phase: "drift",
+            index: 7,
+            fields: vec![],
+        })];
+        let profile = PhaseProfile::from_records(&records);
+        assert_eq!(profile.get("drift").unwrap().spans, 1);
+    }
+}

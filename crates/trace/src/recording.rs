@@ -1,0 +1,166 @@
+//! In-memory ring-buffered sink for tests, the phase profiler, and
+//! post-hoc Chrome-trace export.
+
+use crate::chrome;
+use crate::event::Record;
+use crate::profile::PhaseProfile;
+use crate::TraceSink;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A bounded in-memory sink: keeps the most recent `capacity` records,
+/// counting (rather than blocking on) overflow.
+///
+/// Cloneable handles are obtained by wrapping in `Arc` (the sink is
+/// internally synchronized). Exports: [`to_log_text`](Self::to_log_text)
+/// (byte-stable, the determinism-test currency),
+/// [`to_chrome_json`](Self::to_chrome_json) (`chrome://tracing` /
+/// Perfetto timeline), and [`phase_profile`](Self::phase_profile)
+/// (modeled-time breakdown per phase).
+pub struct RecordingSink {
+    inner: Mutex<Ring>,
+}
+
+struct Ring {
+    records: VecDeque<Record>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl RecordingSink {
+    /// Sink keeping at most `capacity` records (oldest dropped first).
+    pub fn new(capacity: usize) -> Self {
+        RecordingSink {
+            inner: Mutex::new(Ring {
+                records: VecDeque::new(),
+                capacity: capacity.max(1),
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Number of records currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().records.len()
+    }
+
+    /// True when no records are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap().dropped
+    }
+
+    /// Snapshot the buffered records in arrival order, with track ids
+    /// renumbered densely by first appearance (first emitting thread →
+    /// track 0, second → track 1, ...). Raw [`crate::thread_track`] ids
+    /// are process-global and depend on which unrelated threads emitted
+    /// first; dense renumbering is what makes the exports byte-stable
+    /// run-to-run while still separating concurrent emitters.
+    pub fn records(&self) -> Vec<Record> {
+        let ring = self.inner.lock().unwrap();
+        let mut dense: Vec<u32> = Vec::new();
+        ring.records
+            .iter()
+            .map(|r| {
+                let track = match dense.iter().position(|&t| t == r.track) {
+                    Some(i) => i as u32,
+                    None => {
+                        dense.push(r.track);
+                        (dense.len() - 1) as u32
+                    }
+                };
+                Record {
+                    track,
+                    event: r.event.clone(),
+                }
+            })
+            .collect()
+    }
+
+    /// Discard all buffered records (the dropped count is reset too).
+    pub fn clear(&self) {
+        let mut ring = self.inner.lock().unwrap();
+        ring.records.clear();
+        ring.dropped = 0;
+    }
+
+    /// Byte-stable one-line-per-record text form. Two serial runs of the
+    /// same workload produce identical output (the determinism contract).
+    pub fn to_log_text(&self) -> String {
+        let mut out = String::new();
+        for record in self.records() {
+            record.write_log_line(&mut out);
+        }
+        out
+    }
+
+    /// Export as Chrome `chrome://tracing` JSON (also loadable in
+    /// Perfetto). Timestamps come from a per-track modeled clock, not
+    /// wall-time; see [`crate::chrome`].
+    pub fn to_chrome_json(&self) -> String {
+        chrome::chrome_json(&self.records())
+    }
+
+    /// Aggregate buffered records into a per-phase modeled-time profile.
+    pub fn phase_profile(&self) -> PhaseProfile {
+        PhaseProfile::from_records(&self.records())
+    }
+}
+
+impl Default for RecordingSink {
+    /// 64Ki records — ample for a full fit plus a serve storm.
+    fn default() -> Self {
+        RecordingSink::new(1 << 16)
+    }
+}
+
+impl TraceSink for RecordingSink {
+    fn record(&self, record: Record) {
+        let mut ring = self.inner.lock().unwrap();
+        if ring.records.len() == ring.capacity {
+            ring.records.pop_front();
+            ring.dropped += 1;
+        }
+        ring.records.push_back(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+
+    fn fault(kind: &'static str, count: u64) -> Record {
+        Record {
+            track: 0,
+            event: TraceEvent::Fault { kind, count },
+        }
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let sink = RecordingSink::new(2);
+        sink.record(fault("a", 1));
+        sink.record(fault("b", 2));
+        sink.record(fault("c", 3));
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.dropped(), 1);
+        let recs = sink.records();
+        assert!(matches!(recs[0].event, TraceEvent::Fault { kind: "b", .. }));
+        assert!(matches!(recs[1].event, TraceEvent::Fault { kind: "c", .. }));
+    }
+
+    #[test]
+    fn log_text_round_trip_is_stable() {
+        let sink = RecordingSink::default();
+        sink.record(fault("detected", 4));
+        assert_eq!(sink.to_log_text(), "[t0] fault detected x4\n");
+        sink.clear();
+        assert!(sink.is_empty());
+        assert_eq!(sink.dropped(), 0);
+    }
+}

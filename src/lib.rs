@@ -48,6 +48,12 @@ pub use serve;
 /// Kernel parameter space, feasibility, templates, tuner and selector.
 pub use codegen;
 
+/// Structured tracing and metrics: span-scoped launch telemetry, the phase
+/// profiler, Chrome-trace export, and the Prometheus-style metric
+/// primitives backing [`serve::Server::metrics_text`].
+pub use trace;
+
 pub use gpu_sim::{DeviceProfile, Precision};
 pub use kmeans::{FittedModel, KMeans, KMeansConfig, KMeansError, Session};
 pub use serve::{ModelRegistry, PredictResponse, ServeError, Server, ServerConfig};
+pub use trace::{RecordingSink, TraceSink};
