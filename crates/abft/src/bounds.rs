@@ -76,7 +76,7 @@ impl BoundPolicy {
     /// second-closest distance by more than the slack band. NaN trips;
     /// `-∞` (an over-deflated but sound lower bound) does not.
     pub fn lower_violates<T: Scalar>(&self, stored: T, exact_second: T) -> bool {
-        if stored != stored {
+        if stored.to_f64().is_nan() {
             return true; // NaN is never a sound bound
         }
         if exact_second == T::INFINITY {

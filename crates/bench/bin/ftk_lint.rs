@@ -1,0 +1,343 @@
+//! `ftk-lint` — workspace source lint for rules `cargo clippy` cannot see.
+//!
+//! A std-only source scanner over `crates/*/src`, enforcing repo-specific
+//! invariants that live above the language level:
+//!
+//! * `raw-access`  — in `crates/kmeans/src/variants/`, per-element
+//!   `.load(` / `.store(` bypass the coalesced-run accessors and (on scalar
+//!   buffers) the byte counters feeding the timing model. Use
+//!   `load_counted` / `store_counted` / `read_range` / `write_range` /
+//!   `load_run` / `store_run`, or annotate the line with
+//!   `ftk-lint: allow(raw-access)` and say why (index traffic is not
+//!   byte-counted by design; host-side single-cell readbacks are fine).
+//! * `serve-unwrap` — in `crates/serve/src/`, `.unwrap()` / `.expect(` on a
+//!   request path turns a recoverable condition (lock poisoning, a malformed
+//!   batch) into a server-killing panic. Recover poisoned locks with
+//!   `unwrap_or_else(|e| e.into_inner())` or return a `ServeError`;
+//!   `ftk-lint: allow(serve-unwrap)` marks audited invariants.
+//! * `label-unique` — kernel-launch labels (`launch_grid_labeled`,
+//!   `launch_serial_labeled`, `launch_labeled`) must be globally unique so
+//!   sanitizer findings, trace phases and fault-campaign site attribution
+//!   are unambiguous. The `"kernel"` default used by unlabeled launches is
+//!   exempt.
+//! * `site-unique` — two textually identical `MmaSite { .. }` literals in
+//!   one file alias the same fault-injection site id, so an injection
+//!   targeting one silently hits both.
+//!
+//! Doc comments, line comments and `#[cfg(test)] mod` bodies are skipped.
+//! Findings print one per line sorted by `(file, line)`; exit status is 1
+//! when any rule fires, 0 otherwise. Run from anywhere:
+//! `cargo run -p bench_harness --bin ftk-lint`.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One rule violation at a source location.
+struct LintFinding {
+    rule: &'static str,
+    file: String,
+    line: usize,
+    message: String,
+}
+
+fn main() {
+    // crates/bench/ -> workspace root, so the bin works from any cwd.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root above crates/bench")
+        .to_path_buf();
+    let findings = run_lint(&root);
+    let mut out = String::new();
+    for f in &findings {
+        let _ = writeln!(
+            out,
+            "ftk-lint: {} {}:{} {}",
+            f.rule, f.file, f.line, f.message
+        );
+    }
+    print!("{out}");
+    if findings.is_empty() {
+        eprintln!("ftk-lint: OK — no findings");
+    } else {
+        eprintln!("ftk-lint: FAILED — {} finding(s)", findings.len());
+        std::process::exit(1);
+    }
+}
+
+fn run_lint(root: &Path) -> Vec<LintFinding> {
+    let mut files = Vec::new();
+    collect_rs(&root.join("crates"), &mut files);
+    files.sort();
+
+    let mut findings = Vec::new();
+    // label -> (file, line) of first sighting; the "kernel" default used by
+    // unlabeled Executor::launch/launch_serial may repeat.
+    let mut labels: HashMap<String, (String, usize)> = HashMap::new();
+
+    for path in &files {
+        // Lint covers shipped code only: crates/*/src, not tests/ or bin/
+        // (this linter and the harness bins drive the checks, they are not
+        // kernel or request-path code).
+        let rel = path.strip_prefix(root).unwrap_or(path);
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        if !rel_str.contains("/src/") {
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(path) else {
+            continue;
+        };
+        let lines = scannable_lines(&text);
+
+        if rel_str.starts_with("crates/kmeans/src/variants/") {
+            lint_raw_access(&rel_str, &lines, &mut findings);
+        }
+        if rel_str.starts_with("crates/serve/src/") {
+            lint_serve_unwrap(&rel_str, &lines, &mut findings);
+        }
+        lint_labels(&rel_str, &lines, &mut labels, &mut findings);
+        lint_mma_sites(&rel_str, &lines, &mut findings);
+    }
+
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    findings
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Source lines with comments blanked and `#[cfg(test)] mod` bodies removed,
+/// keeping line numbers stable (1-based alongside the original file). A line
+/// carrying an `ftk-lint: allow(rule)` marker records it for itself and the
+/// following line.
+struct ScanLine {
+    number: usize,
+    code: String,
+    allows: Vec<String>,
+}
+
+fn scannable_lines(text: &str) -> Vec<ScanLine> {
+    let mut out = Vec::new();
+    let mut in_test_mod = false;
+    let mut test_depth = 0usize;
+    let mut pending_cfg_test = false;
+    let mut pending_allows: Vec<String> = Vec::new();
+
+    for (i, raw) in text.lines().enumerate() {
+        let mut allows = std::mem::take(&mut pending_allows);
+        for marker in raw.split("ftk-lint: allow(").skip(1) {
+            if let Some(end) = marker.find(')') {
+                allows.push(marker[..end].trim().to_string());
+            }
+        }
+        // Markers on a comment-only line also cover the next line.
+        if raw.trim_start().starts_with("//") {
+            pending_allows = allows.clone();
+        }
+
+        let code = strip_line_comment(raw);
+        let trimmed = code.trim();
+
+        if in_test_mod {
+            test_depth += brace_delta_open(trimmed);
+            let closes = brace_delta_close(trimmed);
+            if closes >= test_depth {
+                in_test_mod = false;
+                test_depth = 0;
+            } else {
+                test_depth -= closes;
+            }
+            continue;
+        }
+        if pending_cfg_test && trimmed.starts_with("mod ") {
+            pending_cfg_test = false;
+            in_test_mod = true;
+            test_depth = brace_delta_open(trimmed).saturating_sub(brace_delta_close(trimmed));
+            if test_depth == 0 && trimmed.ends_with(';') {
+                in_test_mod = false; // out-of-line `mod tests;`
+            }
+            continue;
+        }
+        if trimmed.contains("#[cfg(test)]") {
+            pending_cfg_test = true;
+            continue;
+        }
+        if trimmed.is_empty() {
+            continue;
+        }
+        pending_cfg_test = false;
+        out.push(ScanLine {
+            number: i + 1,
+            code,
+            allows,
+        });
+    }
+    out
+}
+
+fn strip_line_comment(line: &str) -> String {
+    // Good enough for this workspace: `//` inside string literals does not
+    // occur on lines any rule matches.
+    match line.find("//") {
+        Some(pos) => line[..pos].to_string(),
+        None => line.to_string(),
+    }
+}
+
+fn brace_delta_open(s: &str) -> usize {
+    s.matches('{').count()
+}
+
+fn brace_delta_close(s: &str) -> usize {
+    s.matches('}').count()
+}
+
+fn lint_raw_access(file: &str, lines: &[ScanLine], findings: &mut Vec<LintFinding>) {
+    for l in lines {
+        if l.allows.iter().any(|a| a == "raw-access") {
+            continue;
+        }
+        for pat in [".load(", ".store("] {
+            if l.code.contains(pat) {
+                findings.push(LintFinding {
+                    rule: "raw-access",
+                    file: file.to_string(),
+                    line: l.number,
+                    message: format!(
+                        "per-element `{pat}..)` in a variant hot path; use the counted or \
+                         run accessors, or annotate `ftk-lint: allow(raw-access)` with a reason"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn lint_serve_unwrap(file: &str, lines: &[ScanLine], findings: &mut Vec<LintFinding>) {
+    for l in lines {
+        if l.allows.iter().any(|a| a == "serve-unwrap") {
+            continue;
+        }
+        for pat in [".unwrap()", ".expect("] {
+            if l.code.contains(pat) {
+                findings.push(LintFinding {
+                    rule: "serve-unwrap",
+                    file: file.to_string(),
+                    line: l.number,
+                    message: format!(
+                        "`{pat}` on a serve request path; recover (e.g. \
+                         `unwrap_or_else(|e| e.into_inner())` for locks) or return a ServeError"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn lint_labels(
+    file: &str,
+    lines: &[ScanLine],
+    labels: &mut HashMap<String, (String, usize)>,
+    findings: &mut Vec<LintFinding>,
+) {
+    const CALLS: [&str; 3] = [
+        "launch_grid_labeled(",
+        "launch_serial_labeled(",
+        "launch_labeled(",
+    ];
+    for (i, l) in lines.iter().enumerate() {
+        if !CALLS.iter().any(|c| l.code.contains(c)) || l.code.contains("fn ") {
+            continue;
+        }
+        // The label is the first string literal at or shortly after the call
+        // site (labels are `&'static str` literals by convention).
+        let label = lines[i..lines.len().min(i + 4)]
+            .iter()
+            .find_map(|cand| extract_str_literal(&cand.code));
+        let Some(label) = label else { continue };
+        if label == "kernel" {
+            continue; // default for unlabeled Executor::launch/launch_serial
+        }
+        match labels.get(&label) {
+            None => {
+                labels.insert(label, (file.to_string(), l.number));
+            }
+            Some((first_file, first_line)) => {
+                findings.push(LintFinding {
+                    rule: "label-unique",
+                    file: file.to_string(),
+                    line: l.number,
+                    message: format!(
+                        "kernel label \"{label}\" already used at {first_file}:{first_line}; \
+                         labels key sanitizer findings and trace phases and must be unique"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn extract_str_literal(code: &str) -> Option<String> {
+    let start = code.find('"')?;
+    let rest = &code[start + 1..];
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+fn lint_mma_sites(file: &str, lines: &[ScanLine], findings: &mut Vec<LintFinding>) {
+    // Signature = the field lines of the literal, whitespace-normalized.
+    // Two identical signatures in one file alias one injection site id.
+    let mut seen: HashMap<String, usize> = HashMap::new();
+    for (i, l) in lines.iter().enumerate() {
+        if !l.code.contains("MmaSite {") || l.code.contains("struct") {
+            continue;
+        }
+        let mut depth = brace_delta_open(&l.code) - brace_delta_close(&l.code);
+        let mut sig = String::new();
+        let mut j = i + 1;
+        while depth > 0 && j < lines.len() {
+            let body = lines[j].code.trim();
+            depth += brace_delta_open(body);
+            depth = depth.saturating_sub(brace_delta_close(body));
+            if depth > 0 {
+                sig.push_str(&body.split_whitespace().collect::<Vec<_>>().join(" "));
+                sig.push(';');
+            }
+            j += 1;
+        }
+        if sig.is_empty() {
+            continue;
+        }
+        match seen.get(&sig) {
+            None => {
+                seen.insert(sig, l.number);
+            }
+            Some(first) => {
+                findings.push(LintFinding {
+                    rule: "site-unique",
+                    file: file.to_string(),
+                    line: l.number,
+                    message: format!(
+                        "MmaSite literal identical to the one at line {first}; duplicate \
+                         fault-injection site ids make campaign attribution ambiguous"
+                    ),
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! `sanitize_sweep` — run the device sanitizer over the whole stack and
+//! fail on any finding.
+//!
+//! Fits all six assignment variants (crossing the Hamerly revalidation
+//! cadence), streams a mini-batch fit, runs the exact and quantized predict
+//! epilogues, and drives a multi-client serve storm — all under a
+//! `gpu_sim::sanitizer` checker. Prints the deterministic report and exits
+//! non-zero when it is non-empty. Intended for the CI `sanitize-smoke` leg
+//! and local pre-merge checks.
+//!
+//! Knobs:
+//! * `FTK_SANITIZE`        — checks to run (default `race,init,oob`;
+//!   `leak` and `all` also accepted). The leak check is not in the default
+//!   gate: a fit legitimately leaves e.g. `sample_norms` unread under
+//!   variants that never use norms, and the serve path retains resident
+//!   buffers past the sweep.
+//! * `FTK_SANITIZE_M`      — sample count for the fits (default 2048).
+//! * `FTK_SANITIZE_REPORT` — also write the report text to this path.
+
+use bench_harness::fitbench::env_usize;
+use bench_harness::sanitize::run_sanitize_sweep;
+use gpu_sim::sanitizer::SanitizeConfig;
+
+fn main() {
+    let m = env_usize("FTK_SANITIZE_M", 2048);
+    let cfg = std::env::var("FTK_SANITIZE")
+        .ok()
+        .filter(|s| !s.trim().is_empty())
+        .map(|s| SanitizeConfig::parse(&s))
+        .unwrap_or(SanitizeConfig {
+            race: true,
+            init: true,
+            oob: true,
+            leak: false,
+        });
+
+    let (report, phases) = run_sanitize_sweep(m, cfg);
+    for p in &phases {
+        eprintln!("sanitize_sweep: ran {}", p.name);
+    }
+    let text = report.to_text();
+    print!("{text}");
+    if let Ok(path) = std::env::var("FTK_SANITIZE_REPORT") {
+        if let Some(parent) = std::path::Path::new(&path).parent() {
+            if !parent.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+        }
+        if let Err(e) = std::fs::write(&path, &text) {
+            eprintln!("sanitize_sweep: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+    if !report.is_empty() {
+        eprintln!(
+            "sanitize_sweep: FAILED — {} finding(s) at m={m}",
+            report.findings.len()
+        );
+        std::process::exit(1);
+    }
+    eprintln!("sanitize_sweep: OK — no findings at m={m}");
+}

@@ -31,6 +31,7 @@ pub mod paper;
 pub mod predictbench;
 pub mod regression;
 pub mod report;
+pub mod sanitize;
 pub mod servebench;
 pub mod tracebench;
 

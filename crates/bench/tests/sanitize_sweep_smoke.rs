@@ -1,0 +1,41 @@
+//! Smoke test for the full-stack sanitizer sweep the CI `sanitize-smoke`
+//! leg runs via the `sanitize_sweep` bin.
+//!
+//! The sweep installs a process-global checker (its serve-storm phase spans
+//! threads that cannot inherit a thread-local scope), so this file holds
+//! exactly ONE `#[test]`: a second concurrent test in this binary would
+//! share — and pollute — the global checker.
+
+use bench_harness::sanitize::{run_sanitize_sweep, SWEEP_VARIANTS};
+use gpu_sim::sanitizer::SanitizeConfig;
+
+#[test]
+fn reduced_shape_sweep_is_clean() {
+    let cfg = SanitizeConfig {
+        race: true,
+        init: true,
+        oob: true,
+        leak: false,
+    };
+    let (report, phases) = run_sanitize_sweep(256, cfg);
+    assert!(
+        report.is_empty(),
+        "sanitize sweep must be clean, got:\n{}",
+        report.to_text()
+    );
+    // Every advertised phase ran: one fit per variant, the mini-batch fit,
+    // three predict policies, the serve storm.
+    let names: Vec<&str> = phases.iter().map(|p| p.name.as_str()).collect();
+    for (variant, _) in SWEEP_VARIANTS {
+        assert!(names.contains(&format!("fit:{variant}").as_str()));
+    }
+    for phase in [
+        "fit:minibatch",
+        "predict:exact",
+        "predict:fp16",
+        "predict:int8",
+        "serve:storm",
+    ] {
+        assert!(names.contains(&phase), "missing phase {phase}");
+    }
+}

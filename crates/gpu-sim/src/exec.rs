@@ -38,6 +38,7 @@ use crate::counters::{CounterSink, Counters};
 use crate::device::DeviceProfile;
 use crate::error::SimError;
 use crate::launch::{validate, BlockCtx, LaunchConfig};
+use crate::sanitizer;
 use std::any::Any;
 use std::cell::Cell;
 use std::collections::VecDeque;
@@ -224,6 +225,7 @@ fn worker_loop(shared: &PoolShared) {
 pub struct Executor {
     policy: ExecPolicy,
     pool: Option<Pool>,
+    sanitizer: Option<Arc<sanitizer::Checker>>,
 }
 
 impl std::fmt::Debug for Executor {
@@ -239,15 +241,30 @@ impl Executor {
     /// is clamped to one worker.
     pub fn new(policy: ExecPolicy) -> Self {
         match policy {
-            ExecPolicy::Serial => Executor { policy, pool: None },
+            ExecPolicy::Serial => Executor {
+                policy,
+                pool: None,
+                sanitizer: None,
+            },
             ExecPolicy::Parallel { workers } => {
                 let workers = workers.max(1);
                 Executor {
                     policy: ExecPolicy::Parallel { workers },
                     pool: Some(Pool::new(workers)),
+                    sanitizer: None,
                 }
             }
         }
+    }
+
+    /// Attach a sanitizer checker to this executor: every launch it runs is
+    /// checked against `checker` (unless a [`sanitizer::with_checker`]
+    /// scope on the launching thread overrides it). Buffer *allocations*
+    /// are scoped by [`sanitizer::with_checker`] / the global checker, not
+    /// by the executor — an executor only sees launches.
+    pub fn with_sanitizer(mut self, checker: Arc<sanitizer::Checker>) -> Self {
+        self.sanitizer = Some(checker);
+        self
     }
 
     /// A serial executor (deterministic block order, no threads).
@@ -377,10 +394,10 @@ impl Executor {
         F: Fn(&BlockCtx) + Sync,
     {
         if !trace::active() {
-            return self.launch_inner(device, cfg, counters, kernel);
+            return self.launch_inner(device, cfg, counters, label, kernel);
         }
         let before = counters.snapshot();
-        self.launch_inner(device, cfg, counters, kernel)?;
+        self.launch_inner(device, cfg, counters, label, kernel)?;
         emit_launch_span(device, &cfg, counters, label, &before);
         Ok(())
     }
@@ -390,6 +407,7 @@ impl Executor {
         device: &DeviceProfile,
         cfg: LaunchConfig,
         counters: &Counters,
+        label: &'static str,
         kernel: F,
     ) -> Result<(), SimError>
     where
@@ -401,6 +419,7 @@ impl Executor {
         if total == 0 {
             return Ok(());
         }
+        let san = sanitizer::launch_begin(self.sanitizer.as_ref(), label);
         self.run_chunked(total, |start, end| {
             let sink = CounterSink::new(counters);
             for idx in start..end {
@@ -412,10 +431,16 @@ impl Executor {
                     counters: &sink,
                     device,
                 };
-                kernel(&ctx);
+                match &san {
+                    Some(sh) => sanitizer::with_block(sh, idx as u32, || kernel(&ctx)),
+                    None => kernel(&ctx),
+                }
                 sink.flush();
             }
         });
+        if let Some(sh) = &san {
+            sanitizer::launch_end(sh);
+        }
         Ok(())
     }
 
@@ -455,6 +480,7 @@ impl Executor {
         };
         validate(device, &cfg)?;
         counters.add_launch();
+        let san = sanitizer::launch_begin(self.sanitizer.as_ref(), label);
         let sink = CounterSink::new(counters);
         for idx in 0..cfg.grid.volume() {
             let (bx, by, bz) = cfg.grid.unlinear(idx);
@@ -465,8 +491,14 @@ impl Executor {
                 counters: &sink,
                 device,
             };
-            kernel(&ctx);
+            match &san {
+                Some(sh) => sanitizer::with_block(sh, idx as u32, || kernel(&ctx)),
+                None => kernel(&ctx),
+            }
             sink.flush();
+        }
+        if let Some(sh) = &san {
+            sanitizer::launch_end(sh);
         }
         if let Some(before) = before {
             emit_launch_span(device, &cfg, counters, label, &before);

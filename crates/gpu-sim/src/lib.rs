@@ -44,6 +44,7 @@ pub mod launch;
 pub mod matrix;
 pub mod memory;
 pub mod mma;
+pub mod sanitizer;
 pub mod scalar;
 pub mod scratch;
 pub mod shared;
@@ -64,6 +65,7 @@ pub use launch::{
 pub use matrix::Matrix;
 pub use memory::{GlobalBuffer, GlobalPackedBuffer, PackedLane};
 pub use mma::{FaultHook, FragmentMma, MmaSite, NoFault};
+pub use sanitizer::{Finding, FindingKind, SanitizeConfig, SanitizerReport};
 pub use scalar::Scalar;
 pub use scratch::ScratchBuf;
 pub use shared::SharedTile;

@@ -27,6 +27,7 @@
 
 use crate::counters::EventSink;
 use crate::matrix::Matrix;
+use crate::sanitizer;
 use crate::scalar::Scalar;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -39,9 +40,14 @@ use std::sync::Arc;
 /// pointer to a second kernel behaves. `Arc<[AtomicU64]>` is a fat pointer
 /// straight to the element array, so element access costs the same as
 /// through an owning `Vec`.
+///
+/// When a [`crate::sanitizer`] checker is in scope at allocation time the
+/// buffer carries shadow state and every access is checked; otherwise
+/// `shadow` is `None` and the hooks cost one branch.
 pub struct GlobalBuffer<T: Scalar> {
     bits: Arc<[AtomicU64]>,
     len: usize,
+    shadow: Option<Arc<sanitizer::BufShadow>>,
     _marker: PhantomData<T>,
 }
 
@@ -52,30 +58,40 @@ impl<T: Scalar> Clone for GlobalBuffer<T> {
         GlobalBuffer {
             bits: Arc::clone(&self.bits),
             len: self.len,
+            shadow: self.shadow.clone(),
             _marker: PhantomData,
         }
     }
 }
 
 impl<T: Scalar> GlobalBuffer<T> {
-    /// Zero-initialized buffer of `len` elements.
-    pub fn zeros(len: usize) -> Self {
-        let zero = T::ZERO.to_raw_u64();
+    fn alloc(len: usize, raw: u64, pre_init: bool) -> Self {
         GlobalBuffer {
-            bits: (0..len).map(|_| AtomicU64::new(zero)).collect(),
+            bits: (0..len).map(|_| AtomicU64::new(raw)).collect(),
             len,
+            shadow: sanitizer::alloc_shadow(len, pre_init),
             _marker: PhantomData,
         }
     }
 
+    /// Zero-initialized buffer of `len` elements (the `cudaMemset` path —
+    /// every cell is defined, so initcheck treats it as initialized).
+    pub fn zeros(len: usize) -> Self {
+        Self::alloc(len, T::ZERO.to_raw_u64(), true)
+    }
+
     /// Buffer filled with `v`.
     pub fn filled(len: usize, v: T) -> Self {
-        let raw = v.to_raw_u64();
-        GlobalBuffer {
-            bits: (0..len).map(|_| AtomicU64::new(raw)).collect(),
-            len,
-            _marker: PhantomData,
-        }
+        Self::alloc(len, v.to_raw_u64(), true)
+    }
+
+    /// Uninitialized allocation (the bare `cudaMalloc` path): the storage
+    /// observably reads as zero, but under `FTK_SANITIZE=init` any device
+    /// load of a cell that was never stored is reported. Use this for
+    /// scratch buffers a kernel is supposed to fully overwrite before
+    /// reading back.
+    pub fn uninit(len: usize) -> Self {
+        Self::alloc(len, T::ZERO.to_raw_u64(), false)
     }
 
     /// Upload a host slice.
@@ -87,7 +103,16 @@ impl<T: Scalar> GlobalBuffer<T> {
         GlobalBuffer {
             bits,
             len: data.len(),
+            shadow: sanitizer::alloc_shadow(data.len(), true),
             _marker: PhantomData,
+        }
+    }
+
+    /// Name this buffer in sanitizer reports. No-op when the buffer was
+    /// allocated with no checker in scope.
+    pub fn set_sanitizer_label(&self, label: &str) {
+        if let Some(sh) = &self.shadow {
+            sanitizer::set_label(sh, label);
         }
     }
 
@@ -110,6 +135,11 @@ impl<T: Scalar> GlobalBuffer<T> {
     /// inside kernels).
     #[inline]
     pub fn load(&self, idx: usize) -> T {
+        if let Some(sh) = &self.shadow {
+            if !sanitizer::check_load(sh, idx, 1) {
+                return T::ZERO; // OOB reported and suppressed
+            }
+        }
         T::from_raw_u64(self.bits[idx].load(Ordering::Relaxed))
     }
 
@@ -123,6 +153,11 @@ impl<T: Scalar> GlobalBuffer<T> {
     /// Plain store.
     #[inline]
     pub fn store(&self, idx: usize, v: T) {
+        if let Some(sh) = &self.shadow {
+            if !sanitizer::check_store(sh, idx, 1) {
+                return; // OOB reported and dropped
+            }
+        }
         self.bits[idx].store(v.to_raw_u64(), Ordering::Relaxed);
     }
 
@@ -137,6 +172,11 @@ impl<T: Scalar> GlobalBuffer<T> {
     /// Returns the previous value.
     pub fn atomic_add<C: EventSink + ?Sized>(&self, idx: usize, v: T, counters: &C) -> T {
         counters.add_atomic(1);
+        if let Some(sh) = &self.shadow {
+            if !sanitizer::check_atomic(sh, idx) {
+                return T::ZERO; // OOB reported and dropped
+            }
+        }
         let cell = &self.bits[idx];
         let mut cur = cell.load(Ordering::Relaxed);
         loop {
@@ -155,7 +195,7 @@ impl<T: Scalar> GlobalBuffer<T> {
     /// [`GlobalBuffer::load_counted`] calls.
     #[inline]
     pub fn load_run<C: EventSink + ?Sized>(&self, start: usize, out: &mut [T], counters: &C) {
-        counters.add_loaded((out.len() * std::mem::size_of::<T>()) as u64);
+        counters.add_loaded(std::mem::size_of_val::<[T]>(out) as u64);
         self.read_range(start, out);
     }
 
@@ -164,7 +204,7 @@ impl<T: Scalar> GlobalBuffer<T> {
     /// [`GlobalBuffer::store_counted`] calls.
     #[inline]
     pub fn store_run<C: EventSink + ?Sized>(&self, start: usize, vals: &[T], counters: &C) {
-        counters.add_stored((vals.len() * std::mem::size_of::<T>()) as u64);
+        counters.add_stored(std::mem::size_of_val::<[T]>(vals) as u64);
         self.write_range(start, vals);
     }
 
@@ -184,6 +224,12 @@ impl<T: Scalar> GlobalBuffer<T> {
     /// at each call site). The relaxed per-element atomic loads compile to
     /// plain loads on mainstream ISAs, so this is the cheap bulk path.
     pub fn read_range(&self, start: usize, out: &mut [T]) {
+        if let Some(sh) = &self.shadow {
+            if !sanitizer::check_load(sh, start, out.len()) {
+                out.fill(T::ZERO); // OOB reported and suppressed
+                return;
+            }
+        }
         let cells = &self.bits[start..start + out.len()];
         for (slot, cell) in out.iter_mut().zip(cells) {
             *slot = T::from_raw_u64(cell.load(Ordering::Relaxed));
@@ -192,6 +238,11 @@ impl<T: Scalar> GlobalBuffer<T> {
 
     /// Overwrite a contiguous range from `vals` without counting.
     pub fn write_range(&self, start: usize, vals: &[T]) {
+        if let Some(sh) = &self.shadow {
+            if !sanitizer::check_store(sh, start, vals.len()) {
+                return; // OOB reported and dropped
+            }
+        }
         let cells = &self.bits[start..start + vals.len()];
         for (&v, cell) in vals.iter().zip(cells) {
             cell.store(v.to_raw_u64(), Ordering::Relaxed);
@@ -200,6 +251,9 @@ impl<T: Scalar> GlobalBuffer<T> {
 
     /// Overwrite every element with `v` (host-side reset between iterations).
     pub fn fill(&self, v: T) {
+        if let Some(sh) = &self.shadow {
+            sanitizer::check_store(sh, 0, self.len);
+        }
         let raw = v.to_raw_u64();
         for cell in self.bits.iter() {
             cell.store(raw, Ordering::Relaxed);
@@ -271,6 +325,7 @@ impl PackedLane for u8 {
 pub struct GlobalPackedBuffer<U: PackedLane> {
     words: Arc<[AtomicU64]>,
     len: usize,
+    shadow: Option<Arc<sanitizer::BufShadow>>,
     _marker: PhantomData<U>,
 }
 
@@ -280,6 +335,7 @@ impl<U: PackedLane> Clone for GlobalPackedBuffer<U> {
         GlobalPackedBuffer {
             words: Arc::clone(&self.words),
             len: self.len,
+            shadow: self.shadow.clone(),
             _marker: PhantomData,
         }
     }
@@ -296,7 +352,16 @@ impl<U: PackedLane> GlobalPackedBuffer<U> {
                 .map(|_| AtomicU64::new(0))
                 .collect(),
             len,
+            shadow: sanitizer::alloc_shadow(len, true),
             _marker: PhantomData,
+        }
+    }
+
+    /// Name this buffer in sanitizer reports. No-op when the buffer was
+    /// allocated with no checker in scope.
+    pub fn set_sanitizer_label(&self, label: &str) {
+        if let Some(sh) = &self.shadow {
+            sanitizer::set_label(sh, label);
         }
     }
 
@@ -322,9 +387,10 @@ impl<U: PackedLane> GlobalPackedBuffer<U> {
         (idx / U::LANES, (idx % U::LANES) as u32 * Self::LANE_BITS)
     }
 
-    /// Plain lane load (no traffic charged).
+    /// Lane load without sanitizer interception (internal: the fault
+    /// injector and the checked paths share it).
     #[inline]
-    pub fn load(&self, idx: usize) -> U {
+    fn load_raw(&self, idx: usize) -> U {
         assert!(
             idx < self.len,
             "lane index {idx} out of bounds {}",
@@ -334,10 +400,31 @@ impl<U: PackedLane> GlobalPackedBuffer<U> {
         U::from_lane_u64((self.words[w].load(Ordering::Relaxed) >> shift) & Self::LANE_MASK)
     }
 
+    /// Plain lane load (no traffic charged).
+    #[inline]
+    pub fn load(&self, idx: usize) -> U {
+        if let Some(sh) = &self.shadow {
+            if !sanitizer::check_load(sh, idx, 1) {
+                return U::default(); // OOB reported and suppressed
+            }
+        }
+        self.load_raw(idx)
+    }
+
     /// Plain lane store: an atomic read-modify-write of the containing
     /// word, so neighbors in the same word survive concurrent stores.
     #[inline]
     pub fn store(&self, idx: usize, v: U) {
+        if let Some(sh) = &self.shadow {
+            if !sanitizer::check_store(sh, idx, 1) {
+                return; // OOB reported and dropped
+            }
+        }
+        self.store_raw(idx, v);
+    }
+
+    #[inline]
+    fn store_raw(&self, idx: usize, v: U) {
         assert!(
             idx < self.len,
             "lane index {idx} out of bounds {}",
@@ -377,17 +464,28 @@ impl<U: PackedLane> GlobalPackedBuffer<U> {
 
     /// Copy a contiguous lane range into `out` without counting.
     pub fn read_range(&self, start: usize, out: &mut [U]) {
+        if let Some(sh) = &self.shadow {
+            if !sanitizer::check_load(sh, start, out.len()) {
+                out.fill(U::default()); // OOB reported and suppressed
+                return;
+            }
+        }
         assert!(start + out.len() <= self.len, "lane range out of bounds");
         for (i, slot) in out.iter_mut().enumerate() {
-            *slot = self.load(start + i);
+            *slot = self.load_raw(start + i);
         }
     }
 
     /// Overwrite a contiguous lane range from `vals` without counting.
     pub fn write_range(&self, start: usize, vals: &[U]) {
+        if let Some(sh) = &self.shadow {
+            if !sanitizer::check_store(sh, start, vals.len()) {
+                return; // OOB reported and dropped
+            }
+        }
         assert!(start + vals.len() <= self.len, "lane range out of bounds");
         for (i, &v) in vals.iter().enumerate() {
-            self.store(start + i, v);
+            self.store_raw(start + i, v);
         }
     }
 
@@ -397,11 +495,13 @@ impl<U: PackedLane> GlobalPackedBuffer<U> {
     }
 
     /// Flip one bit of one lane in place — the fault-injection surface for
-    /// campaigns targeting quantized resident state.
+    /// campaigns targeting quantized resident state. Deliberately bypasses
+    /// the sanitizer: a bit flip does not *initialize* a cell (that is the
+    /// whole point of initcheck) and is not a kernel access.
     pub fn corrupt_bit(&self, idx: usize, bit: u32) {
         assert!((bit as usize) < U::BYTES * 8, "bit outside the lane");
-        let cur = self.load(idx).to_lane_u64();
-        self.store(idx, U::from_lane_u64(cur ^ (1u64 << bit)));
+        let cur = self.load_raw(idx).to_lane_u64();
+        self.store_raw(idx, U::from_lane_u64(cur ^ (1u64 << bit)));
     }
 
     /// The raw packed words (for checksumming resident state).
@@ -429,6 +529,7 @@ impl<U: PackedLane> std::fmt::Debug for GlobalPackedBuffer<U> {
 #[derive(Debug)]
 pub struct GlobalIndexBuffer {
     data: Vec<std::sync::atomic::AtomicU32>,
+    shadow: Option<Arc<sanitizer::BufShadow>>,
 }
 
 impl GlobalIndexBuffer {
@@ -436,7 +537,30 @@ impl GlobalIndexBuffer {
     pub fn zeros(len: usize) -> Self {
         let mut data = Vec::with_capacity(len);
         data.resize_with(len, || std::sync::atomic::AtomicU32::new(0));
-        GlobalIndexBuffer { data }
+        GlobalIndexBuffer {
+            data,
+            shadow: sanitizer::alloc_shadow(len, true),
+        }
+    }
+
+    /// Uninitialized index allocation (reads as zero; under
+    /// `FTK_SANITIZE=init` loads of never-stored cells are reported). See
+    /// [`GlobalBuffer::uninit`].
+    pub fn uninit(len: usize) -> Self {
+        let mut data = Vec::with_capacity(len);
+        data.resize_with(len, || std::sync::atomic::AtomicU32::new(0));
+        GlobalIndexBuffer {
+            data,
+            shadow: sanitizer::alloc_shadow(len, false),
+        }
+    }
+
+    /// Name this buffer in sanitizer reports. No-op when the buffer was
+    /// allocated with no checker in scope.
+    pub fn set_sanitizer_label(&self, label: &str) {
+        if let Some(sh) = &self.shadow {
+            sanitizer::set_label(sh, label);
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -449,17 +573,32 @@ impl GlobalIndexBuffer {
 
     #[inline]
     pub fn load(&self, idx: usize) -> u32 {
+        if let Some(sh) = &self.shadow {
+            if !sanitizer::check_load(sh, idx, 1) {
+                return 0; // OOB reported and suppressed
+            }
+        }
         self.data[idx].load(Ordering::Relaxed)
     }
 
     #[inline]
     pub fn store(&self, idx: usize, v: u32) {
+        if let Some(sh) = &self.shadow {
+            if !sanitizer::check_store(sh, idx, 1) {
+                return; // OOB reported and dropped
+            }
+        }
         self.data[idx].store(v, Ordering::Relaxed);
     }
 
     /// Atomic `+1`, returning the previous value.
     pub fn atomic_inc<C: EventSink + ?Sized>(&self, idx: usize, counters: &C) -> u32 {
         counters.add_atomic(1);
+        if let Some(sh) = &self.shadow {
+            if !sanitizer::check_atomic(sh, idx) {
+                return 0; // OOB reported and dropped
+            }
+        }
         self.data[idx].fetch_add(1, Ordering::AcqRel)
     }
 
@@ -467,6 +606,12 @@ impl GlobalIndexBuffer {
     /// [`GlobalIndexBuffer::load`]; index traffic is not byte-counted,
     /// matching the per-element accessors).
     pub fn read_range(&self, start: usize, out: &mut [u32]) {
+        if let Some(sh) = &self.shadow {
+            if !sanitizer::check_load(sh, start, out.len()) {
+                out.fill(0); // OOB reported and suppressed
+                return;
+            }
+        }
         let cells = &self.data[start..start + out.len()];
         for (slot, cell) in out.iter_mut().zip(cells) {
             *slot = cell.load(Ordering::Relaxed);
@@ -476,6 +621,11 @@ impl GlobalIndexBuffer {
     /// Overwrite a contiguous range from `vals` (bulk companion of
     /// [`GlobalIndexBuffer::store`]).
     pub fn write_range(&self, start: usize, vals: &[u32]) {
+        if let Some(sh) = &self.shadow {
+            if !sanitizer::check_store(sh, start, vals.len()) {
+                return; // OOB reported and dropped
+            }
+        }
         let cells = &self.data[start..start + vals.len()];
         for (&v, cell) in vals.iter().zip(cells) {
             cell.store(v, Ordering::Relaxed);
@@ -483,6 +633,9 @@ impl GlobalIndexBuffer {
     }
 
     pub fn to_vec(&self) -> Vec<u32> {
+        if let Some(sh) = &self.shadow {
+            sanitizer::check_load(sh, 0, self.data.len());
+        }
         self.data
             .iter()
             .map(|a| a.load(Ordering::Relaxed))
@@ -490,6 +643,9 @@ impl GlobalIndexBuffer {
     }
 
     pub fn fill(&self, v: u32) {
+        if let Some(sh) = &self.shadow {
+            sanitizer::check_store(sh, 0, self.data.len());
+        }
         for cell in &self.data {
             cell.store(v, Ordering::Relaxed);
         }

@@ -30,13 +30,25 @@ pub struct BoundState<T: Scalar> {
 
 impl<T: Scalar> BoundState<T> {
     fn new(m: usize, k: usize) -> Self {
-        BoundState {
+        let state = BoundState {
             upper: GlobalBuffer::filled(m, T::INFINITY),
             lower: GlobalBuffer::zeros(m),
             labels: GlobalIndexBuffer::zeros(m),
             drift: GlobalBuffer::zeros(k),
             s_half: GlobalBuffer::zeros(k),
-        }
+        };
+        state.label_for_sanitizer();
+        state
+    }
+
+    /// Name the bound buffers in sanitizer reports (no-op unless they were
+    /// allocated under a `gpu_sim::sanitizer` checker).
+    pub fn label_for_sanitizer(&self) {
+        self.upper.set_sanitizer_label("bounds.upper");
+        self.lower.set_sanitizer_label("bounds.lower");
+        self.labels.set_sanitizer_label("bounds.labels");
+        self.drift.set_sanitizer_label("bounds.drift");
+        self.s_half.set_sanitizer_label("bounds.s_half");
     }
 }
 
@@ -87,7 +99,7 @@ impl<T: Scalar> DeviceData<T> {
         let c = GlobalBuffer::from_matrix(centroids);
         let sn = row_sq_norms_kernel(device, &s, samples.rows(), samples.cols(), counters)?;
         let cn = row_sq_norms_kernel(device, &c, centroids.rows(), centroids.cols(), counters)?;
-        Ok(DeviceData {
+        let data = DeviceData {
             samples: s,
             centroids: c,
             sample_norms: sn,
@@ -97,7 +109,23 @@ impl<T: Scalar> DeviceData<T> {
             dim: samples.cols(),
             bounds: None,
             quant: Arc::new(QuantCache::default()),
-        })
+        };
+        data.label_for_sanitizer();
+        Ok(data)
+    }
+
+    /// Name every resident buffer in sanitizer reports, so
+    /// `gpu_sim::sanitizer` findings read `samples` / `centroids` /
+    /// `bounds.upper` instead of allocation ordinals. No-op (one branch per
+    /// buffer) unless the buffers were allocated under a checker.
+    pub fn label_for_sanitizer(&self) {
+        self.samples.set_sanitizer_label("samples");
+        self.centroids.set_sanitizer_label("centroids");
+        self.sample_norms.set_sanitizer_label("sample_norms");
+        self.centroid_norms.set_sanitizer_label("centroid_norms");
+        if let Some(b) = &self.bounds {
+            b.label_for_sanitizer();
+        }
     }
 
     /// Allocate the Hamerly bound buffers if not yet present. Fresh bounds
@@ -129,7 +157,9 @@ impl<T: Scalar> DeviceData<T> {
             )));
         }
         let s = GlobalBuffer::from_matrix(samples);
+        s.set_sanitizer_label("query.samples");
         let sn = row_sq_norms_kernel(device, &s, samples.rows(), samples.cols(), counters)?;
+        sn.set_sanitizer_label("query.sample_norms");
         Ok(DeviceData {
             samples: s,
             centroids: self.centroids.clone(),
@@ -180,8 +210,10 @@ impl<T: Scalar> DeviceData<T> {
             )));
         }
         self.centroids = GlobalBuffer::from_matrix(centroids);
+        self.centroids.set_sanitizer_label("centroids");
         self.centroid_norms =
             row_sq_norms_kernel(device, &self.centroids, self.k, self.dim, counters)?;
+        self.centroid_norms.set_sanitizer_label("centroid_norms");
         // cached quantized tables encode the old centroids — drop them so
         // the next quantized predict re-quantizes the fresh table
         self.quant.invalidate();

@@ -194,20 +194,20 @@ pub(crate) fn partial_fit_step<T: Scalar>(
         // position (and their weight).
         let mut centroids = result.centroids.clone();
         let mut empty_clusters = 0usize;
-        for c in 0..k {
+        for (c, weight) in weights.iter_mut().enumerate().take(k) {
             let n = update.counts[c] as u64;
             if n == 0 {
                 empty_clusters += 1;
                 continue;
             }
-            let w = weights[c] + n;
+            let w = *weight + n;
             let eta = n as f64 / w as f64;
             for d in 0..dim {
                 let old = centroids.get(c, d).to_f64();
                 let mean = update.centroids.get(c, d).to_f64();
                 centroids.set(c, d, T::from_f64(old + eta * (mean - old)));
             }
-            weights[c] = w;
+            *weight = w;
         }
 
         // Empty-cluster repair (sklearn's `reassignment_ratio` analog):

@@ -374,13 +374,16 @@ impl<T: Scalar> FittedModel<T> {
                             }
                             _ => GlobalBuffer::from_matrix(samples),
                         };
+                        queries.set_sanitizer_label("serve.queries");
                         let out = predict_fused_assign(
                             device,
-                            &queries,
-                            &self.data.centroids,
-                            samples.rows(),
-                            self.data.k,
-                            self.data.dim,
+                            crate::variants::predict_fused::QueryView {
+                                samples: &queries,
+                                centroids: &self.data.centroids,
+                                m: samples.rows(),
+                                k: self.data.k,
+                                dim: self.data.dim,
+                            },
                             &table,
                             counters,
                         )?;

@@ -228,6 +228,10 @@ impl<T: Scalar> QuantizedCentroids<T> {
             QuantKind::Fp16 => QuantCodes::Fp16(GlobalPackedBuffer::from_slice(&lanes16)),
             QuantKind::Int8 => QuantCodes::Int8(GlobalPackedBuffer::from_slice(&lanes8)),
         };
+        match &codes {
+            QuantCodes::Fp16(b) => b.set_sanitizer_label("quant.codes.fp16"),
+            QuantCodes::Int8(b) => b.set_sanitizer_label("quant.codes.int8"),
+        }
         let err_norm_max = err_norms.iter().fold(0.0f64, |m, &e| m.max(e));
         let max_norm_sq = norms.iter().fold(0.0f64, |m, n| m.max(n.to_f64()));
         let mut table = QuantizedCentroids {
@@ -235,8 +239,16 @@ impl<T: Scalar> QuantizedCentroids<T> {
             k,
             dim,
             codes,
-            scales: GlobalBuffer::from_slice(&scales),
-            norms: GlobalBuffer::from_slice(&norms),
+            scales: {
+                let b = GlobalBuffer::from_slice(&scales);
+                b.set_sanitizer_label("quant.scales");
+                b
+            },
+            norms: {
+                let b = GlobalBuffer::from_slice(&norms);
+                b.set_sanitizer_label("quant.norms");
+                b
+            },
             err_norms,
             max_norm_sq,
             margin: QuantMargin::new(err_norm_max, T::PRECISION, dim),
@@ -425,7 +437,7 @@ mod tests {
             -0.0,
             1.0,
             -1.5,
-            0.0999755859375,
+            6552.0 / 65536.0, // 0.0999755859375, exactly representable in f16
             65504.0,
             2.0f32.powi(-14),
             2.0f32.powi(-24),

@@ -57,7 +57,9 @@ pub fn update_centroids<T: Scalar>(
     }
     let k = old_centroids.rows();
     let sums = GlobalBuffer::<T>::zeros(k * dim);
+    sums.set_sanitizer_label("update.sums");
     let count_buf = GlobalIndexBuffer::zeros(k);
+    count_buf.set_sanitizer_label("update.counts");
     let dmr_stats = Mutex::new(DmrStats::default());
     let oob_labels = AtomicU64::new(0);
 
@@ -120,12 +122,14 @@ pub fn update_centroids<T: Scalar>(
     // the division work spreads over the worker pool even at small k
     // (k x dim elements rather than k rows of serial dim-loops).
     let out = GlobalBuffer::<T>::zeros(k * dim);
+    out.set_sanitizer_label("update.out");
     let cfg2 = LaunchConfig {
         grid: Dim3::x((k * dim).div_ceil(ELEMS_PER_BLOCK).max(1)),
         threads_per_block: 256,
         smem_bytes: 0,
     };
     let old = GlobalBuffer::from_matrix(old_centroids);
+    old.set_sanitizer_label("update.old");
     launch_grid_labeled(device, cfg2, counters, "update_divide", |ctx| {
         let e0 = ctx.bx * ELEMS_PER_BLOCK;
         let mut local_dmr = DmrStats::default();
@@ -187,7 +191,9 @@ pub fn update_centroids_naive<T: Scalar>(
     }
     let k = old_centroids.rows();
     let sums = GlobalBuffer::<T>::zeros(k * dim);
+    sums.set_sanitizer_label("update.sums");
     let count_buf = GlobalIndexBuffer::zeros(k);
+    count_buf.set_sanitizer_label("update.counts");
     // The per-cluster equality scan below never matches an out-of-range
     // label, so corrupted samples drop out implicitly; count them up front
     // so detection accounting matches the fused path.
@@ -204,9 +210,10 @@ pub fn update_centroids_naive<T: Scalar>(
         };
         launch_grid_labeled(device, cfg, counters, "update_naive_scan", |ctx| {
             let row0 = ctx.bx * SAMPLES_PER_BLOCK;
-            for i in row0..(row0 + SAMPLES_PER_BLOCK).min(m) {
+            let end = (row0 + SAMPLES_PER_BLOCK).min(m);
+            for (i, &label) in labels.iter().enumerate().take(end).skip(row0) {
                 // the label read happens regardless of membership
-                let belongs = labels[i] as usize == cluster;
+                let belongs = label as usize == cluster;
                 ctx.counters.add_loaded(4);
                 if belongs {
                     for d in 0..dim {
@@ -221,12 +228,14 @@ pub fn update_centroids_naive<T: Scalar>(
 
     // Final averaging kernel (identical to the fused path's kernel 2).
     let out = GlobalBuffer::<T>::zeros(k * dim);
+    out.set_sanitizer_label("update.out");
     let cfg2 = LaunchConfig {
         grid: Dim3::x(k.div_ceil(SAMPLES_PER_BLOCK).max(1)),
         threads_per_block: 256,
         smem_bytes: 0,
     };
     let old = GlobalBuffer::from_matrix(old_centroids);
+    old.set_sanitizer_label("update.old");
     launch_grid_labeled(device, cfg2, counters, "update_naive_divide", |ctx| {
         let c0 = ctx.bx * SAMPLES_PER_BLOCK;
         for c in c0..(c0 + SAMPLES_PER_BLOCK).min(k) {

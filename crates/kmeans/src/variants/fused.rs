@@ -31,7 +31,9 @@ pub fn fused_assign<T: Scalar>(
 
     // Per-(row, block-column) partial results.
     let part_dist = GlobalBuffer::<T>::filled(m * bn, T::INFINITY);
+    part_dist.set_sanitizer_label("fused.part_dist");
     let part_idx = GlobalIndexBuffer::zeros(m * bn);
+    part_idx.set_sanitizer_label("fused.part_idx");
     part_idx.fill(u32::MAX);
 
     simt_gemm_driver(
@@ -56,6 +58,8 @@ pub fn fused_assign<T: Scalar>(
             for (i, &(d, j)) in mins[..rows].iter().enumerate() {
                 let slot = (row0 + i) * bn + ctx.bx;
                 part_dist.store_counted(slot, d, ctx.counters);
+                // Index traffic is not byte-counted by design (see
+                // GlobalIndexBuffer). ftk-lint: allow(raw-access)
                 part_idx.store(slot, j);
             }
         },
@@ -63,7 +67,9 @@ pub fn fused_assign<T: Scalar>(
 
     // Fold the bn partials per row.
     let labels = GlobalIndexBuffer::zeros(m);
+    labels.set_sanitizer_label("fused.labels");
     let dists = GlobalBuffer::<T>::filled(m, T::INFINITY);
+    dists.set_sanitizer_label("fused.dists");
     let grid = Dim3::x(m.div_ceil(FOLD_ROWS_PER_BLOCK).max(1));
     let cfg = LaunchConfig {
         grid,

@@ -102,8 +102,12 @@ pub fn gemm_assign<T: Scalar>(
 ) -> Result<AssignmentResult<T>, SimError> {
     let (m, k) = (data.m, data.k);
     // Kernel 1: GEMM, product matrix stored to global (the V1 tax). Each
-    // accumulator row writes back as one contiguous run.
-    let product = GlobalBuffer::<T>::zeros(m * k);
+    // accumulator row writes back as one contiguous run. The allocation is
+    // deliberately uninitialized (plain `cudaMalloc` semantics): the GEMM
+    // must cover every cell before the reduction reads it, and
+    // `FTK_SANITIZE=init` proves that it does.
+    let product = GlobalBuffer::<T>::uninit(m * k);
+    product.set_sanitizer_label("gemm.product");
     simt_gemm_driver(
         device,
         data,
@@ -123,7 +127,9 @@ pub fn gemm_assign<T: Scalar>(
     // Kernel 2: row-wise reduction over the product matrix, streaming one
     // product row per step through block-local scratch.
     let labels = GlobalIndexBuffer::zeros(m);
+    labels.set_sanitizer_label("gemm.labels");
     let dists = GlobalBuffer::<T>::filled(m, T::INFINITY);
+    dists.set_sanitizer_label("gemm.dists");
     let grid = Dim3::x(m.div_ceil(REDUCE_ROWS_PER_BLOCK).max(1));
     let cfg = LaunchConfig {
         grid,

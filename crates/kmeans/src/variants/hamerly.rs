@@ -69,7 +69,9 @@ pub fn hamerly_assign<T: Scalar>(
     let (m, k, dim) = (data.m, data.k, data.dim);
     let policy = bound_policy::<T>(dim);
     let out_labels = GlobalIndexBuffer::zeros(m);
+    out_labels.set_sanitizer_label("hamerly.labels");
     let dists = GlobalBuffer::<T>::filled(m, T::INFINITY);
+    dists.set_sanitizer_label("hamerly.dists");
     let bounds: Option<&BoundState<T>> = data.bounds.as_ref();
     let grid = Dim3::x(m.div_ceil(SAMPLES_PER_BLOCK).max(1));
     let cfg = LaunchConfig {
@@ -319,6 +321,7 @@ pub fn revalidate<T: Scalar>(
     let b = data.bounds.as_ref().expect("revalidate requires bounds");
     let stride = stride.max(1);
     let violations = GlobalIndexBuffer::zeros(1);
+    violations.set_sanitizer_label("hamerly.violations");
     let cfg = LaunchConfig {
         grid: Dim3::x(m.div_ceil(SAMPLES_PER_BLOCK).max(1)),
         threads_per_block: SAMPLES_PER_BLOCK,
@@ -357,6 +360,8 @@ pub fn revalidate<T: Scalar>(
             // strided verification reads: per-element counted traffic
             let u = b.upper.load_counted(idx, ctx.counters);
             let l = b.lower.load_counted(idx, ctx.counters);
+            // Index traffic is not byte-counted by design (see
+            // GlobalIndexBuffer). ftk-lint: allow(raw-access)
             let label = b.labels.load(idx);
             let exact = best.max_s(T::ZERO).sqrt();
             let exact_second = second.max_s(T::ZERO).sqrt();
@@ -368,7 +373,8 @@ pub fn revalidate<T: Scalar>(
             }
         }
     })?;
-    Ok(violations.load(0) as u64)
+    // Host-side single-cell readback after the launch, not kernel traffic.
+    Ok(violations.load(0) as u64) // ftk-lint: allow(raw-access)
 }
 
 /// Full-width verify-and-repair sweep — the protective-scheme form of
@@ -397,8 +403,11 @@ pub fn revalidate_and_repair<T: Scalar>(
         .as_ref()
         .expect("revalidate_and_repair requires bounds");
     let violations = GlobalIndexBuffer::zeros(1);
+    violations.set_sanitizer_label("hamerly.repair.violations");
     let out_labels = GlobalIndexBuffer::zeros(m);
+    out_labels.set_sanitizer_label("hamerly.repair.labels");
     let dists = GlobalBuffer::<T>::filled(m, T::INFINITY);
+    dists.set_sanitizer_label("hamerly.repair.dists");
     let cfg = LaunchConfig {
         grid: Dim3::x(m.div_ceil(SAMPLES_PER_BLOCK).max(1)),
         threads_per_block: SAMPLES_PER_BLOCK,
@@ -466,6 +475,7 @@ pub fn revalidate_and_repair<T: Scalar>(
         dists.store_run(row0, &best_d[..rows], ctx.counters);
     })?;
     Ok((
+        // Host-side readback after the launch. ftk-lint: allow(raw-access)
         violations.load(0) as u64,
         AssignmentResult {
             labels: out_labels.to_vec(),

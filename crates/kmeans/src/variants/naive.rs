@@ -27,7 +27,9 @@ pub fn naive_assign<T: Scalar>(
 ) -> Result<AssignmentResult<T>, SimError> {
     let (m, k, dim) = (data.m, data.k, data.dim);
     let labels = GlobalIndexBuffer::zeros(m);
+    labels.set_sanitizer_label("naive.labels");
     let dists = GlobalBuffer::<T>::filled(m, T::INFINITY);
+    dists.set_sanitizer_label("naive.dists");
     let grid = Dim3::x(m.div_ceil(SAMPLES_PER_BLOCK).max(1));
     let cfg = LaunchConfig {
         grid,

@@ -76,25 +76,45 @@ fn dot_wide<T: Scalar>(x: &[T], y: &[T]) -> T {
     (((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))) + tail
 }
 
-/// Run the fused quantized predict kernel over `m` query samples.
+/// The device-resident inputs of one fused predict launch: the uploaded
+/// `m × dim` query matrix, the resident fp centroid table the fallback
+/// rows read, and the shapes tying them together.
+pub struct QueryView<'a, T: Scalar> {
+    /// Uploaded query samples, row-major `m × dim`.
+    pub samples: &'a GlobalBuffer<T>,
+    /// Resident exact centroid table, row-major `k × dim`.
+    pub centroids: &'a GlobalBuffer<T>,
+    /// Number of query rows.
+    pub m: usize,
+    /// Number of centroids.
+    pub k: usize,
+    /// Feature dimension.
+    pub dim: usize,
+}
+
+/// Run the fused quantized predict kernel over the query view's samples.
 ///
-/// `samples` is the uploaded `m × dim` query matrix; `centroids` the
-/// resident fp table the fallback rows read; `table` the quantized resident
-/// state (verified by the caller before launch).
+/// `table` is the quantized resident state (verified by the caller before
+/// launch).
 pub fn predict_fused_assign<T: Scalar>(
     device: &DeviceProfile,
-    samples: &GlobalBuffer<T>,
-    centroids: &GlobalBuffer<T>,
-    m: usize,
-    k: usize,
-    dim: usize,
+    query: QueryView<'_, T>,
     table: &QuantizedCentroids<T>,
     counters: &Counters,
 ) -> Result<AssignmentResult<T>, SimError> {
+    let QueryView {
+        samples,
+        centroids,
+        m,
+        k,
+        dim,
+    } = query;
     assert_eq!(table.k, k, "quantized table k mismatch");
     assert_eq!(table.dim, dim, "quantized table dim mismatch");
     let labels = GlobalIndexBuffer::zeros(m);
+    labels.set_sanitizer_label("predict.labels");
     let dists = GlobalBuffer::<T>::filled(m, T::INFINITY);
+    dists.set_sanitizer_label("predict.dists");
     let grid = Dim3::x(m.div_ceil(SAMPLES_PER_BLOCK).max(1));
     let cfg = LaunchConfig {
         grid,
@@ -277,6 +297,16 @@ mod tests {
         (samples, cents)
     }
 
+    fn view<T: Scalar>(data: &DeviceData<T>) -> QueryView<'_, T> {
+        QueryView {
+            samples: &data.samples,
+            centroids: &data.centroids,
+            m: data.m,
+            k: data.k,
+            dim: data.dim,
+        }
+    }
+
     #[test]
     fn labels_and_distances_match_naive_bit_for_bit() {
         let dev = DeviceProfile::a100();
@@ -286,17 +316,7 @@ mod tests {
         let want = naive_assign(&dev, &data, &NoFault, &c).unwrap();
         for kind in [QuantKind::Fp16, QuantKind::Int8] {
             let table = QuantizedCentroids::build(&data.centroids, data.k, data.dim, kind);
-            let got = predict_fused_assign(
-                &dev,
-                &data.samples,
-                &data.centroids,
-                data.m,
-                data.k,
-                data.dim,
-                &table,
-                &c,
-            )
-            .unwrap();
+            let got = predict_fused_assign(&dev, view(&data), &table, &c).unwrap();
             assert_eq!(got.labels, want.labels, "{kind:?} labels");
             for (a, b) in got.distances.iter().zip(want.distances.iter()) {
                 assert_eq!(a.to_bits(), b.to_bits(), "{kind:?} distances");
@@ -317,17 +337,7 @@ mod tests {
         let data = DeviceData::upload(&dev, &samples, &cents, &c).unwrap();
         let table = QuantizedCentroids::build(&data.centroids, data.k, data.dim, QuantKind::Int8);
         let before = c.snapshot();
-        let got = predict_fused_assign(
-            &dev,
-            &data.samples,
-            &data.centroids,
-            data.m,
-            data.k,
-            data.dim,
-            &table,
-            &c,
-        )
-        .unwrap();
+        let got = predict_fused_assign(&dev, view(&data), &table, &c).unwrap();
         let fallbacks = c.snapshot().since(&before).quant_fallbacks;
         assert_eq!(fallbacks, 0, "wide margins never fall back");
         let want = naive_assign(&dev, &data, &NoFault, &c).unwrap();
@@ -344,8 +354,7 @@ mod tests {
         let data = DeviceData::upload(&dev, &samples, &cents, &c).unwrap();
         let table = QuantizedCentroids::build(&data.centroids, 1, 3, QuantKind::Fp16);
         let before = c.snapshot();
-        let got = predict_fused_assign(&dev, &data.samples, &data.centroids, 9, 1, 3, &table, &c)
-            .unwrap();
+        let got = predict_fused_assign(&dev, view(&data), &table, &c).unwrap();
         assert_eq!(c.snapshot().since(&before).quant_fallbacks, 9);
         let want = naive_assign(&dev, &data, &NoFault, &c).unwrap();
         assert_eq!(got.labels, want.labels);
@@ -365,7 +374,7 @@ mod tests {
         let data = DeviceData::upload(&dev, &samples, &cents, &c).unwrap();
         let table = QuantizedCentroids::build(&data.centroids, 2, 4, QuantKind::Int8);
         let before = c.snapshot();
-        predict_fused_assign(&dev, &data.samples, &data.centroids, 256, 2, 4, &table, &c).unwrap();
+        predict_fused_assign(&dev, view(&data), &table, &c).unwrap();
         let delta = c.snapshot().since(&before);
         assert_eq!(delta.quant_fallbacks, 0);
         // one block: staged codes 8 B + scales/norms 16 B + staged fp table

@@ -1,0 +1,89 @@
+//! Fault-free fits are sanitizer-clean: every assignment variant, fitted
+//! end to end under a thread-locally scoped `gpu_sim::sanitizer` checker
+//! running race + init + oob, must produce an *empty* report.
+//!
+//! This is the per-variant counterpart of the full-stack `sanitize_sweep`
+//! bin: thread-local scoping (rather than the process-global install the
+//! sweep uses) keeps the six tests independent, so the harness can run
+//! them concurrently without cross-contaminating reports.
+
+use gpu_sim::sanitizer::{self, Checker, SanitizeConfig};
+use gpu_sim::Matrix;
+use kmeans::{FtConfig, KMeansConfig, Session, Variant};
+use std::sync::Arc;
+
+const DIM: usize = 16;
+const K: usize = 8;
+
+fn blobs(m: usize) -> Matrix<f64> {
+    Matrix::from_fn(m, DIM, |r, c| {
+        (r % K) as f64 * 8.0 + ((r * 31 + c * 7) % 13) as f64 * 0.05
+    })
+}
+
+fn clean_fit(variant: Variant) {
+    let cfg = SanitizeConfig {
+        race: true,
+        init: true,
+        oob: true,
+        leak: false,
+    };
+    let checker = Arc::new(Checker::new(cfg));
+    sanitizer::with_checker(&checker, || {
+        let km = Session::a100().kmeans(KMeansConfig {
+            k: K,
+            // Cross the revalidation cadence so the Hamerly repair path
+            // runs under the checker too.
+            max_iter: 5,
+            tol: 0.0,
+            seed: 7,
+            variant,
+            ft: FtConfig {
+                revalidate_every: 4,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        km.fit_model(&blobs(512)).expect("fit under sanitizer");
+    });
+    let report = checker.report();
+    assert!(
+        report.is_empty(),
+        "fault-free {variant:?} fit must be sanitizer-clean, got:\n{}",
+        report.to_text()
+    );
+    assert_eq!(
+        report.to_text(),
+        "sanitizer report (checks: race,init,oob)\nfindings: 0\n"
+    );
+}
+
+#[test]
+fn naive_fit_is_sanitizer_clean() {
+    clean_fit(Variant::Naive);
+}
+
+#[test]
+fn gemm_v1_fit_is_sanitizer_clean() {
+    clean_fit(Variant::GemmV1);
+}
+
+#[test]
+fn fused_v2_fit_is_sanitizer_clean() {
+    clean_fit(Variant::FusedV2);
+}
+
+#[test]
+fn broadcast_v3_fit_is_sanitizer_clean() {
+    clean_fit(Variant::BroadcastV3);
+}
+
+#[test]
+fn tensor_v4_fit_is_sanitizer_clean() {
+    clean_fit(Variant::Tensor(None));
+}
+
+#[test]
+fn hamerly_fit_is_sanitizer_clean() {
+    clean_fit(Variant::Hamerly);
+}

@@ -86,11 +86,13 @@ fn quantized_predict_agrees_with_every_variant_on_the_fixture() {
         let table = QuantizedCentroids::build(&data.centroids, data.k, data.dim, kind);
         let out = predict_fused_assign(
             &dev,
-            &data.samples,
-            &data.centroids,
-            data.m,
-            data.k,
-            data.dim,
+            kmeans::variants::predict_fused::QueryView {
+                samples: &data.samples,
+                centroids: &data.centroids,
+                m: data.m,
+                k: data.k,
+                dim: data.dim,
+            },
             &table,
             &c,
         )

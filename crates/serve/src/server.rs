@@ -131,17 +131,19 @@ impl ResponseSlot {
     }
 
     fn fill(&self, r: Result<PredictResponse, ServeError>) {
-        *self.state.lock().unwrap() = Some(r);
+        // A panicking filler poisons the lock but leaves the slot usable;
+        // recover the guard rather than cascading the panic to the client.
+        *self.state.lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
         self.ready.notify_all();
     }
 
     fn wait(&self) -> Result<PredictResponse, ServeError> {
-        let mut g = self.state.lock().unwrap();
+        let mut g = self.state.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if let Some(r) = g.take() {
                 return r;
             }
-            g = self.ready.wait(g).unwrap();
+            g = self.ready.wait(g).unwrap_or_else(|e| e.into_inner());
         }
     }
 }
@@ -237,7 +239,9 @@ impl<T: Scalar> Server<T> {
             std::thread::Builder::new()
                 .name("serve-dispatch".into())
                 .spawn(move || dispatch_loop(inner))
-                .expect("spawn dispatcher")
+                // Construction-time, not a request path: a host that cannot
+                // spawn a thread cannot run a server at all.
+                .expect("spawn dispatcher") // ftk-lint: allow(serve-unwrap)
         };
         Server {
             session,
@@ -309,7 +313,7 @@ impl<T: Scalar> Server<T> {
         } else {
             let slot = Arc::new(ResponseSlot::new());
             {
-                let mut q = self.inner.queue.lock().unwrap();
+                let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
                 if q.shutdown {
                     return Err(ServeError::Shutdown);
                 }
@@ -439,7 +443,7 @@ impl<T: Scalar> Server<T> {
 impl<T: Scalar> Drop for Server<T> {
     fn drop(&mut self) {
         {
-            let mut q = self.inner.queue.lock().unwrap();
+            let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
             q.shutdown = true;
             self.inner.arrived.notify_all();
         }
@@ -507,8 +511,10 @@ impl<T: Scalar> ServerInner<T> {
             for p in &batch {
                 flat.extend_from_slice(p.queries.as_slice());
             }
-            let fused = Matrix::from_vec(total_rows, dim, flat)
-                .expect("group rows×dim are consistent by construction");
+            // Rows×dim are consistent by construction, but a mismatch must
+            // surface as a per-request error, not a dispatcher-killing panic.
+            let fused =
+                Matrix::from_vec(total_rows, dim, flat).map_err(kmeans::KMeansError::from)?;
             let labels = model.predict(&fused)?;
             let mut per_request = Vec::with_capacity(coalesced);
             let mut offset = 0usize;
@@ -570,14 +576,14 @@ impl<T: Scalar> ServerInner<T> {
 
 fn dispatch_loop<T: Scalar>(inner: Arc<ServerInner<T>>) {
     loop {
-        let mut q = inner.queue.lock().unwrap();
+        let mut q = inner.queue.lock().unwrap_or_else(|e| e.into_inner());
         // Sleep until there is work; exit only once shut down AND drained,
         // so requests accepted before shutdown are always answered.
         while q.pending.is_empty() {
             if q.shutdown {
                 return;
             }
-            q = inner.arrived.wait(q).unwrap();
+            q = inner.arrived.wait(q).unwrap_or_else(|e| e.into_inner());
         }
         // Adopt the oldest request's model as this group's key and keep
         // the window open until the row budget fills or the deadline hits.
@@ -603,7 +609,10 @@ fn dispatch_loop<T: Scalar>(inner: Arc<ServerInner<T>>) {
             if now >= deadline {
                 break;
             }
-            let (g, _timeout) = inner.arrived.wait_timeout(q, deadline - now).unwrap();
+            let (g, _timeout) = inner
+                .arrived
+                .wait_timeout(q, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
             q = g;
         }
         drop(q);
@@ -633,6 +642,40 @@ mod tests {
                 .with_predict_policy(PredictPolicy::Int8),
         );
         (session, registry)
+    }
+
+    #[test]
+    fn poisoned_locks_recover_instead_of_cascading() {
+        // Regression pin for the ftk-lint serve-unwrap pass: a client
+        // thread panicking while holding server-internal locks must not
+        // take the server down with it. Poison a ResponseSlot's mutex and
+        // the dispatch queue's mutex the same way a panicking caller
+        // would, then verify both stay usable.
+        let slot = Arc::new(ResponseSlot::new());
+        {
+            let slot = Arc::clone(&slot);
+            let _ = std::thread::spawn(move || {
+                let _g = slot.state.lock().unwrap();
+                panic!("poison the slot lock");
+            })
+            .join();
+        }
+        slot.fill(Err(ServeError::Shutdown));
+        assert!(matches!(slot.wait(), Err(ServeError::Shutdown)));
+
+        let (session, registry) = serving_pair();
+        let server = Server::new(session, registry, ServerConfig::default());
+        {
+            let inner = Arc::clone(&server.inner);
+            let _ = std::thread::spawn(move || {
+                let _g = inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+                panic!("poison the queue lock");
+            })
+            .join();
+        }
+        let q = blobs(16, 5);
+        let resp = server.predict("svc", &q).expect("predict after poison");
+        assert_eq!(resp.labels.len(), 16);
     }
 
     #[test]

@@ -313,7 +313,7 @@ fn hot_swaps_race_predict_traffic_safely() {
     );
     // in-flight Arcs keep displaced models alive; nothing dangles
     drop(server);
-    assert_eq!(Arc::strong_count(&low) >= 1, true);
+    assert!(Arc::strong_count(&low) >= 1);
 }
 
 #[test]

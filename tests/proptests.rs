@@ -16,7 +16,7 @@ use ft_kmeans::kmeans::variants::hamerly::{
     apply_drift, bound_policy, compute_s_half, hamerly_assign,
 };
 use ft_kmeans::kmeans::variants::naive::naive_assign;
-use ft_kmeans::kmeans::variants::predict_fused::predict_fused_assign;
+use ft_kmeans::kmeans::variants::predict_fused::{predict_fused_assign, QueryView};
 use ft_kmeans::kmeans::{KMeansConfig, Session, Variant};
 use ft_kmeans::{DeviceProfile, Precision};
 use proptest::prelude::*;
@@ -376,8 +376,18 @@ proptest! {
         for kind in [QuantKind::Fp16, QuantKind::Int8] {
             let table = QuantizedCentroids::build(&data.centroids, k, dim, kind);
             let got = predict_fused_assign(
-                &dev, &data.samples, &data.centroids, m, k, dim, &table, &counters,
-            ).unwrap();
+                &dev,
+                QueryView {
+                    samples: &data.samples,
+                    centroids: &data.centroids,
+                    m,
+                    k,
+                    dim,
+                },
+                &table,
+                &counters,
+            )
+            .unwrap();
             prop_assert_eq!(&got.labels, &want.labels, "{:?} labels", kind);
             for (a, b) in got.distances.iter().zip(want.distances.iter()) {
                 prop_assert_eq!(a.to_bits(), b.to_bits(), "{:?} distances", kind);
